@@ -1,0 +1,39 @@
+# Convenience targets for the SRDA reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench repro repro-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at laptop scale (minutes).
+repro:
+	$(GO) run ./cmd/srdabench -exp all -scale small -splits 5
+
+# Full paper-sized datasets (slow; hours for the dense baselines).
+repro-paper:
+	$(GO) run ./cmd/srdabench -exp all -scale paper -splits 20
+
+examples:
+	@for d in examples/*/ ; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,91 @@
+package srda
+
+import (
+	"srda/internal/idrqr"
+	"srda/internal/lda"
+)
+
+// LDAModel is a classical-LDA (or RLDA) transformer trained with FitLDA.
+type LDAModel = lda.Model
+
+// LDAOptions configures the classical baseline.
+type LDAOptions = lda.Options
+
+// FitLDA trains the classical LDA baseline exactly as the paper's §II-A
+// analyzes it: center, thin SVD by the cross-product algorithm, then the
+// small class-aggregated eigenproblem.  Alpha > 0 gives regularized LDA
+// (RLDA); Alpha = 0 relies on SVD truncation to handle singular scatter.
+// Cost is O(m·n·t + t³) time and O(m·n) memory — the quantities SRDA is
+// measured against.
+func FitLDA(x *Dense, labels []int, numClasses int, opt LDAOptions) (*LDAModel, error) {
+	return lda.Fit(x, labels, numClasses, opt)
+}
+
+// IDRQRModel is an IDR/QR transformer trained with FitIDRQR.
+type IDRQRModel = idrqr.Model
+
+// IDRQROptions configures the IDR/QR baseline.
+type IDRQROptions = idrqr.Options
+
+// FitIDRQR trains the IDR/QR baseline (Ye et al., KDD 2004): QR of the
+// class-centroid matrix followed by a c×c regularized eigenproblem.
+// Very fast — O(m·n·c) — but restricted to the centroid subspace, which
+// costs accuracy relative to RLDA/SRDA (the paper's Tables III–IX).
+func FitIDRQR(x *Dense, labels []int, numClasses int, opt IDRQROptions) (*IDRQRModel, error) {
+	return idrqr.Fit(x, labels, numClasses, opt)
+}
+
+// Scatters computes the explicit between-class, within-class and total
+// scatter matrices (eq. 2–3) — n×n dense; useful for validation and small
+// problems only.
+func Scatters(x *Dense, labels []int, numClasses int) (sb, sw, st *Dense) {
+	return lda.Scatters(x, labels, numClasses)
+}
+
+// FisherfacesModel is the two-stage PCA+LDA transformer.
+type FisherfacesModel = lda.Fisherfaces
+
+// FisherfacesOptions configures the PCA+LDA pipeline.
+type FisherfacesOptions = lda.FisherfacesOptions
+
+// FitFisherfaces trains the classic PCA+LDA pipeline (Belhumeur et al.
+// 1997) — the "additional preprocessing" route to nonsingular scatter
+// matrices the paper's introduction describes.
+func FitFisherfaces(x *Dense, labels []int, numClasses int, opt FisherfacesOptions) (*FisherfacesModel, error) {
+	return lda.FitFisherfaces(x, labels, numClasses, opt)
+}
+
+// FitOrthogonalLDA trains OLDA: (R)LDA directions re-orthonormalized so
+// the projection basis satisfies AᵀA = I.
+func FitOrthogonalLDA(x *Dense, labels []int, numClasses int, opt LDAOptions) (*LDAModel, error) {
+	return lda.FitOrthogonal(x, labels, numClasses, opt)
+}
+
+// FitNullSpaceLDA trains NLDA (Chen et al. 2000): discriminants inside
+// null(S_w), the small-sample variant that collapses training classes
+// exactly; errors when m is too large for a nonempty null space.
+func FitNullSpaceLDA(x *Dense, labels []int, numClasses int, opt LDAOptions) (*LDAModel, error) {
+	return lda.FitNullSpace(x, labels, numClasses, opt)
+}
+
+// TwoDLDAModel is the matrix-variate 2D-LDA transformer.
+type TwoDLDAModel = lda.TwoDLDA
+
+// TwoDLDAOptions configures 2D-LDA training.
+type TwoDLDAOptions = lda.TwoDLDAOptions
+
+// Fit2DLDA trains two-dimensional LDA (Ye, Janardan, Li — NIPS 2004) on
+// vectorized images of shape imgRows×imgCols: bilinear projections LᵀAR
+// learned by alternating side-sized eigenproblems, sidestepping the
+// vector-LDA singularity issue without SVD or regression.
+func Fit2DLDA(x *Dense, imgRows, imgCols int, labels []int, numClasses int, opt TwoDLDAOptions) (*TwoDLDAModel, error) {
+	return lda.Fit2D(x, imgRows, imgCols, labels, numClasses, opt)
+}
+
+// FitMMC trains the Maximum Margin Criterion variant (Li et al.):
+// maximize tr(Aᵀ(S_b − S_w)A) with an orthonormal basis — no matrix
+// inversion, so no singularity problem, at the cost of ignoring the
+// within-class metric.
+func FitMMC(x *Dense, labels []int, numClasses int, opt LDAOptions) (*LDAModel, error) {
+	return lda.FitMMC(x, labels, numClasses, opt)
+}

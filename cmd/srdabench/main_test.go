@@ -1,0 +1,146 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"srda"
+)
+
+// pieTiny shrinks the PIE generator for fast tests.
+func pieTiny() srda.PIEConfig {
+	return srda.PIEConfig{Classes: 3, PerClass: 8, Side: 6, Seed: 99}
+}
+
+func TestScalesHaveBothEntries(t *testing.T) {
+	m := scales(1)
+	for _, key := range []string{"small", "paper"} {
+		spec, ok := m[key]
+		if !ok {
+			t.Fatalf("missing scale %q", key)
+		}
+		if len(spec.pieSizes) != 6 || len(spec.isoSizes) != 6 || len(spec.mniSizes) != 6 || len(spec.newsFracs) != 6 {
+			t.Fatalf("scale %q does not have 6 grid points per table", key)
+		}
+		if spec.newsMemLimit <= 0 {
+			t.Fatalf("scale %q has no memory wall", key)
+		}
+	}
+	// paper scale must use the paper's exact row values
+	p := m["paper"]
+	if p.pieSizes[0] != 10 || p.pieSizes[5] != 60 {
+		t.Fatalf("paper PIE sizes %v", p.pieSizes)
+	}
+	if p.isoSizes[0] != 20 || p.mniSizes[5] != 170 {
+		t.Fatal("paper grid rows drifted from Tables V/VII")
+	}
+}
+
+func TestBenchDatasetCache(t *testing.T) {
+	b := bench{spec: scales(3)["small"], splits: 1, seed: 3}
+	// shrink the datasets drastically for the test
+	b.spec.pie = pieTiny()
+	d1 := b.dataset("pie")
+	d2 := b.dataset("pie")
+	if d1 != d2 {
+		t.Fatal("dataset not cached")
+	}
+	if d1.NumSamples() == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestTable1And2Render(t *testing.T) {
+	b := bench{spec: scales(5)["small"], splits: 1, seed: 5}
+	b.spec.pie = pieTiny()
+	b.spec.isolet.Classes, b.spec.isolet.PerClass, b.spec.isolet.Dim = 3, 6, 20
+	b.spec.mnist.Classes, b.spec.mnist.PerClass, b.spec.mnist.Side = 3, 6, 8
+	b.spec.news.Classes, b.spec.news.Docs, b.spec.news.Vocab, b.spec.news.AvgLen = 3, 30, 100, 10
+	b.spec.news.TopicWords = 10
+	if err := b.table1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.table2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := map[int]int{1: 1, 4: 2, 5: 3, 100: 10, 101: 11}
+	for in, want := range cases {
+		if got := isqrt(in); got != want {
+			t.Fatalf("isqrt(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestGridKeyIncludesConfig(t *testing.T) {
+	// two bench configs must not share grid cache entries
+	b1 := bench{spec: scales(1)["small"], splits: 2, seed: 1, scale: "small"}
+	b2 := bench{spec: scales(1)["small"], splits: 3, seed: 1, scale: "small"}
+	k1 := benchGridKey(&b1, "pie")
+	k2 := benchGridKey(&b2, "pie")
+	if k1 == k2 {
+		t.Fatal("cache keys collide across split counts")
+	}
+	if !strings.Contains(k1, "pie") {
+		t.Fatalf("key %q", k1)
+	}
+}
+
+// tinyBench shrinks everything so the experiment paths run in
+// milliseconds.
+func tinyBench(t *testing.T) *bench {
+	t.Helper()
+	spec := scales(77)["small"]
+	spec.pie = srda.PIEConfig{Classes: 3, PerClass: 10, Side: 6, Seed: 77}
+	spec.pieSizes = []int{2, 4}
+	spec.isolet = srda.IsoletConfig{Classes: 3, PerClass: 10, Dim: 20, Seed: 78}
+	spec.isoSizes = []int{2, 4}
+	spec.mnist = srda.MNISTConfig{Classes: 3, PerClass: 10, Side: 6, Seed: 79}
+	spec.mniSizes = []int{2, 4}
+	spec.news = srda.NewsConfig{Classes: 3, Docs: 60, Vocab: 200, AvgLen: 12, TopicWords: 20, Seed: 80}
+	spec.newsFracs = []float64{0.2, 0.4}
+	spec.newsMemLimit = 1 << 30
+	return &bench{spec: spec, splits: 1, seed: 77, scale: "tiny"}
+}
+
+func TestBenchTableAndFigurePaths(t *testing.T) {
+	b := tinyBench(t)
+	for _, name := range []string{"pie", "isolet", "mnist"} {
+		if err := b.denseGrid(name, false); err != nil {
+			t.Fatalf("%s error table: %v", name, err)
+		}
+		if err := b.denseGrid(name, true); err != nil {
+			t.Fatalf("%s time table: %v", name, err)
+		}
+		if err := b.figure(name); err != nil {
+			t.Fatalf("%s figure: %v", name, err)
+		}
+	}
+	if err := b.newsGrid(false); err != nil {
+		t.Fatalf("news: %v", err)
+	}
+	// CSV output path
+	b.csv = true
+	if err := b.denseGrid("pie", false); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+}
+
+func TestBenchFig5Path(t *testing.T) {
+	b := tinyBench(t)
+	if err := b.fig5(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchUnknownDatasetPanics(t *testing.T) {
+	b := tinyBench(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.dataset("nope")
+}

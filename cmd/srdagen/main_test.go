@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"srda"
+)
+
+func TestRunWritesSingleFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mini.svm")
+	var log bytes.Buffer
+	if err := run("news", out, 1, 3, 0, 60, 200, 0, &log); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := srda.ReadLibSVM(f, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 60 || ds.NumClasses != 3 {
+		t.Fatalf("written dataset shape %d/%d", ds.NumSamples(), ds.NumClasses)
+	}
+	if !strings.Contains(log.String(), "wrote 60 samples") {
+		t.Fatalf("log: %s", log.String())
+	}
+}
+
+func TestRunSplitWritesTwoFiles(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "p")
+	var log bytes.Buffer
+	if err := run("pie", base, 2, 3, 10, 0, 0, 0.4, &log); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".train.svm", ".test.svm"} {
+		if _, err := os.Stat(base + suffix); err != nil {
+			t.Fatalf("missing %s: %v", suffix, err)
+		}
+	}
+	// per-class 40% of 10 = 4 train, 6 test per class
+	f, _ := os.Open(base + ".train.svm")
+	defer f.Close()
+	train, err := srda.ReadLibSVM(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumSamples() != 12 {
+		t.Fatalf("train %d want 12", train.NumSamples())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	var log bytes.Buffer
+	if err := run("news", "", 1, 0, 0, 0, 0, 0, &log); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run("nope", filepath.Join(dir, "x"), 1, 0, 0, 0, 0, 0, &log); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run("mnist", filepath.Join(dir, "y"), 1, 2, 4, 0, 0, 2.0, &log); err == nil {
+		t.Fatal("bad split fraction accepted")
+	}
+	if err := run("isolet", filepath.Join(dir, "nodir", "deep", "z"), 1, 2, 3, 0, 0, 0, &log); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

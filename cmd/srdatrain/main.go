@@ -1,0 +1,214 @@
+// Command srdatrain trains, evaluates, and applies SRDA models on
+// libsvm-format data files.
+//
+// Train a model and report held-out accuracy:
+//
+//	srdatrain -train corpus.svm -test heldout.svm -alpha 1 -model out.srda
+//
+// Apply a saved model (prints one predicted label per input line):
+//
+//	srdatrain -model out.srda -predict new.svm
+//
+// With only -train, the tool reports training error.  -solver selects
+// auto|primal|dual|lsqr (auto follows the paper's protocol), -knn K
+// switches the classifier from nearest-centroid to k-NN.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"srda"
+)
+
+func main() {
+	var (
+		trainPath = flag.String("train", "", "libsvm-format training data")
+		testPath  = flag.String("test", "", "libsvm-format held-out data")
+		predict   = flag.String("predict", "", "libsvm-format data to classify with -model")
+		modelPath = flag.String("model", "", "model file to write (with -train) or read (with -predict)")
+		alpha     = flag.Float64("alpha", 1, "ridge regularizer α")
+		solver    = flag.String("solver", "auto", "solver: auto, primal, dual, lsqr")
+		iters     = flag.Int("lsqr-iters", 30, "LSQR iteration cap")
+		knn       = flag.Int("knn", 0, "classify with k-NN instead of nearest centroid (0 = centroid)")
+		features  = flag.Int("features", 0, "dimensionality (0 = infer from data)")
+		disk      = flag.Bool("disk", false, "train out of core: spool the training matrix to a temp file and stream it")
+		report    = flag.Bool("report", false, "print per-class precision/recall/F1 for evaluated sets")
+	)
+	flag.Parse()
+	if err := run(*trainPath, *testPath, *predict, *modelPath, *alpha, *solver, *iters, *knn, *features, *disk, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "srdatrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solverName string, iters, knn, features int, disk, report bool) error {
+	if predictPath != "" {
+		return runPredict(predictPath, modelPath, features)
+	}
+	if trainPath == "" {
+		return fmt.Errorf("need -train (or -predict with -model); see -h")
+	}
+
+	var sv srda.Solver
+	switch solverName {
+	case "auto":
+		sv = srda.SolverAuto
+	case "primal":
+		sv = srda.SolverPrimal
+	case "dual":
+		sv = srda.SolverDual
+	case "lsqr":
+		sv = srda.SolverLSQR
+	default:
+		return fmt.Errorf("unknown solver %q", solverName)
+	}
+
+	train, err := loadFile(trainPath, features)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("train: %d samples, %d features, %d classes, %.1f avg nnz\n",
+		train.NumSamples(), train.NumFeatures(), train.NumClasses, train.AvgNNZ())
+
+	opt := srda.Options{Alpha: alpha, Solver: sv, LSQRIter: iters, Whiten: true}
+	start := time.Now()
+	var model *srda.Model
+	if disk {
+		model, err = trainOutOfCore(train, opt)
+	} else {
+		model, err = srda.FitCSR(train.Sparse, train.Labels, train.NumClasses, opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %s (%d LSQR iterations, %d embedding dims)\n",
+		time.Since(start).Round(time.Millisecond), model.Iters, model.Dim())
+
+	embTrain := model.TransformSparse(train.Sparse)
+	evalSet := func(name string, ds *srda.Dataset) error {
+		emb := model.TransformSparse(ds.Sparse)
+		var pred []int
+		if knn > 0 {
+			clf, err := srda.FitKNN(embTrain, train.Labels, train.NumClasses, knn)
+			if err != nil {
+				return err
+			}
+			pred = clf.Predict(emb)
+		} else {
+			clf, err := srda.FitNearestCentroid(embTrain, train.Labels, train.NumClasses)
+			if err != nil {
+				return err
+			}
+			pred = clf.Predict(emb)
+		}
+		fmt.Printf("%s error: %.2f%% (%d samples)\n", name, 100*srda.ErrorRate(pred, ds.Labels), ds.NumSamples())
+		if report {
+			metrics, err := srda.ComputeMetrics(pred, ds.Labels, train.NumClasses)
+			if err != nil {
+				return err
+			}
+			fmt.Print(metrics.String())
+		}
+		return nil
+	}
+	if err := evalSet("training", train); err != nil {
+		return err
+	}
+	if testPath != "" {
+		test, err := loadFile(testPath, 0)
+		if err != nil {
+			return err
+		}
+		if err := evalSet("test", test.AlignFeatures(train.NumFeatures())); err != nil {
+			return err
+		}
+	}
+
+	if modelPath != "" {
+		f, err := os.Create(modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", modelPath)
+	}
+	return nil
+}
+
+func runPredict(predictPath, modelPath string, features int) error {
+	if modelPath == "" {
+		return fmt.Errorf("-predict requires -model")
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	model, err := srda.LoadModel(mf)
+	if err != nil {
+		return err
+	}
+	ds, err := loadFile(predictPath, features)
+	if err != nil {
+		return err
+	}
+	ds = ds.AlignFeatures(model.W.Rows)
+	if model.Centroids == nil {
+		return fmt.Errorf("model %s carries no class centroids; retrain with this tool", modelPath)
+	}
+	pred := model.PredictSparse(ds.Sparse)
+	for _, p := range pred {
+		fmt.Println(p)
+	}
+	fmt.Fprintf(os.Stderr, "error against file labels: %.2f%%\n", 100*srda.ErrorRate(pred, ds.Labels))
+	return nil
+}
+
+func loadFile(path string, features int) (*srda.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return srda.ReadLibSVM(f, features)
+}
+
+// trainOutOfCore spools the training matrix to a temporary DiskCSR file
+// and trains by streaming it — the paper's §III-C2 disk-I/O mode.  The
+// whitening post-step is applied from the in-memory embedding of the
+// (already loaded) training data, so results match the in-memory path.
+func trainOutOfCore(train *srda.Dataset, opt srda.Options) (*srda.Model, error) {
+	dir, err := os.MkdirTemp("", "srdatrain")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/train.csr"
+	if err := train.Sparse.WriteFile(path); err != nil {
+		return nil, err
+	}
+	d, err := srda.OpenDiskCSR(path)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	model, err := srda.FitDiskCSR(d, train.Labels, train.NumClasses, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Whiten {
+		if err := model.WhitenWithin(model.TransformSparse(train.Sparse), train.Labels); err != nil {
+			return nil, err
+		}
+	}
+	if err := model.SetCentroids(model.TransformSparse(train.Sparse), train.Labels); err != nil {
+		return nil, err
+	}
+	return model, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"srda"
+)
+
+// writeCorpus generates a small corpus split into train/test libsvm files
+// and returns their paths.
+func writeCorpus(t *testing.T) (train, test string) {
+	t.Helper()
+	dir := t.TempDir()
+	ds := srda.NewsLike(srda.NewsConfig{Classes: 3, Docs: 120, Vocab: 500, AvgLen: 25, Seed: 5})
+	trainDS := ds.Subset(rangeInts(0, 80))
+	testDS := ds.Subset(rangeInts(80, 120))
+	train = filepath.Join(dir, "train.svm")
+	test = filepath.Join(dir, "test.svm")
+	for _, p := range []struct {
+		path string
+		d    *srda.Dataset
+	}{{train, trainDS}, {test, testDS}} {
+		f, err := os.Create(p.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.d.WriteLibSVM(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return train, test
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestTrainEvaluateAndPredict(t *testing.T) {
+	train, test := writeCorpus(t)
+	model := filepath.Join(t.TempDir(), "m.srda")
+	if err := run(train, test, "", model, 1, "lsqr", 30, 0, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
+		t.Fatalf("model not written: %v", err)
+	}
+	// predict path
+	if err := run("", "", test, model, 1, "auto", 30, 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainWithKNNClassifier(t *testing.T) {
+	train, test := writeCorpus(t)
+	if err := run(train, test, "", "", 1, "auto", 30, 3, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	train, _ := writeCorpus(t)
+	if err := run("", "", "", "", 1, "auto", 30, 0, 0, false, false); err == nil {
+		t.Fatal("missing -train accepted")
+	}
+	if err := run(train, "", "", "", 1, "warp", 30, 0, 0, false, false); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+	if err := run("/definitely/missing.svm", "", "", "", 1, "auto", 30, 0, 0, false, false); err == nil {
+		t.Fatal("missing train file accepted")
+	}
+	if err := run("", "", "/some/data.svm", "", 1, "auto", 30, 0, 0, false, false); err == nil {
+		t.Fatal("-predict without -model accepted")
+	}
+}
+
+func TestTrainOutOfCore(t *testing.T) {
+	train, test := writeCorpus(t)
+	if err := run(train, test, "", "", 1, "lsqr", 20, 0, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+}

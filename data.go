@@ -1,0 +1,139 @@
+package srda
+
+import (
+	"io"
+	"math/rand"
+
+	"srda/internal/classify"
+	"srda/internal/dataset"
+	"srda/internal/experiment"
+	"srda/internal/flam"
+)
+
+// Dataset is a labeled sample collection, dense or sparse.
+type Dataset = dataset.Dataset
+
+// DatasetStats is the Table II summary row of a dataset.
+type DatasetStats = dataset.Stats
+
+// Synthetic dataset generator configurations (see DESIGN.md §4 for how
+// each mirrors the paper's corresponding real corpus).
+type (
+	// PIEConfig shapes the CMU-PIE-like face generator.
+	PIEConfig = dataset.PIEConfig
+	// IsoletConfig shapes the Isolet-like spoken-letter generator.
+	IsoletConfig = dataset.IsoletConfig
+	// MNISTConfig shapes the MNIST-like digit generator.
+	MNISTConfig = dataset.MNISTConfig
+	// NewsConfig shapes the 20Newsgroups-like sparse text generator.
+	NewsConfig = dataset.NewsConfig
+)
+
+// PIELike generates the face-recognition-shaped dataset (dense, 32×32
+// pixels, 68 classes by default).
+func PIELike(cfg PIEConfig) *Dataset { return dataset.PIELike(cfg) }
+
+// IsoletLike generates the spoken-letter-shaped dataset (dense, 617
+// features, 26 classes by default).
+func IsoletLike(cfg IsoletConfig) *Dataset { return dataset.IsoletLike(cfg) }
+
+// MNISTLike generates the digit-shaped dataset (dense, 28×28 pixels, 10
+// classes by default).
+func MNISTLike(cfg MNISTConfig) *Dataset { return dataset.MNISTLike(cfg) }
+
+// NewsLike generates the text-shaped sparse dataset (26214-term Zipf
+// vocabulary, 20 classes by default, L2-normalized TF rows).
+func NewsLike(cfg NewsConfig) *Dataset { return dataset.NewsLike(cfg) }
+
+// ReadLibSVM parses libsvm/svmlight-format data into a sparse dataset.
+func ReadLibSVM(r io.Reader, numFeatures int) (*Dataset, error) {
+	return dataset.ReadLibSVM(r, numFeatures)
+}
+
+// NearestCentroid is the paper's evaluation classifier: minimum distance
+// to embedded class mean.
+type NearestCentroid = classify.NearestCentroid
+
+// KNN is a k-nearest-neighbor classifier over embedded points.
+type KNN = classify.KNN
+
+// FitNearestCentroid computes class centroids from an embedded training
+// set.
+func FitNearestCentroid(emb *Dense, labels []int, numClasses int) (*NearestCentroid, error) {
+	return classify.FitNearestCentroid(emb, labels, numClasses)
+}
+
+// FitKNN stores an embedded training set for k-NN prediction.
+func FitKNN(emb *Dense, labels []int, numClasses, k int) (*KNN, error) {
+	return classify.FitKNN(emb, labels, numClasses, k)
+}
+
+// ErrorRate returns the fraction of mismatched predictions.
+func ErrorRate(pred, truth []int) float64 { return classify.ErrorRate(pred, truth) }
+
+// Experiment harness re-exports: Runner reproduces the paper's tables and
+// figures (see cmd/srdabench).
+type (
+	// Runner executes (dataset × algorithm × size) grids over random splits.
+	Runner = experiment.Runner
+	// Grid is a reproduced table (error + time cells).
+	Grid = experiment.Grid
+	// Sweep is a reproduced Figure 5 panel.
+	Sweep = experiment.Sweep
+	// Algorithm names one of the compared methods.
+	Algorithm = experiment.Algorithm
+)
+
+// The compared algorithms, in the paper's column order.
+const (
+	AlgoLDA   = experiment.AlgoLDA
+	AlgoRLDA  = experiment.AlgoRLDA
+	AlgoSRDA  = experiment.AlgoSRDA
+	AlgoIDRQR = experiment.AlgoIDRQR
+)
+
+// AllAlgorithms is the paper's four-way comparison set.
+var AllAlgorithms = experiment.AllAlgorithms
+
+// ComplexityProblem is a problem shape for the Table I flam/memory model.
+type ComplexityProblem = flam.Problem
+
+// ComplexityCount is one Table I row (flam count + memory words).
+type ComplexityCount = flam.Count
+
+// ComplexityTable evaluates all Table I rows for a problem shape.
+func ComplexityTable(p ComplexityProblem) []ComplexityCount { return flam.Table(p) }
+
+// ComplexitySpeedup returns the modeled LDA/SRDA flam ratio (≤ ~9).
+func ComplexitySpeedup(p ComplexityProblem) float64 { return flam.Speedup(p) }
+
+// ClassificationMetrics summarizes multi-class quality (per-class and
+// macro precision/recall/F1, support, accuracy).
+type ClassificationMetrics = classify.Metrics
+
+// ComputeMetrics evaluates predictions against ground truth.
+func ComputeMetrics(pred, truth []int, numClasses int) (*ClassificationMetrics, error) {
+	return classify.ComputeMetrics(pred, truth, numClasses)
+}
+
+// TopKAccuracy scores ranked predictions (truth within the first k).
+func TopKAccuracy(ranked [][]int, truth []int, k int) (float64, error) {
+	return classify.TopKAccuracy(ranked, truth, k)
+}
+
+// BalancedError averages per-class error rates (1 − macro recall).
+func BalancedError(pred, truth []int, numClasses int) (float64, error) {
+	return classify.BalancedError(pred, truth, numClasses)
+}
+
+// MCC computes the multi-class Matthews correlation coefficient.
+func MCC(pred, truth []int, numClasses int) (float64, error) {
+	return classify.MCC(pred, truth, numClasses)
+}
+
+// CorruptLabels returns a copy of the dataset with a fraction of labels
+// flipped to other classes (annotation-noise robustness studies); the
+// mask marks flipped samples.
+func CorruptLabels(d *Dataset, rng *rand.Rand, frac float64) (*Dataset, []bool) {
+	return d.CorruptLabels(rng, frac)
+}

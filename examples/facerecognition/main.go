@@ -1,0 +1,94 @@
+// Face recognition: the paper's PIE experiment in miniature.  A dense
+// face-shaped dataset is split with few training images per person, and
+// SRDA is compared head-to-head with classical LDA, RLDA, and IDR/QR on
+// both error rate and training time — the Tables III/IV comparison.
+//
+//	go run ./examples/facerecognition
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"srda"
+)
+
+func main() {
+	faces := srda.PIELike(srda.PIEConfig{
+		Classes:  30, // subjects
+		PerClass: 40, // images per subject
+		Side:     24, // 24×24 pixels → n = 576
+		Seed:     5,
+	})
+	fmt.Printf("gallery: %d subjects × %d images, %d pixels each\n\n",
+		faces.NumClasses, 40, faces.NumFeatures())
+
+	for _, perSubject := range []int{5, 10, 20} {
+		rng := rand.New(rand.NewSource(int64(perSubject)))
+		train, test, err := faces.SplitPerClass(rng, perSubject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d training images per subject (m=%d):\n", perSubject, train.NumSamples())
+
+		// SRDA
+		start := time.Now()
+		sm, err := srda.Fit(train.Dense, train.Labels, train.NumClasses,
+			srda.Options{Alpha: 1, Whiten: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sTime := time.Since(start)
+		report("SRDA", sTime, sm.PredictDense(test.Dense), test.Labels)
+
+		// Classical LDA (SVD route) and RLDA
+		for _, cfg := range []struct {
+			name  string
+			alpha float64
+		}{{"LDA", 0}, {"RLDA", 1}} {
+			start = time.Now()
+			lm, err := srda.FitLDA(train.Dense, train.Labels, train.NumClasses,
+				srda.LDAOptions{Alpha: cfg.alpha})
+			if err != nil {
+				log.Fatal(err)
+			}
+			lTime := time.Since(start)
+			pred, err := centroidPredict(lm.Transform(train.Dense), train.Labels,
+				lm.Transform(test.Dense), train.NumClasses)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(cfg.name, lTime, pred, test.Labels)
+		}
+
+		// IDR/QR
+		start = time.Now()
+		im, err := srda.FitIDRQR(train.Dense, train.Labels, train.NumClasses, srda.IDRQROptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		iTime := time.Since(start)
+		pred, err := centroidPredict(im.Transform(train.Dense), train.Labels,
+			im.Transform(test.Dense), train.NumClasses)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("IDR/QR", iTime, pred, test.Labels)
+		fmt.Println()
+	}
+}
+
+func report(name string, d time.Duration, pred, truth []int) {
+	fmt.Printf("  %-7s error %5.1f%%   train %8s\n",
+		name, 100*srda.ErrorRate(pred, truth), d.Round(time.Microsecond))
+}
+
+func centroidPredict(embTrain *srda.Dense, yTrain []int, embTest *srda.Dense, c int) ([]int, error) {
+	nc, err := srda.FitNearestCentroid(embTrain, yTrain, c)
+	if err != nil {
+		return nil, err
+	}
+	return nc.Predict(embTest), nil
+}

@@ -1,0 +1,161 @@
+package srda
+
+import (
+	"srda/internal/cluster"
+	"srda/internal/core"
+	"srda/internal/decomp"
+	"srda/internal/experiment"
+	"srda/internal/graph"
+	"srda/internal/kernel"
+)
+
+// --- Graph construction (the paper's closing generalization) -------------
+
+// Graph is a symmetric affinity graph over samples.
+type Graph = graph.Graph
+
+// GraphWeighting selects edge weights for neighborhood graphs.
+type GraphWeighting = graph.Weighting
+
+// Neighborhood-graph weightings.
+const (
+	WeightBinary = graph.Binary
+	WeightHeat   = graph.Heat
+	WeightCosine = graph.Cosine
+)
+
+// KNNGraphOptions configures k-NN graph construction.
+type KNNGraphOptions = graph.KNNOptions
+
+// ClassGraph builds the paper's supervised affinity graph (eq. 6):
+// same-class samples connected with weight 1/m_k.
+func ClassGraph(labels []int, numClasses int) (*Graph, error) {
+	return graph.ClassGraph(labels, numClasses)
+}
+
+// KNNGraph builds a symmetrized k-nearest-neighbor affinity graph over
+// dense samples.
+func KNNGraph(x *Dense, opt KNNGraphOptions) *Graph { return graph.KNN(x, opt) }
+
+// SemiSupervisedGraph blends a k-NN graph over all samples with the class
+// graph over the labeled ones (labels[i] < 0 marks i unlabeled):
+// W = W_knn + beta·W_class.
+func SemiSupervisedGraph(x *Dense, labels []int, numClasses int, beta float64, opt KNNGraphOptions) (*Graph, error) {
+	return graph.SemiSupervised(x, labels, numClasses, beta, opt)
+}
+
+// --- Generalized spectral regression --------------------------------------
+
+// SROptions configures generalized Spectral Regression.
+type SROptions = core.SROptions
+
+// FitSR runs generalized Spectral Regression on dense data with an
+// arbitrary affinity graph: the spectral step extracts the graph's
+// leading nontrivial eigenvectors (deflated Lanczos), the regression step
+// is SRDA's ridge machinery.  With ClassGraph and Dim = c−1 this is SRDA;
+// with KNNGraph it is unsupervised linear spectral embedding; with
+// SemiSupervisedGraph it is semi-supervised discriminant analysis.
+func FitSR(x *Dense, g *Graph, opt SROptions) (*Model, error) {
+	return core.FitSRDense(x, g, opt)
+}
+
+// FitSROperator is the matrix-free counterpart of FitSR (LSQR path).
+func FitSROperator(op Operator, g *Graph, opt SROptions) (*Model, error) {
+	return core.FitSROperator(op, g, opt)
+}
+
+// --- Kernel SRDA -----------------------------------------------------------
+
+// Kernel is a positive-definite similarity function.
+type Kernel = kernel.Kernel
+
+// Kernel implementations.
+type (
+	// LinearKernel is κ(x,y) = xᵀy + Offset.
+	LinearKernel = kernel.Linear
+	// RBFKernel is κ(x,y) = exp(−γ‖x−y‖²).
+	RBFKernel = kernel.RBF
+	// PolyKernel is κ(x,y) = (xᵀy + Coef)^Degree.
+	PolyKernel = kernel.Polynomial
+)
+
+// KSRDAOptions configures kernel SRDA.
+type KSRDAOptions = kernel.Options
+
+// KSRDAModel is a trained kernel-SRDA transformer.
+type KSRDAModel = kernel.Model
+
+// FitKSRDA trains kernel SRDA (Cai, He, Han — ICDM 2007): the same
+// spectral responses regressed in a reproducing-kernel space, buying
+// nonlinear discriminant boundaries at O(m²) kernel cost.
+func FitKSRDA(x *Dense, labels []int, numClasses int, opt KSRDAOptions) (*KSRDAModel, error) {
+	return kernel.Fit(x, labels, numClasses, opt)
+}
+
+// FitKSRDAWhitened trains kernel SRDA and whitens its embedding against
+// the training data (the metric correction distance-based classifiers
+// want; see Options.Whiten on the linear path).
+func FitKSRDAWhitened(x *Dense, labels []int, numClasses int, opt KSRDAOptions) (*KSRDAModel, error) {
+	return kernel.FitWhitened(x, labels, numClasses, opt)
+}
+
+// --- PCA preprocessing ------------------------------------------------------
+
+// PCA is a principal-component projection (the first stage of the classic
+// PCA+LDA pipeline the paper's §II-A analyzes).
+type PCA = decomp.PCA
+
+// FitPCA fits a PCA with at most dims components (dims <= 0 keeps full
+// rank).
+func FitPCA(x *Dense, dims int) (*PCA, error) { return decomp.NewPCA(x, dims) }
+
+// --- Model selection ---------------------------------------------------------
+
+// CVResult is one candidate's cross-validated error.
+type CVResult = experiment.CVResult
+
+// KFoldAlpha selects SRDA's regularizer by stratified k-fold
+// cross-validation on the given dataset, returning per-candidate results
+// and the winning index.
+func KFoldAlpha(ds *Dataset, alphas []float64, folds int, seed int64) ([]CVResult, int, error) {
+	r := experiment.Runner{Seed: seed}
+	return r.KFoldAlpha(ds, alphas, folds)
+}
+
+// --- Clustering ---------------------------------------------------------
+
+// KMeansOptions configures Lloyd's algorithm with k-means++ seeding.
+type KMeansOptions = cluster.KMeansOptions
+
+// KMeansResult holds cluster assignments, centers, and inertia.
+type KMeansResult = cluster.KMeansResult
+
+// KMeans clusters the rows of x into k groups.
+func KMeans(x *Dense, k int, opt KMeansOptions) (*KMeansResult, error) {
+	return cluster.KMeans(x, k, opt)
+}
+
+// SpectralClusterOptions configures spectral clustering.
+type SpectralClusterOptions = cluster.SpectralOptions
+
+// SpectralCluster partitions a graph's vertices by normalized cuts: the
+// unsupervised counterpart of the paper's spectral view — eigenvectors of
+// the normalized adjacency (deflated Lanczos) quantized by k-means.
+func SpectralCluster(g *Graph, k int, opt SpectralClusterOptions) (*KMeansResult, error) {
+	return cluster.Spectral(g, k, opt)
+}
+
+// SVDResult is a thin singular value decomposition.
+type SVDResult = decomp.SVD
+
+// ExactSVD computes the thin SVD via the paper's cross-product strategy
+// (§II-B): eigendecompose the smaller Gram matrix, recover the other
+// factor.
+func ExactSVD(x *Dense) (*SVDResult, error) { return decomp.NewSVD(x, 0) }
+
+// RandomizedSVD computes an approximate rank-k SVD with the randomized
+// range finder (Halko–Martinsson–Tropp) — the modern alternative for the
+// LDA baseline at scale; see the ablation-rsvd benchmark.
+func RandomizedSVD(x *Dense, k, oversample, powerIters int, seed int64) (*SVDResult, error) {
+	return decomp.NewRandomizedSVD(x, k, oversample, powerIters, seed)
+}

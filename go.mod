@@ -1,0 +1,3 @@
+module srda
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package cluster implements k-means and spectral clustering on top of
+// the repository's graph and eigensolver substrate.  Spectral clustering
+// is the unsupervised sibling of the paper's framework: where SRDA reads
+// the *class* graph's eigenvectors in closed form, clustering takes a
+// *neighborhood* graph, embeds it through the same normalized-adjacency
+// eigenproblem (deflated Lanczos), and quantizes the embedding with
+// k-means — the standard normalized-cuts pipeline.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"srda/internal/blas"
+	"srda/internal/graph"
+	"srda/internal/mat"
+	"srda/internal/solver"
+)
+
+// KMeansOptions configures Lloyd's algorithm.
+type KMeansOptions struct {
+	// MaxIter caps Lloyd iterations (default 100).
+	MaxIter int
+	// Restarts runs the algorithm from multiple k-means++ seedings and
+	// keeps the lowest-inertia result (default 5).
+	Restarts int
+	// Seed fixes the seeding RNG.
+	Seed int64
+}
+
+// KMeansResult holds a clustering.
+type KMeansResult struct {
+	// Assign maps each row to its cluster in [0, k).
+	Assign []int
+	// Centers is k×d.
+	Centers *mat.Dense
+	// Inertia is the summed squared distance to assigned centers.
+	Inertia float64
+	// Iters counts Lloyd iterations of the winning restart.
+	Iters int
+}
+
+// KMeans clusters the rows of x into k groups with k-means++ seeding and
+// Lloyd iterations.
+func KMeans(x *mat.Dense, k int, opt KMeansOptions) (*KMeansResult, error) {
+	m, d := x.Rows, x.Cols
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("cluster: k=%d outside [1, %d]", k, m)
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	if opt.Restarts <= 0 {
+		opt.Restarts = 5
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	var best *KMeansResult
+	for restart := 0; restart < opt.Restarts; restart++ {
+		res := kmeansOnce(x, k, opt.MaxIter, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	_ = d
+	return best, nil
+}
+
+// kmeansOnce runs one seeded Lloyd descent.
+func kmeansOnce(x *mat.Dense, k, maxIter int, rng *rand.Rand) *KMeansResult {
+	m, d := x.Rows, x.Cols
+	centers := mat.NewDense(k, d)
+
+	// k-means++ seeding.
+	first := rng.Intn(m)
+	copy(centers.RowView(0), x.RowView(first))
+	minD := make([]float64, m)
+	for i := range minD {
+		minD[i] = sqDist(x.RowView(i), centers.RowView(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range minD {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(m)
+		} else {
+			u := rng.Float64() * total
+			for i, v := range minD {
+				u -= v
+				if u <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers.RowView(c), x.RowView(pick))
+		for i := range minD {
+			if dd := sqDist(x.RowView(i), centers.RowView(c)); dd < minD[i] {
+				minD[i] = dd
+			}
+		}
+	}
+
+	assign := make([]int, m)
+	counts := make([]float64, k)
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		changed := false
+		for i := 0; i < m; i++ {
+			bestC, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dd := sqDist(x.RowView(i), centers.RowView(c)); dd < bestD {
+					bestC, bestD = c, dd
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// recompute centers; re-seed empty clusters at the farthest point
+		centers.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < m; i++ {
+			counts[assign[i]]++
+			blas.Axpy(1, x.RowView(i), centers.RowView(assign[i]))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i := 0; i < m; i++ {
+					if dd := sqDist(x.RowView(i), centers.RowView(assign[i])); dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(centers.RowView(c), x.RowView(far))
+				continue
+			}
+			blas.Scal(1/counts[c], centers.RowView(c))
+		}
+	}
+	var inertia float64
+	for i := 0; i < m; i++ {
+		inertia += sqDist(x.RowView(i), centers.RowView(assign[i]))
+	}
+	return &KMeansResult{Assign: assign, Centers: centers, Inertia: inertia, Iters: iters}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SpectralOptions configures spectral clustering.
+type SpectralOptions struct {
+	// KMeans configures the quantization stage.
+	KMeans KMeansOptions
+	// EigTol is the Lanczos tolerance (default 1e-8).
+	EigTol float64
+	// Seed fixes the eigensolver start vectors.
+	Seed int64
+}
+
+// Spectral clusters the graph's vertices into k groups by the
+// normalized-cuts pipeline: top-k eigenvectors of D^{-1/2}WD^{-1/2}
+// (deflated Lanczos, so disconnected components' repeated eigenvalue 1 is
+// handled), rows renormalized to the unit sphere (Ng–Jordan–Weiss), then
+// k-means.
+func Spectral(g *graph.Graph, k int, opt SpectralOptions) (*KMeansResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("cluster: spectral clustering needs k >= 2")
+	}
+	if k > g.Size() {
+		return nil, fmt.Errorf("cluster: k=%d exceeds %d vertices", k, g.Size())
+	}
+	tol := opt.EigTol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	res, err := solver.LanczosDeflated(g.Normalized(), k, tol, opt.Seed+13)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spectral embedding: %w", err)
+	}
+	emb := res.Vectors.Clone()
+	// row-normalize (NJW step); zero rows (isolated vertices) stay zero.
+	for i := 0; i < emb.Rows; i++ {
+		row := emb.RowView(i)
+		if nrm := blas.Nrm2(row); nrm > 0 {
+			blas.Scal(1/nrm, row)
+		}
+	}
+	return KMeans(emb, k, opt.KMeans)
+}

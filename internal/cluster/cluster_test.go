@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/graph"
+	"srda/internal/mat"
+)
+
+func blobs(rng *rand.Rand, m, n, c int, sep float64) (*mat.Dense, []int) {
+	x := mat.NewDense(m, n)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		labels[i] = i % c
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = 0.3 * rng.NormFloat64()
+		}
+		row[0] += sep * float64(labels[i])
+	}
+	return x, labels
+}
+
+// clusterAgreement computes the best-case accuracy of a clustering
+// against ground truth by majority-label mapping.
+func clusterAgreement(assign, truth []int, k, c int) float64 {
+	votes := make([][]int, k)
+	for i := range votes {
+		votes[i] = make([]int, c)
+	}
+	for i := range assign {
+		votes[assign[i]][truth[i]]++
+	}
+	correct := 0
+	for _, v := range votes {
+		best := 0
+		for _, cnt := range v {
+			if cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+func TestKMeansRecoversSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, truth := blobs(rng, 90, 4, 3, 10)
+	res, err := KMeans(x, 3, KMeansOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr := clusterAgreement(res.Assign, truth, 3, 3); agr < 0.98 {
+		t.Fatalf("agreement %.3f on separated blobs", agr)
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia %v", res.Inertia)
+	}
+}
+
+func TestKMeansAssignmentsConsistentWithCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := blobs(rng, 60, 5, 3, 6)
+	res, err := KMeans(x, 3, KMeansOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows; i++ {
+		own := sqDist(x.RowView(i), res.Centers.RowView(res.Assign[i]))
+		for c := 0; c < 3; c++ {
+			if sqDist(x.RowView(i), res.Centers.RowView(c)) < own-1e-9 {
+				t.Fatalf("sample %d not assigned to nearest center", i)
+			}
+		}
+	}
+}
+
+func TestKMeansHandlesKEqualsM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, _ := blobs(rng, 8, 3, 2, 5)
+	res, err := KMeans(x, 8, KMeansOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("k=m inertia %v should be ~0", res.Inertia)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	x := mat.NewDense(5, 2)
+	if _, err := KMeans(x, 0, KMeansOptions{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(x, 6, KMeansOptions{}); err == nil {
+		t.Fatal("k>m accepted")
+	}
+}
+
+func TestKMeansDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, _ := blobs(rng, 40, 4, 3, 6)
+	r1, err := KMeans(x, 3, KMeansOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(x, 3, KMeansOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestSpectralClusteringOnRings(t *testing.T) {
+	// Two concentric rings: k-means in input space fails, spectral
+	// clustering on the k-NN graph succeeds — the canonical demo.
+	rng := rand.New(rand.NewSource(5))
+	m := 160
+	x := mat.NewDense(m, 2)
+	truth := make([]int, m)
+	for i := 0; i < m; i++ {
+		truth[i] = i % 2
+		r := 1.0
+		if truth[i] == 1 {
+			r = 4
+		}
+		r += 0.1 * rng.NormFloat64()
+		theta := 2 * math.Pi * rng.Float64()
+		x.Set(i, 0, r*math.Cos(theta))
+		x.Set(i, 1, r*math.Sin(theta))
+	}
+	g := graph.KNN(x, graph.KNNOptions{K: 8})
+	spec, err := Spectral(g, 2, SpectralOptions{Seed: 6, KMeans: KMeansOptions{Seed: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr := clusterAgreement(spec.Assign, truth, 2, 2); agr < 0.95 {
+		t.Fatalf("spectral agreement %.3f on rings", agr)
+	}
+	flat, err := KMeans(x, 2, KMeansOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr := clusterAgreement(flat.Assign, truth, 2, 2); agr > 0.8 {
+		t.Fatalf("plain k-means should fail on rings, got %.3f", agr)
+	}
+}
+
+func TestSpectralValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, _ := blobs(rng, 12, 3, 2, 5)
+	g := graph.KNN(x, graph.KNNOptions{K: 3})
+	if _, err := Spectral(g, 1, SpectralOptions{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Spectral(g, 100, SpectralOptions{}); err == nil {
+		t.Fatal("k>m accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"srda/internal/mat"
+	"srda/internal/regress"
+)
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n, c := 70, 12, 3
+	x, labels := gaussianBlobs(rng, m, n, c, 5)
+	alpha := 0.8
+
+	inc, err := NewIncremental(n, c, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		if err := inc.Add(x.RowView(i), labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := inc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FitDense(x, labels, c, Options{Alpha: alpha, Strategy: regress.Primal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(got.W, want.W); d > 1e-7 {
+		t.Fatalf("incremental W differs from batch by %v", d)
+	}
+	for j := range got.B {
+		if diff := got.B[j] - want.B[j]; diff > 1e-7 || diff < -1e-7 {
+			t.Fatalf("bias %d differs: %v vs %v", j, got.B[j], want.B[j])
+		}
+	}
+}
+
+func TestIncrementalOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, c := 40, 8, 4
+	x, labels := gaussianBlobs(rng, m, n, c, 4)
+
+	fit := func(order []int) *Model {
+		inc, err := NewIncremental(n, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range order {
+			if err := inc.Add(x.RowView(i), labels[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		model, err := inc.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return model
+	}
+	fwd := make([]int, m)
+	rev := make([]int, m)
+	for i := range fwd {
+		fwd[i] = i
+		rev[i] = m - 1 - i
+	}
+	m1, m2 := fit(fwd), fit(rev)
+	if d := mat.MaxAbsDiff(m1.W, m2.W); d > 1e-7 {
+		t.Fatalf("order changes result by %v", d)
+	}
+}
+
+func TestIncrementalStreamingRefits(t *testing.T) {
+	// Model() must remain callable between additions, each time matching
+	// the batch fit on the prefix.
+	rng := rand.New(rand.NewSource(3))
+	m, n, c := 36, 6, 3
+	x, labels := gaussianBlobs(rng, m, n, c, 5)
+	inc, err := NewIncremental(n, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		if err := inc.Add(x.RowView(i), labels[i]); err != nil {
+			t.Fatal(err)
+		}
+		if inc.NumSeen() != i+1 {
+			t.Fatalf("NumSeen %d after %d adds", inc.NumSeen(), i+1)
+		}
+		// refit once every 10 samples after all classes appear
+		counts := inc.ClassCounts()
+		ready := true
+		for _, cnt := range counts {
+			if cnt == 0 {
+				ready = false
+			}
+		}
+		if !ready || (i+1)%10 != 0 {
+			continue
+		}
+		got, err := inc.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := x.Slice(0, i+1, 0, n).Clone()
+		want, err := FitDense(prefix, labels[:i+1], c, Options{Alpha: 1, Strategy: regress.Primal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := mat.MaxAbsDiff(got.W, want.W); d > 1e-6 {
+			t.Fatalf("prefix %d: incremental differs from batch by %v", i+1, d)
+		}
+	}
+}
+
+func TestIncrementalModelBeforeAllClasses(t *testing.T) {
+	inc, err := NewIncremental(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Model(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	if err := inc.Add([]float64{1, 0, 0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Model(); err == nil {
+		t.Fatal("model with missing classes accepted")
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, err := NewIncremental(0, 3, 1); err == nil {
+		t.Fatal("0 features accepted")
+	}
+	if _, err := NewIncremental(4, 1, 1); err == nil {
+		t.Fatal("1 class accepted")
+	}
+	if _, err := NewIncremental(4, 3, 0); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	inc, err := NewIncremental(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add([]float64{1, 2}, 0); err == nil {
+		t.Fatal("wrong dimensionality accepted")
+	}
+	if err := inc.Add([]float64{1, 2, 3, 4}, 9); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}

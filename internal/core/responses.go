@@ -1,0 +1,158 @@
+// Package core implements Spectral Regression Discriminant Analysis
+// (SRDA), the paper's contribution: LDA training reduced to c−1 ridge
+// regressions against closed-form graph-spectral responses.
+//
+// The algorithm (paper §III-B):
+//
+//  1. Responses generation — the class-block graph matrix W has the c
+//     class indicator vectors as eigenvectors with eigenvalue 1
+//     (eq. 15).  Taking the all-ones vector first and Gram–Schmidt
+//     orthogonalizing yields c−1 response vectors ȳ_k that are orthogonal
+//     to each other and to 1 (eq. 16).
+//  2. Regularized least squares — for each ȳ_k solve
+//     a_k = argmin Σᵢ (aᵀxᵢ + b − ȳ_k(i))² + α‖a‖² (eq. 19), by normal
+//     equations (eq. 20), the dual/pseudo-inverse form (eq. 21), or LSQR.
+//
+// The fitted directions embed samples into the (c−1)-dimensional
+// discriminant subspace; by Theorem 2 / Corollary 3 they coincide with
+// LDA's as α→0 when the training samples are linearly independent.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"srda/internal/mat"
+)
+
+// classStats counts samples per class and validates labels.
+func classStats(labels []int, numClasses int) ([]int, error) {
+	if numClasses < 2 {
+		return nil, fmt.Errorf("core: need at least 2 classes, got %d", numClasses)
+	}
+	counts := make([]int, numClasses)
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("core: label %d at sample %d out of range [0,%d)", y, i, numClasses)
+		}
+		counts[y]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("core: class %d has no samples", k)
+		}
+	}
+	return counts, nil
+}
+
+// ResponseTable holds the per-class response values: response k assigns
+// Values[class][k] to every sample of that class.  Because the paper's
+// eigenvectors (eq. 15) are constant within each class, this c×(c−1)
+// table is the whole structure; the m×(c−1) response matrix is just a
+// row-gather of it.
+type ResponseTable struct {
+	Values *mat.Dense // c×(c−1)
+	Counts []int      // samples per class
+}
+
+// GenerateResponses runs the paper's responses-generation step.  It
+// performs the Gram–Schmidt orthogonalization of
+// [1, indicator_1, ..., indicator_c] analytically in the c-dimensional
+// quotient space: since every candidate vector is constant on classes,
+// the inner product of two such vectors is Σ_k counts[k]·u_k·v_k, so the
+// whole step costs O(c³) instead of O(m·c²), independent of the sample
+// count.  The ones vector is taken first and dropped, leaving exactly c−1
+// orthonormal responses that sum to zero over the samples (eq. 16).
+func GenerateResponses(labels []int, numClasses int) (*ResponseTable, error) {
+	counts, err := classStats(labels, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	return ResponsesFromCounts(counts)
+}
+
+// ResponsesFromCounts runs the same responses generation directly from
+// per-class sample counts — the only quantity the weighted Gram–Schmidt
+// actually consumes.  Callers that never materialize labels (the
+// incremental trainer) use this entry point.
+func ResponsesFromCounts(counts []int) (*ResponseTable, error) {
+	c := len(counts)
+	if c < 2 {
+		return nil, fmt.Errorf("core: need at least 2 classes, got %d", c)
+	}
+	for k, cnt := range counts {
+		if cnt <= 0 {
+			return nil, fmt.Errorf("core: class %d has no samples", k)
+		}
+	}
+	// Candidate vectors in per-class representation: column 0 is the ones
+	// vector (value 1 for every class), column k+1 is indicator of class k.
+	cand := mat.NewDense(c, c+1)
+	for k := 0; k < c; k++ {
+		cand.Set(k, 0, 1)
+		cand.Set(k, k+1, 1)
+	}
+	w := make([]float64, c)
+	for k := range w {
+		w[k] = float64(counts[k])
+	}
+	dotW := func(u, v []float64) float64 {
+		var s float64
+		for k := 0; k < c; k++ {
+			s += w[k] * u[k] * v[k]
+		}
+		return s
+	}
+	// Weighted modified Gram–Schmidt with reorthogonalization.
+	cols := make([][]float64, 0, c+1)
+	ucol := make([]float64, c)
+	for j := 0; j < c+1; j++ {
+		cand.ColCopy(j, ucol)
+		u := append([]float64(nil), ucol...)
+		orig := math.Sqrt(dotW(u, u))
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range cols {
+				d := dotW(q, u)
+				if d == 0 {
+					continue
+				}
+				for k := 0; k < c; k++ {
+					u[k] -= d * q[k]
+				}
+			}
+		}
+		nrm := math.Sqrt(dotW(u, u))
+		if orig == 0 || nrm <= 1e-10*orig {
+			continue // dependent (exactly one indicator is, given 1)
+		}
+		inv := 1 / nrm
+		for k := 0; k < c; k++ {
+			u[k] *= inv
+		}
+		cols = append(cols, u)
+	}
+	if len(cols) != c {
+		return nil, fmt.Errorf("core: responses generation kept %d vectors, want %d", len(cols), c)
+	}
+	// Drop the ones vector (cols[0]); the rest are the responses.
+	values := mat.NewDense(c, c-1)
+	for j := 1; j < c; j++ {
+		values.SetCol(j-1, cols[j])
+	}
+	return &ResponseTable{Values: values, Counts: counts}, nil
+}
+
+// Materialize expands the table into the m×(c−1) response matrix for the
+// given label sequence.
+func (rt *ResponseTable) Materialize(labels []int) *mat.Dense {
+	m := len(labels)
+	k := rt.Values.Cols
+	y := mat.NewDense(m, k)
+	for i, lab := range labels {
+		copy(y.RowView(i), rt.Values.RowView(lab))
+	}
+	return y
+}
+
+// NumResponses returns c−1.
+func (rt *ResponseTable) NumResponses() int { return rt.Values.Cols }

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"srda/internal/mat"
+	"srda/internal/regress"
+	"srda/internal/solver"
+	"srda/internal/sparse"
+)
+
+// Options configures SRDA training.
+type Options struct {
+	// Alpha is the ridge penalty α of eq. (14).  The paper uses α = 1 in
+	// its experiments; 0 recovers plain least squares (and, by Corollary
+	// 3, exact LDA when the samples are linearly independent).
+	Alpha float64
+	// Strategy selects the regression solver.  Auto matches the paper's
+	// protocol: closed-form normal equations for dense data (primal or
+	// dual by shape), LSQR for sparse data.
+	Strategy regress.Strategy
+	// LSQRIter caps LSQR iterations per response (default 30; the paper
+	// sets 15 for 20Newsgroups).
+	LSQRIter int
+	// Workers bounds the goroutines used for the independent per-response
+	// solves on the LSQR path (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+}
+
+// Model is a trained SRDA transformer: samples are embedded into the
+// (c−1)-dimensional discriminant subspace by x ↦ Wᵀx + b.
+type Model struct {
+	// W is the n×(c−1) projection matrix.
+	W *mat.Dense
+	// B holds the c−1 intercepts (the paper's absorbed bias terms).
+	B []float64
+	// NumClasses is c.
+	NumClasses int
+	// Alpha records the penalty used at training time.
+	Alpha float64
+	// Iters is the total LSQR iteration count (0 for direct solves).
+	Iters int
+	// Strategy records which solver actually ran.
+	Strategy regress.Strategy
+	// Centroids optionally holds the embedded class means of the training
+	// data (c×(c−1)), set by SetCentroids; with them the model is a
+	// self-contained nearest-centroid classifier (see Predict).
+	Centroids *mat.Dense
+}
+
+// SetCentroids computes and stores the embedded class means from a
+// training embedding, turning the model into a standalone classifier.
+func (m *Model) SetCentroids(emb *mat.Dense, labels []int) error {
+	if emb.Rows != len(labels) {
+		return fmt.Errorf("core: %d embedded rows but %d labels", emb.Rows, len(labels))
+	}
+	if emb.Cols != m.Dim() {
+		return fmt.Errorf("core: embedding has %d dims, model %d", emb.Cols, m.Dim())
+	}
+	cent := mat.NewDense(m.NumClasses, m.Dim())
+	counts := make([]float64, m.NumClasses)
+	for i, y := range labels {
+		if y < 0 || y >= m.NumClasses {
+			return fmt.Errorf("core: label %d out of range", y)
+		}
+		counts[y]++
+		row := emb.RowView(i)
+		crow := cent.RowView(y)
+		for j := range row {
+			crow[j] += row[j]
+		}
+	}
+	for k := 0; k < m.NumClasses; k++ {
+		if counts[k] == 0 {
+			return fmt.Errorf("core: class %d has no samples", k)
+		}
+		crow := cent.RowView(k)
+		for j := range crow {
+			crow[j] /= counts[k]
+		}
+	}
+	m.Centroids = cent
+	return nil
+}
+
+// PredictVec classifies one raw sample by nearest stored centroid in the
+// embedded space; it panics when SetCentroids has not been called.
+func (m *Model) PredictVec(x []float64) int {
+	if m.Centroids == nil {
+		panic("core: PredictVec requires SetCentroids")
+	}
+	emb := m.TransformVec(x, nil)
+	return m.nearest(emb)
+}
+
+// PredictDense classifies each row of x by nearest stored centroid.
+func (m *Model) PredictDense(x *mat.Dense) []int {
+	if m.Centroids == nil {
+		panic("core: PredictDense requires SetCentroids")
+	}
+	emb := m.TransformDense(x)
+	out := make([]int, emb.Rows)
+	for i := range out {
+		out[i] = m.nearest(emb.RowView(i))
+	}
+	return out
+}
+
+// PredictSparse classifies each CSR row by nearest stored centroid.
+func (m *Model) PredictSparse(x *sparse.CSR) []int {
+	if m.Centroids == nil {
+		panic("core: PredictSparse requires SetCentroids")
+	}
+	emb := m.TransformSparse(x)
+	out := make([]int, emb.Rows)
+	for i := range out {
+		out[i] = m.nearest(emb.RowView(i))
+	}
+	return out
+}
+
+func (m *Model) nearest(v []float64) int {
+	best, bestD := -1, math.Inf(1)
+	for k := 0; k < m.Centroids.Rows; k++ {
+		crow := m.Centroids.RowView(k)
+		var d float64
+		for j := range v {
+			diff := v[j] - crow[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best
+}
+
+// FitDense trains SRDA on a dense m×n design matrix with labels in
+// [0, numClasses).
+func FitDense(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("core: %d samples but %d labels", x.Rows, len(labels))
+	}
+	rt, err := GenerateResponses(labels, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	y := rt.Materialize(labels)
+	rm, err := regress.FitDense(x, y, regress.Options{
+		Alpha:     opt.Alpha,
+		Strategy:  opt.Strategy,
+		Intercept: true,
+		LSQRIter:  opt.LSQRIter,
+		Workers:   opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromRegress(rm, numClasses, opt.Alpha), nil
+}
+
+// FitSparse trains SRDA on a CSR design matrix using the linear-time LSQR
+// path with the intercept-absorption trick, never densifying the data.
+func FitSparse(x *sparse.CSR, labels []int, numClasses int, opt Options) (*Model, error) {
+	return FitOperator(solver.SparseOp{A: x}, labels, numClasses, opt)
+}
+
+// FitOperator trains SRDA through an abstract operator (LSQR only); this
+// is the fully matrix-free path that even supports out-of-core operators.
+func FitOperator(op solver.Operator, labels []int, numClasses int, opt Options) (*Model, error) {
+	m, _ := op.Dims()
+	if m != len(labels) {
+		return nil, fmt.Errorf("core: %d samples but %d labels", m, len(labels))
+	}
+	rt, err := GenerateResponses(labels, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	y := rt.Materialize(labels)
+	rm, err := regress.FitOperator(op, y, regress.Options{
+		Alpha:     opt.Alpha,
+		Intercept: true,
+		LSQRIter:  opt.LSQRIter,
+		Workers:   opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromRegress(rm, numClasses, opt.Alpha), nil
+}
+
+func fromRegress(rm *regress.Model, numClasses int, alpha float64) *Model {
+	return &Model{
+		W:          rm.W,
+		B:          rm.B,
+		NumClasses: numClasses,
+		Alpha:      alpha,
+		Iters:      rm.Iters,
+		Strategy:   rm.Strategy,
+	}
+}
+
+// Dim returns the embedding dimensionality c−1.
+func (m *Model) Dim() int { return m.W.Cols }
+
+// TransformDense embeds the rows of x into the discriminant subspace.
+func (m *Model) TransformDense(x *mat.Dense) *mat.Dense {
+	if x.Cols != m.W.Rows {
+		panic(fmt.Sprintf("core: TransformDense feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
+	}
+	out := mat.Mul(x, m.W)
+	m.addBias(out)
+	return out
+}
+
+// TransformSparse embeds CSR rows without densifying them.
+func (m *Model) TransformSparse(x *sparse.CSR) *mat.Dense {
+	if x.Cols != m.W.Rows {
+		panic(fmt.Sprintf("core: TransformSparse feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
+	}
+	out := mat.NewDense(x.Rows, m.Dim())
+	for i := 0; i < x.Rows; i++ {
+		row := out.RowView(i)
+		cols, vals := x.Row(i)
+		for t, j := range cols {
+			wrow := m.W.RowView(j)
+			v := vals[t]
+			for d := range row {
+				row[d] += v * wrow[d]
+			}
+		}
+		for d := range row {
+			row[d] += m.B[d]
+		}
+	}
+	return out
+}
+
+// TransformVec embeds a single dense sample.
+func (m *Model) TransformVec(x []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Dim())
+	}
+	m.W.MulTVec(x, dst)
+	for d := range dst {
+		dst[d] += m.B[d]
+	}
+	return dst
+}
+
+func (m *Model) addBias(out *mat.Dense) {
+	for i := 0; i < out.Rows; i++ {
+		row := out.RowView(i)
+		for j := range row {
+			row[j] += m.B[j]
+		}
+	}
+}
+
+// modelWire is the gob-encoded persistent form of a Model.
+type modelWire struct {
+	Rows, Cols int
+	W          []float64
+	B          []float64
+	NumClasses int
+	Alpha      float64
+	Centroids  []float64 // c×Cols row-major, empty when unset
+}
+
+// Save serializes the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{
+		Rows: m.W.Rows, Cols: m.W.Cols,
+		W: m.W.Clone().Data, B: m.B,
+		NumClasses: m.NumClasses, Alpha: m.Alpha,
+	}
+	if m.Centroids != nil {
+		wire.Centroids = m.Centroids.Clone().Data
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if len(wire.W) != wire.Rows*wire.Cols {
+		return nil, fmt.Errorf("core: corrupt model: %d values for %dx%d", len(wire.W), wire.Rows, wire.Cols)
+	}
+	if len(wire.B) != wire.Cols {
+		return nil, fmt.Errorf("core: corrupt model: %d biases for %d responses", len(wire.B), wire.Cols)
+	}
+	model := &Model{
+		W:          mat.NewDenseData(wire.Rows, wire.Cols, wire.W),
+		B:          wire.B,
+		NumClasses: wire.NumClasses,
+		Alpha:      wire.Alpha,
+	}
+	if len(wire.Centroids) > 0 {
+		if len(wire.Centroids) != wire.NumClasses*wire.Cols {
+			return nil, fmt.Errorf("core: corrupt model: %d centroid values for %dx%d", len(wire.Centroids), wire.NumClasses, wire.Cols)
+		}
+		model.Centroids = mat.NewDenseData(wire.NumClasses, wire.Cols, wire.Centroids)
+	}
+	return model, nil
+}

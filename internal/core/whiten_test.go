@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/mat"
+)
+
+func TestWhitenWithinMakesScatterIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := gaussianBlobs(rng, 200, 12, 4, 5)
+	model, err := FitDense(x, labels, 4, Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.WhitenWithin(model.TransformDense(x), labels); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the (shrunk) within-class scatter of the new embedding; it
+	// must be close to identity-scaled (diagonal ≈ equal, off-diagonal
+	// small relative to diagonal).
+	emb := model.TransformDense(x)
+	d := emb.Cols
+	means := mat.NewDense(4, d)
+	counts := make([]float64, 4)
+	for i, y := range labels {
+		counts[y]++
+		for j := 0; j < d; j++ {
+			means.Set(y, j, means.At(y, j)+emb.At(i, j))
+		}
+	}
+	for k := 0; k < 4; k++ {
+		for j := 0; j < d; j++ {
+			means.Set(k, j, means.At(k, j)/counts[k])
+		}
+	}
+	sw := mat.NewDense(d, d)
+	for i, y := range labels {
+		for a := 0; a < d; a++ {
+			da := emb.At(i, a) - means.At(y, a)
+			for b := 0; b < d; b++ {
+				db := emb.At(i, b) - means.At(y, b)
+				sw.Set(a, b, sw.At(a, b)+da*db)
+			}
+		}
+	}
+	sw.Scale(1 / float64(len(labels)-4))
+	// With shrinkage the result is (1−γ)·I-ish; check off-diagonals are
+	// small relative to diagonals and diagonals are similar.
+	var diagMin, diagMax float64 = math.Inf(1), 0
+	for a := 0; a < d; a++ {
+		diagMin = math.Min(diagMin, sw.At(a, a))
+		diagMax = math.Max(diagMax, sw.At(a, a))
+		for b := 0; b < d; b++ {
+			if a != b && math.Abs(sw.At(a, b)) > 0.15*math.Sqrt(sw.At(a, a)*sw.At(b, b)) {
+				t.Fatalf("off-diagonal (%d,%d)=%v too large", a, b, sw.At(a, b))
+			}
+		}
+	}
+	if diagMax > 3*diagMin {
+		t.Fatalf("whitened diagonal spread too wide: [%v, %v]", diagMin, diagMax)
+	}
+}
+
+func TestWhitenPreservesTrainingSeparability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, labels := gaussianBlobs(rng, 150, 10, 3, 8)
+	plain, err := FitDense(x, labels, 3, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	white, err := FitDenseWhitened(x, labels, 3, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whitening is an invertible linear map: class order along any
+	// direction can change but nearest-centroid training error on well
+	// separated blobs stays ~zero for both.
+	for _, m := range []*Model{plain, white} {
+		emb := m.TransformDense(x)
+		errRate := centroidTrainError(emb, labels, 3)
+		if errRate > 0.05 {
+			t.Fatalf("training error %.3f too high", errRate)
+		}
+	}
+}
+
+func centroidTrainError(emb *mat.Dense, labels []int, c int) float64 {
+	d := emb.Cols
+	cent := mat.NewDense(c, d)
+	counts := make([]float64, c)
+	for i, y := range labels {
+		counts[y]++
+		for j := 0; j < d; j++ {
+			cent.Set(y, j, cent.At(y, j)+emb.At(i, j))
+		}
+	}
+	for k := 0; k < c; k++ {
+		for j := 0; j < d; j++ {
+			cent.Set(k, j, cent.At(k, j)/counts[k])
+		}
+	}
+	wrong := 0
+	for i, y := range labels {
+		best, bestD := -1, math.Inf(1)
+		for k := 0; k < c; k++ {
+			var dist float64
+			for j := 0; j < d; j++ {
+				diff := emb.At(i, j) - cent.At(k, j)
+				dist += diff * diff
+			}
+			if dist < bestD {
+				best, bestD = k, dist
+			}
+		}
+		if best != y {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(labels))
+}
+
+func TestWhitenNoopOnCollapse(t *testing.T) {
+	// n > m with α→0: training embedding collapses per class; whitening
+	// must leave the model untouched.
+	rng := rand.New(rand.NewSource(3))
+	m, n, c := 15, 40, 3
+	x := mat.NewDense(m, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := randLabels(rng, m, c)
+	model, err := FitDense(x, labels, c, Options{Alpha: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := model.W.Clone()
+	emb := model.TransformDense(x)
+	// collapse means within-class scatter ~0; WhitenWithin may still see
+	// tiny roundoff, so force exact collapse by snapping per-class values.
+	for i, y := range labels {
+		for p := 0; p < i; p++ {
+			if labels[p] == y {
+				copy(emb.RowView(i), emb.RowView(p))
+				break
+			}
+		}
+	}
+	if err := model.WhitenWithin(emb, labels); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(model.W, before); d != 0 {
+		t.Fatalf("collapse whitening modified W by %v", d)
+	}
+}
+
+func TestWhitenValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := gaussianBlobs(rng, 60, 8, 3, 5)
+	model, err := FitDense(x, labels, 3, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := model.TransformDense(x)
+	if err := model.WhitenWithin(emb, labels[:10]); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if err := model.WhitenWithin(mat.NewDense(60, 1), labels); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestUpperInverse(t *testing.T) {
+	r := mat.FromRows([][]float64{
+		{2, 1, 3},
+		{0, 4, -1},
+		{0, 0, 0.5},
+	})
+	inv := upperInverse(r)
+	prod := mat.Mul(r, inv)
+	if !mat.Equalish(prod, mat.Identity(3), 1e-12) {
+		t.Fatalf("R·R⁻¹ != I:\n%v", prod)
+	}
+}
+
+func TestFitSparseWhitenedRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := gaussianBlobs(rng, 80, 20, 3, 6)
+	xs := toSparse(x)
+	model, err := FitSparseWhitened(xs, labels, 3, Options{Alpha: 1, LSQRIter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := model.TransformSparse(xs)
+	if errRate := centroidTrainError(emb, labels, 3); errRate > 0.05 {
+		t.Fatalf("training error %.3f", errRate)
+	}
+}

@@ -1,0 +1,219 @@
+// Package decomp implements the dense matrix decompositions the SRDA
+// pipeline and its baselines need: Cholesky factorization (normal
+// equations, eq. 20–21 of the paper), Householder QR (IDR/QR baseline and
+// orthogonalization), a symmetric eigensolver (Householder tridiagonal
+// reduction followed by implicit-shift QL iteration), and the
+// cross-product SVD described in §II-B of the paper.  Everything is
+// stdlib-only float64.
+package decomp
+
+import (
+	"errors"
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/mat"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("decomp: matrix is not positive definite")
+
+// Cholesky holds the upper-triangular factor R of A = RᵀR for a symmetric
+// positive definite A.
+type Cholesky struct {
+	// R is upper triangular with positive diagonal; entries below the
+	// diagonal are zero.
+	R *mat.Dense
+}
+
+// NewCholesky factors the symmetric positive definite n×n matrix A.
+// Only the upper triangle of A is read.  It returns
+// ErrNotPositiveDefinite when a non-positive pivot is encountered.
+func NewCholesky(a *mat.Dense) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("decomp: Cholesky of non-square matrix")
+	}
+	r := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(r.RowView(i)[i:], a.RowView(i)[i:])
+	}
+	for k := 0; k < n; k++ {
+		rk := r.RowView(k)
+		d := rk[k]
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		rk[k] = d
+		inv := 1 / d
+		for j := k + 1; j < n; j++ {
+			rk[j] *= inv
+		}
+		for i := k + 1; i < n; i++ {
+			blas.Axpy(-rk[i], rk[i:], r.RowView(i)[i:])
+		}
+	}
+	return &Cholesky{R: r}, nil
+}
+
+// SolveVec solves A x = b in place of dst (allocated when nil) via the two
+// triangular solves Rᵀ y = b, R x = y.
+func (c *Cholesky) SolveVec(b, dst []float64) []float64 {
+	n := c.R.Rows
+	if len(b) != n {
+		panic("decomp: SolveVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	copy(dst, b)
+	// Forward substitution with Rᵀ (lower triangular): y[i] =
+	// (b[i] - Σ_{k<i} R[k][i] y[k]) / R[i][i].  Iterate k outer so each
+	// computed y[k] is scattered along row k of R — unit-stride.
+	for k := 0; k < n; k++ {
+		rk := c.R.RowView(k)
+		dst[k] /= rk[k]
+		blas.Axpy(-dst[k], rk[k+1:], dst[k+1:])
+	}
+	// Back substitution with R (upper triangular).
+	for i := n - 1; i >= 0; i-- {
+		ri := c.R.RowView(i)
+		s := dst[i] - blas.Dot(ri[i+1:], dst[i+1:])
+		dst[i] = s / ri[i]
+	}
+	return dst
+}
+
+// Solve solves A X = B column by column, returning a new matrix.
+func (c *Cholesky) Solve(b *mat.Dense) *mat.Dense {
+	n := c.R.Rows
+	if b.Rows != n {
+		panic("decomp: Solve dimension mismatch")
+	}
+	x := mat.NewDense(n, b.Cols)
+	col := make([]float64, n)
+	out := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		b.ColCopy(j, col)
+		c.SolveVec(col, out)
+		x.SetCol(j, out)
+	}
+	return x
+}
+
+// LogDet returns the log-determinant of A (twice the log of the product of
+// R's diagonal).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.R.Rows; i++ {
+		s += math.Log(c.R.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveSPD is a convenience wrapper: factor A and solve A X = B.
+func SolveSPD(a, b *mat.Dense) (*mat.Dense, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(b), nil
+}
+
+// Update performs the rank-one update A ← A + v·vᵀ on the factorization
+// in place (the LINPACK dchud Givens sweep): after the call, RᵀR equals
+// the updated matrix.  Cost is O(n²); this is the primitive behind exact
+// incremental SRDA, where every new training sample is a rank-one update
+// of the regularized Gram matrix.  The input vector is not modified.
+func (c *Cholesky) Update(v []float64) {
+	n := c.R.Rows
+	if len(v) != n {
+		panic("decomp: Update length mismatch")
+	}
+	w := append([]float64(nil), v...)
+	for k := 0; k < n; k++ {
+		rk := c.R.RowView(k)
+		if w[k] == 0 {
+			continue
+		}
+		r := math.Hypot(rk[k], w[k])
+		cs := rk[k] / r
+		sn := w[k] / r
+		rk[k] = r
+		for j := k + 1; j < n; j++ {
+			t := rk[j]
+			rk[j] = cs*t + sn*w[j]
+			w[j] = cs*w[j] - sn*t
+		}
+	}
+}
+
+// Downdate performs the rank-one downdate A ← A − v·vᵀ (LINPACK dchdd),
+// returning ErrNotPositiveDefinite when the result would lose positive
+// definiteness.  Used to retire samples from an incremental model.
+func (c *Cholesky) Downdate(v []float64) error {
+	n := c.R.Rows
+	if len(v) != n {
+		panic("decomp: Downdate length mismatch")
+	}
+	// Solve Rᵀ p = v, then check ρ² = 1 − ‖p‖² > 0.
+	p := append([]float64(nil), v...)
+	for k := 0; k < n; k++ {
+		rk := c.R.RowView(k)
+		p[k] /= rk[k]
+		blas.Axpy(-p[k], rk[k+1:], p[k+1:])
+	}
+	rho2 := 1.0
+	for _, pi := range p {
+		rho2 -= pi * pi
+	}
+	if rho2 <= 0 {
+		return ErrNotPositiveDefinite
+	}
+	rho := math.Sqrt(rho2)
+	// Apply the inverse Givens sweep from the bottom up.
+	w := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		r := math.Hypot(rho, p[k])
+		cs := rho / r
+		sn := p[k] / r
+		rho = r
+		rk := c.R.RowView(k)
+		for j := k; j < n; j++ {
+			t := rk[j]
+			rk[j] = cs*t - sn*w[j]
+			w[j] = cs*w[j] + sn*t
+		}
+		if rk[k] < 0 {
+			blas.Scal(-1, rk[k:])
+		}
+	}
+	return nil
+}
+
+// SolveUpperTranspose solves Rᵀ·X = B for upper-triangular R by forward
+// substitution, returning a new matrix.
+func SolveUpperTranspose(r *mat.Dense, b *mat.Dense) *mat.Dense {
+	n := r.Rows
+	x := b.Clone()
+	for i := 0; i < n; i++ {
+		xi := x.RowView(i)
+		blas.Scal(1/r.At(i, i), xi)
+		for k := i + 1; k < n; k++ {
+			blas.Axpy(-r.At(i, k), xi, x.RowView(k))
+		}
+	}
+	return x
+}
+
+// SolveUpperVec solves R·x = v in place for upper-triangular R.
+func SolveUpperVec(r *mat.Dense, v []float64) {
+	n := r.Rows
+	for i := n - 1; i >= 0; i-- {
+		ri := r.RowView(i)
+		s := v[i] - blas.Dot(ri[i+1:], v[i+1:])
+		v[i] = s / ri[i]
+	}
+}

@@ -1,0 +1,110 @@
+package decomp
+
+import (
+	"errors"
+
+	"srda/internal/blas"
+	"srda/internal/mat"
+)
+
+// PCA is a principal-component projection x ↦ Vᵀ(x − μ).  The paper's
+// §II-A shows the SVD inside classical LDA is exactly a PCA of the
+// training data — this type exposes that preprocessing step on its own
+// (the classic two-stage "PCA+LDA" pipeline of Belhumeur et al.).
+type PCA struct {
+	// Components is n×d: the top principal directions, columns orthonormal.
+	Components *mat.Dense
+	// Mu is the training mean subtracted before projecting.
+	Mu []float64
+	// Variances holds the explained variance per retained component
+	// (σ²/(m−1)), descending.
+	Variances []float64
+	// TotalVariance is the summed variance of the centered data, so
+	// explained-variance ratios can be formed.
+	TotalVariance float64
+}
+
+// NewPCA fits a PCA with at most dims components (dims <= 0 keeps the
+// full numerical rank).  The input matrix is not modified.
+func NewPCA(x *mat.Dense, dims int) (*PCA, error) {
+	if x.Rows < 2 {
+		return nil, errors.New("decomp: PCA needs at least 2 samples")
+	}
+	xc := x.Clone()
+	mu := xc.CenterRows()
+	svd, err := NewSVD(xc, 0)
+	if err != nil {
+		return nil, err
+	}
+	r := svd.Rank()
+	if dims <= 0 || dims > r {
+		dims = r
+	}
+	if dims == 0 {
+		return nil, errors.New("decomp: data has rank 0 after centering")
+	}
+	comps := svd.V.Slice(0, svd.V.Rows, 0, dims).Clone()
+	vars := make([]float64, dims)
+	denom := float64(x.Rows - 1)
+	var total float64
+	for i := 0; i < r; i++ {
+		v := svd.Sigma[i] * svd.Sigma[i] / denom
+		if i < dims {
+			vars[i] = v
+		}
+		total += v
+	}
+	return &PCA{Components: comps, Mu: mu, Variances: vars, TotalVariance: total}, nil
+}
+
+// Dim returns the number of retained components.
+func (p *PCA) Dim() int { return p.Components.Cols }
+
+// ExplainedRatio returns the fraction of total variance the retained
+// components carry.
+func (p *PCA) ExplainedRatio() float64 {
+	if p.TotalVariance == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range p.Variances {
+		s += v
+	}
+	return s / p.TotalVariance
+}
+
+// Transform projects the rows of x into the component space.
+func (p *PCA) Transform(x *mat.Dense) *mat.Dense {
+	out := mat.Mul(x, p.Components)
+	shift := p.Components.MulTVec(p.Mu, nil)
+	for i := 0; i < out.Rows; i++ {
+		blas.Axpy(-1, shift, out.RowView(i))
+	}
+	return out
+}
+
+// InverseTransform maps component-space points back to the original
+// feature space (the least-squares reconstruction V·z + μ).
+func (p *PCA) InverseTransform(z *mat.Dense) *mat.Dense {
+	out := mat.MulTB(z, p.Components)
+	for i := 0; i < out.Rows; i++ {
+		blas.Axpy(1, p.Mu, out.RowView(i))
+	}
+	return out
+}
+
+// ReconstructionError returns the mean squared per-sample reconstruction
+// error of x under the retained components.
+func (p *PCA) ReconstructionError(x *mat.Dense) float64 {
+	z := p.Transform(x)
+	back := p.InverseTransform(z)
+	var s float64
+	for i := 0; i < x.Rows; i++ {
+		a, b := x.RowView(i), back.RowView(i)
+		for j := range a {
+			d := a[j] - b[j]
+			s += d * d
+		}
+	}
+	return s / float64(x.Rows)
+}

@@ -1,0 +1,135 @@
+package decomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/mat"
+)
+
+func TestPCAFullRankReconstructsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randDense(rng, 30, 8)
+	p, err := NewPCA(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 8 {
+		t.Fatalf("dim %d", p.Dim())
+	}
+	if err := math.Abs(p.ExplainedRatio() - 1); err > 1e-10 {
+		t.Fatalf("full-rank explained ratio %v", p.ExplainedRatio())
+	}
+	if mse := p.ReconstructionError(x); mse > 1e-12 {
+		t.Fatalf("full-rank reconstruction error %v", mse)
+	}
+}
+
+func TestPCAComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randDense(rng, 40, 10)
+	p, err := NewPCA(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mat.MulTA(p.Components, p.Components)
+	if !mat.Equalish(g, mat.Identity(4), 1e-9) {
+		t.Fatal("components not orthonormal")
+	}
+}
+
+func TestPCAVariancesDescendAndSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randDense(rng, 50, 6)
+	p, err := NewPCA(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, v := range p.Variances {
+		sum += v
+		if i > 0 && v > p.Variances[i-1]+1e-12 {
+			t.Fatal("variances not descending")
+		}
+	}
+	// total variance equals trace of sample covariance
+	xc := x.Clone()
+	xc.CenterRows()
+	var trace float64
+	for i := 0; i < xc.Rows; i++ {
+		row := xc.RowView(i)
+		for _, v := range row {
+			trace += v * v
+		}
+	}
+	trace /= float64(x.Rows - 1)
+	if math.Abs(sum-trace) > 1e-8*(1+trace) {
+		t.Fatalf("variance sum %v vs trace %v", sum, trace)
+	}
+}
+
+func TestPCATruncationCapturesDominantDirection(t *testing.T) {
+	// Data spread 20x wider along a known direction: the first component
+	// must align with it.
+	rng := rand.New(rand.NewSource(4))
+	n := 6
+	x := mat.NewDense(200, n)
+	dir := make([]float64, n)
+	for j := range dir {
+		dir[j] = 1 / math.Sqrt(float64(n))
+	}
+	for i := 0; i < 200; i++ {
+		row := x.RowView(i)
+		c := 20 * rng.NormFloat64()
+		for j := range row {
+			row[j] = c*dir[j] + rng.NormFloat64()
+		}
+	}
+	p, err := NewPCA(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot float64
+	for j := 0; j < n; j++ {
+		dot += p.Components.At(j, 0) * dir[j]
+	}
+	if math.Abs(dot) < 0.98 {
+		t.Fatalf("first component misaligned: |cos|=%v", math.Abs(dot))
+	}
+	if p.ExplainedRatio() < 0.9 {
+		t.Fatalf("dominant direction explains only %v", p.ExplainedRatio())
+	}
+}
+
+func TestPCATransformCentersTrainingData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randDense(rng, 25, 5)
+	// shift all features by 100 to make centering observable
+	for i := range x.Data {
+		x.Data[i] += 100
+	}
+	p, err := NewPCA(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := p.Transform(x)
+	for j := 0; j < z.Cols; j++ {
+		var s float64
+		for i := 0; i < z.Rows; i++ {
+			s += z.At(i, j)
+		}
+		if math.Abs(s/float64(z.Rows)) > 1e-8 {
+			t.Fatalf("projected mean %v not zero", s/float64(z.Rows))
+		}
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	if _, err := NewPCA(mat.NewDense(1, 3), 0); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := NewPCA(mat.NewDense(5, 3), 0); err == nil {
+		t.Fatal("all-zero (rank 0) data accepted")
+	}
+}

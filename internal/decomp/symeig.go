@@ -1,0 +1,246 @@
+package decomp
+
+import (
+	"errors"
+	"math"
+
+	"srda/internal/mat"
+)
+
+// ErrEigFailed is returned when the QL iteration fails to converge, which
+// for well-scaled symmetric input essentially never happens.
+var ErrEigFailed = errors.New("decomp: symmetric eigensolver failed to converge")
+
+// SymEig holds the eigendecomposition A = V diag(λ) Vᵀ of a symmetric
+// matrix, with eigenvalues sorted in descending order and V's columns the
+// corresponding orthonormal eigenvectors.
+type SymEig struct {
+	Values  []float64
+	Vectors *mat.Dense // n×n, column j pairs with Values[j]
+}
+
+// NewSymEig computes the full eigendecomposition of the symmetric matrix a
+// (only its lower triangle is trusted; the matrix is not modified).  The
+// algorithm is the classic EISPACK pair: Householder tridiagonalization
+// (tred2) followed by implicit-shift QL iteration with eigenvector
+// accumulation (tql2).
+func NewSymEig(a *mat.Dense) (*SymEig, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("decomp: SymEig of non-square matrix")
+	}
+	if n == 0 {
+		return &SymEig{Values: nil, Vectors: mat.NewDense(0, 0)}, nil
+	}
+	v := a.Clone()
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // subdiagonal
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, err
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is small for our c×c uses
+		j := i
+		for j > 0 && d[idx[j-1]] < d[idx[j]] {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	values := make([]float64, n)
+	vectors := mat.NewDense(n, n)
+	col := make([]float64, n)
+	for j, k := range idx {
+		values[j] = d[k]
+		v.ColCopy(k, col)
+		vectors.SetCol(j, col)
+	}
+	return &SymEig{Values: values, Vectors: vectors}, nil
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form using
+// Householder reflections, accumulating the transformation in v.  On exit
+// d holds the diagonal and e[1:] the subdiagonal.  Adapted from the public
+// domain EISPACK/JAMA routine.
+func tred2(v *mat.Dense, d, e []float64) {
+	n := v.Rows
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		scale, h := 0.0, 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply similarity transformation to remaining columns.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Set(k, j, v.At(k, j)-(f*e[k]+g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Set(k, j, v.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 finds the eigenvalues and eigenvectors of a symmetric tridiagonal
+// matrix by the implicit QL method, updating the accumulated
+// transformations in v.  Adapted from the public domain EISPACK/JAMA
+// routine.
+func tql2(v *mat.Dense, d, e []float64) error {
+	n := v.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	eps := math.Nextafter(1, 2) - 1
+	for l := 0; l < n; l++ {
+		// Find small subdiagonal element.
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		// If m == l, d[l] is an eigenvalue; otherwise iterate.
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= 64 {
+					return ErrEigFailed
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}

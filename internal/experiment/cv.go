@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"srda/internal/dataset"
+)
+
+// CVResult reports one candidate's cross-validated error.
+type CVResult struct {
+	// Alpha is the candidate regularizer.
+	Alpha float64
+	// MeanErr and StdErr summarize the validation error across folds
+	// (percent).
+	MeanErr, StdErr float64
+}
+
+// KFoldAlpha selects SRDA's α by stratified k-fold cross-validation: the
+// principled version of the paper's §IV-D parameter study (which sweeps α
+// against the *test* set to show insensitivity; an application must pick
+// α from training data alone, which is what this does).  Returns the
+// per-candidate results (in input order) and the index of the winner.
+func (r Runner) KFoldAlpha(ds *dataset.Dataset, alphas []float64, folds int) ([]CVResult, int, error) {
+	r = r.Defaults()
+	if folds < 2 {
+		return nil, 0, fmt.Errorf("experiment: need at least 2 folds, got %d", folds)
+	}
+	if len(alphas) == 0 {
+		return nil, 0, fmt.Errorf("experiment: no alpha candidates")
+	}
+	// Stratified fold assignment: shuffle within each class, deal
+	// round-robin so every fold sees every class.
+	rng := rand.New(rand.NewSource(r.Seed))
+	byClass := make([][]int, ds.NumClasses)
+	for i, y := range ds.Labels {
+		byClass[y] = append(byClass[y], i)
+	}
+	foldOf := make([]int, ds.NumSamples())
+	for k, idx := range byClass {
+		if len(idx) < folds {
+			return nil, 0, fmt.Errorf("experiment: class %d has %d samples, fewer than %d folds", k, len(idx), folds)
+		}
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for t, i := range idx {
+			foldOf[i] = t % folds
+		}
+	}
+
+	results := make([]CVResult, len(alphas))
+	for a, alpha := range alphas {
+		if alpha < 0 {
+			return nil, 0, fmt.Errorf("experiment: negative alpha %v", alpha)
+		}
+		errs := make([]float64, 0, folds)
+		for f := 0; f < folds; f++ {
+			var trainIdx, valIdx []int
+			for i := range foldOf {
+				if foldOf[i] == f {
+					valIdx = append(valIdx, i)
+				} else {
+					trainIdx = append(trainIdx, i)
+				}
+			}
+			train := ds.Subset(trainIdx)
+			val := ds.Subset(valIdx)
+			e, err := r.srdaError(train, val, alpha)
+			if err != nil {
+				return nil, 0, fmt.Errorf("experiment: fold %d alpha %v: %w", f, alpha, err)
+			}
+			errs = append(errs, 100*e)
+		}
+		mean, std := meanStd(errs)
+		results[a] = CVResult{Alpha: alpha, MeanErr: mean, StdErr: std}
+	}
+	best := 0
+	bestErr := math.Inf(1)
+	for a, res := range results {
+		if res.MeanErr < bestErr {
+			best, bestErr = a, res.MeanErr
+		}
+	}
+	return results, best, nil
+}

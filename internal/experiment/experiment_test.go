@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"srda/internal/dataset"
+)
+
+// tinyPIE is a small dense dataset that keeps the tests fast.
+func tinyPIE() *dataset.Dataset {
+	return dataset.PIELike(dataset.PIEConfig{Classes: 8, PerClass: 24, Side: 16, Seed: 11})
+}
+
+func tinyNews() *dataset.Dataset {
+	return dataset.NewsLike(dataset.NewsConfig{Classes: 4, Docs: 240, Vocab: 1500, AvgLen: 40, Seed: 12})
+}
+
+func TestRunPerClassGridShape(t *testing.T) {
+	r := Runner{Splits: 3, Seed: 1}
+	g, err := r.RunPerClassGrid(tinyPIE(), AllAlgorithms, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 2 || len(g.Cells[0]) != 4 {
+		t.Fatalf("grid shape %dx%d", len(g.Cells), len(g.Cells[0]))
+	}
+	for i := range g.Cells {
+		for j := range g.Cells[i] {
+			c := g.Cells[i][j]
+			if !c.Feasible {
+				t.Fatalf("cell (%d,%d) infeasible on tiny data", i, j)
+			}
+			if c.MeanErr < 0 || c.MeanErr > 100 {
+				t.Fatalf("error %v out of range", c.MeanErr)
+			}
+			if c.MeanTime < 0 {
+				t.Fatal("negative time")
+			}
+		}
+	}
+}
+
+func TestErrorDecreasesWithTrainingSize(t *testing.T) {
+	// The universal shape of Figures 1–4: more training data, less error.
+	r := Runner{Splits: 5, Seed: 2}
+	g, err := r.RunPerClassGrid(tinyPIE(), []Algorithm{AlgoSRDA}, []int{3, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := g.Cells[0][0].MeanErr, g.Cells[1][0].MeanErr
+	if large > small+2 {
+		t.Fatalf("error grew with more data: %v → %v", small, large)
+	}
+}
+
+func TestRegularizationBeatsPlainLDAAtSmallSize(t *testing.T) {
+	// Table III's key pattern: in the small-sample overfitting regime
+	// RLDA and SRDA clearly beat unregularized LDA.
+	r := Runner{Splits: 5, Seed: 3}
+	g, err := r.RunPerClassGrid(tinyPIE(), []Algorithm{AlgoLDA, AlgoRLDA, AlgoSRDA}, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldaErr := g.Cells[0][0].MeanErr
+	rldaErr := g.Cells[0][1].MeanErr
+	srdaErr := g.Cells[0][2].MeanErr
+	if rldaErr > ldaErr-3 || srdaErr > ldaErr-3 {
+		t.Fatalf("regularized methods (%.1f / %.1f) should beat LDA (%.1f) here",
+			rldaErr, srdaErr, ldaErr)
+	}
+}
+
+func TestRunFractionGridOnSparseData(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 4}
+	g, err := r.RunFractionGrid(tinyNews(), []Algorithm{AlgoSRDA}, []float64{0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Cells {
+		if !g.Cells[i][0].Feasible {
+			t.Fatal("SRDA must be feasible on sparse data")
+		}
+	}
+	if g.Cells[0][0].MeanErr < g.Cells[1][0].MeanErr-5 {
+		t.Fatalf("10%% (%.1f) should not beat 30%% (%.1f) by a wide margin",
+			g.Cells[0][0].MeanErr, g.Cells[1][0].MeanErr)
+	}
+}
+
+func TestMemoryWallMarksLDAInfeasible(t *testing.T) {
+	// With a tiny modeled memory limit the dense baselines must go
+	// infeasible while sparse SRDA keeps running — the Table IX/X "—"
+	// pattern.
+	r := Runner{Splits: 2, Seed: 5, MemoryLimitBytes: 200 * 1024}
+	g, err := r.RunFractionGrid(tinyNews(), AllAlgorithms, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlgo := map[Algorithm]Cell{}
+	for j, a := range g.Algorithms {
+		byAlgo[a] = g.Cells[0][j]
+	}
+	if byAlgo[AlgoLDA].Feasible || byAlgo[AlgoRLDA].Feasible {
+		t.Fatal("LDA/RLDA should hit the memory wall")
+	}
+	if !byAlgo[AlgoSRDA].Feasible {
+		t.Fatal("sparse SRDA should survive the memory wall")
+	}
+}
+
+func TestRendererHandlesInfeasibleCells(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 6, MemoryLimitBytes: 200 * 1024}
+	g, err := r.RunFractionGrid(tinyNews(), AllAlgorithms, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := g.RenderErrorTable()
+	if !strings.Contains(tbl, "—") {
+		t.Fatalf("error table should contain — markers:\n%s", tbl)
+	}
+	tt := g.RenderTimeTable()
+	if !strings.Contains(tt, "—") {
+		t.Fatalf("time table should contain — markers:\n%s", tt)
+	}
+	csv := g.CSV()
+	if !strings.Contains(csv, "false") {
+		t.Fatal("CSV should mark infeasible cells")
+	}
+	fig := g.RenderFigure(false)
+	if !strings.Contains(fig, "error rate") {
+		t.Fatalf("figure header missing:\n%s", fig)
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	g := &Grid{
+		Dataset:    "x",
+		RowLabels:  []string{"a", "b"},
+		Algorithms: []Algorithm{AlgoLDA, AlgoSRDA},
+		Cells: [][]Cell{
+			{{MeanErr: 10, Feasible: true}, {MeanErr: 5, MeanTime: 0.1, Feasible: true}},
+			{{Feasible: false}, {MeanErr: 4, MeanTime: 0.2, Feasible: true}},
+		},
+	}
+	s := g.Series(AlgoLDA, false)
+	if s[0] != 10 || !math.IsNaN(s[1]) {
+		t.Fatalf("series %v", s)
+	}
+	ts := g.Series(AlgoSRDA, true)
+	if ts[0] != 0.1 || ts[1] != 0.2 {
+		t.Fatalf("time series %v", ts)
+	}
+	if g.Series("nope", false) != nil {
+		t.Fatal("unknown algorithm should yield nil")
+	}
+}
+
+func TestAlphaSweepShape(t *testing.T) {
+	r := Runner{Splits: 3, Seed: 7}
+	sweep, err := r.AlphaSweep(tinyPIE(), 5, 0, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("points %d", len(sweep.Points))
+	}
+	for _, p := range sweep.Points {
+		if p.MeanErr < 0 || p.MeanErr > 100 {
+			t.Fatalf("error %v out of range", p.MeanErr)
+		}
+	}
+	if !sweep.LDAFeasible {
+		t.Fatal("LDA should be feasible on tiny data")
+	}
+	out := sweep.RenderSweep()
+	if !strings.Contains(out, "SRDA model selection") {
+		t.Fatalf("sweep render:\n%s", out)
+	}
+	if !strings.Contains(sweep.CSV(), "alpha_ratio") {
+		t.Fatal("sweep CSV missing header")
+	}
+}
+
+func TestAlphaSweepValidatesRatios(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 8}
+	if _, err := r.AlphaSweep(tinyPIE(), 4, 0, []float64{0, 0.5}); err == nil {
+		t.Fatal("ratio 0 accepted")
+	}
+	if _, err := r.AlphaSweep(tinyPIE(), 4, 0, []float64{1}); err == nil {
+		t.Fatal("ratio 1 accepted")
+	}
+}
+
+func TestSweepFractionProtocol(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 9, MemoryLimitBytes: 200 * 1024}
+	sweep, err := r.AlphaSweep(tinyNews(), 0, 0.2, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.LDAFeasible {
+		t.Fatal("LDA should be infeasible under the tiny memory wall")
+	}
+	if sweep.SizeLabel != "20% Train" {
+		t.Fatalf("label %q", sweep.SizeLabel)
+	}
+	// render must not include the LDA reference line
+	if strings.Contains(sweep.RenderSweep(), "--- = LDA") {
+		t.Fatal("sweep should omit LDA when infeasible")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 6})
+	if m != 4 || math.Abs(s-2) > 1e-12 {
+		t.Fatalf("meanStd = %v, %v", m, s)
+	}
+	m, s = meanStd([]float64{5})
+	if m != 5 || s != 0 {
+		t.Fatalf("single-sample meanStd = %v, %v", m, s)
+	}
+	m, s = meanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatalf("empty meanStd = %v, %v", m, s)
+	}
+}
+
+func TestKFoldAlphaSelectsReasonably(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 10}
+	ds := tinyPIE()
+	results, best, err := r.KFoldAlpha(ds, []float64{1e-4, 1, 100}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if best < 0 || best >= 3 {
+		t.Fatalf("best index %d", best)
+	}
+	// the winner must actually have the lowest mean error
+	for _, res := range results {
+		if res.MeanErr < results[best].MeanErr-1e-12 {
+			t.Fatal("best index does not minimize error")
+		}
+		if res.MeanErr < 0 || res.MeanErr > 100 {
+			t.Fatalf("error %v out of range", res.MeanErr)
+		}
+	}
+}
+
+func TestKFoldAlphaValidation(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 11}
+	ds := tinyPIE()
+	if _, _, err := r.KFoldAlpha(ds, []float64{1}, 1); err == nil {
+		t.Fatal("1 fold accepted")
+	}
+	if _, _, err := r.KFoldAlpha(ds, nil, 3); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, _, err := r.KFoldAlpha(ds, []float64{-1}, 3); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if _, _, err := r.KFoldAlpha(ds, []float64{1}, 1000); err == nil {
+		t.Fatal("folds exceeding class size accepted")
+	}
+}
+
+func TestRunnerSupportsVariantAlgorithms(t *testing.T) {
+	r := Runner{Splits: 2, Seed: 20}
+	// small training size so NLDA's null space exists (m < n)
+	g, err := r.RunPerClassGrid(tinyPIE(), []Algorithm{AlgoOLDA, AlgoNLDA, AlgoMMC, AlgoFisherfaces}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, a := range g.Algorithms {
+		c := g.Cells[0][j]
+		if !c.Feasible {
+			t.Fatalf("%s infeasible on tiny data", a)
+		}
+		if c.MeanErr < 0 || c.MeanErr > 100 {
+			t.Fatalf("%s error %v", a, c.MeanErr)
+		}
+	}
+}
+
+func TestRunnerUnknownAlgorithmIsInfeasible(t *testing.T) {
+	r := Runner{Splits: 1, Seed: 21}
+	g, err := r.RunPerClassGrid(tinyPIE(), []Algorithm{"bogus"}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells[0][0].Feasible {
+		t.Fatal("unknown algorithm should render as infeasible, not crash")
+	}
+}

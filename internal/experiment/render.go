@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderErrorTable formats a Grid as the paper's error-rate tables
+// (mean ± std, percent); infeasible cells render as "—".
+func (g *Grid) RenderErrorTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Classification error rates on %s (mean ± std-dev, %%)\n", g.Dataset)
+	fmt.Fprintf(&b, "%-12s", "Train Size")
+	for _, a := range g.Algorithms {
+		fmt.Fprintf(&b, " %14s", string(a))
+	}
+	b.WriteByte('\n')
+	for i, label := range g.RowLabels {
+		fmt.Fprintf(&b, "%-12s", label)
+		for j := range g.Algorithms {
+			c := g.Cells[i][j]
+			if !c.Feasible {
+				fmt.Fprintf(&b, " %14s", "—")
+			} else {
+				fmt.Fprintf(&b, " %8.1f ± %3.1f", c.MeanErr, c.StdErr)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTimeTable formats a Grid as the paper's computational-time tables
+// (seconds).
+func (g *Grid) RenderTimeTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Computational time on %s (s)\n", g.Dataset)
+	fmt.Fprintf(&b, "%-12s", "Train Size")
+	for _, a := range g.Algorithms {
+		fmt.Fprintf(&b, " %10s", string(a))
+	}
+	b.WriteByte('\n')
+	for i, label := range g.RowLabels {
+		fmt.Fprintf(&b, "%-12s", label)
+		for j := range g.Algorithms {
+			c := g.Cells[i][j]
+			if !c.Feasible {
+				fmt.Fprintf(&b, " %10s", "—")
+			} else {
+				fmt.Fprintf(&b, " %10.3f", c.MeanTime)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV emits the grid in machine-readable form: one line per
+// (row, algorithm) with error mean/std and time.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	b.WriteString("dataset,train_size,algorithm,err_mean,err_std,time_sec,feasible\n")
+	for i, label := range g.RowLabels {
+		for j, a := range g.Algorithms {
+			c := g.Cells[i][j]
+			fmt.Fprintf(&b, "%s,%s,%s,%.4f,%.4f,%.6f,%t\n",
+				g.Dataset, label, a, c.MeanErr, c.StdErr, c.MeanTime, c.Feasible)
+		}
+	}
+	return b.String()
+}
+
+// Series extracts one algorithm's error (or time) values across rows for
+// figure plotting; infeasible cells yield NaN.
+func (g *Grid) Series(a Algorithm, times bool) []float64 {
+	col := -1
+	for j, algo := range g.Algorithms {
+		if algo == a {
+			col = j
+			break
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	out := make([]float64, len(g.Cells))
+	for i := range g.Cells {
+		c := g.Cells[i][col]
+		switch {
+		case !c.Feasible:
+			out[i] = math.NaN()
+		case times:
+			out[i] = c.MeanTime
+		default:
+			out[i] = c.MeanErr
+		}
+	}
+	return out
+}
+
+// RenderFigure draws an ASCII line chart of the grid (error or time
+// panels of Figures 1–4): x = training sizes, one curve marker per
+// algorithm.
+func (g *Grid) RenderFigure(times bool) string {
+	const height = 16
+	markers := []byte{'L', 'R', 'S', 'Q'}
+	var lo, hi = math.Inf(1), math.Inf(-1)
+	series := make([][]float64, len(g.Algorithms))
+	for j, a := range g.Algorithms {
+		series[j] = g.Series(a, times)
+		for _, v := range series[j] {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no feasible data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := len(g.RowLabels)
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", 3*width+2))
+	}
+	for j := range series {
+		for i, v := range series[j] {
+			if math.IsNaN(v) {
+				continue
+			}
+			r := int((hi - v) / (hi - lo) * float64(height-1))
+			col := 3*i + 1
+			m := markers[j%len(markers)]
+			if canvas[r][col] == ' ' {
+				canvas[r][col] = m
+			} else {
+				canvas[r][col+1] = m
+			}
+		}
+	}
+	quantity := "error rate (%)"
+	if times {
+		quantity = "time (s)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs train size on %s   [", quantity, g.Dataset)
+	for j, a := range g.Algorithms {
+		if j > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", markers[j%len(markers)], a)
+	}
+	b.WriteString("]\n")
+	for r, line := range canvas {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", y, strings.TrimRight(string(line), " "))
+	}
+	b.WriteString("         +" + strings.Repeat("-", 3*width) + "\n          ")
+	for _, label := range g.RowLabels {
+		short := label
+		if idx := strings.IndexByte(short, ' '); idx > 0 {
+			short = short[:idx]
+		}
+		fmt.Fprintf(&b, "%-3s", short)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderSweep draws a Figure 5 panel as ASCII: the SRDA curve with flat
+// LDA and IDR/QR reference lines.
+func (s *Sweep) RenderSweep() string {
+	const height = 14
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		lo = math.Min(lo, p.MeanErr)
+		hi = math.Max(hi, p.MeanErr)
+	}
+	if s.LDAFeasible {
+		lo = math.Min(lo, s.LDAErr)
+		hi = math.Max(hi, s.LDAErr)
+	}
+	lo = math.Min(lo, s.IDRQRErr)
+	hi = math.Max(hi, s.IDRQRErr)
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := len(s.Points)
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", 4*width+2))
+	}
+	rowOf := func(v float64) int { return int((hi - v) / (hi - lo) * float64(height-1)) }
+	if s.LDAFeasible {
+		r := rowOf(s.LDAErr)
+		for c := range canvas[r] {
+			canvas[r][c] = '-'
+		}
+	}
+	rq := rowOf(s.IDRQRErr)
+	for c := 0; c < len(canvas[rq]); c += 2 {
+		canvas[rq][c] = '.'
+	}
+	for i, p := range s.Points {
+		canvas[rowOf(p.MeanErr)][4*i+2] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SRDA model selection on %s (%s)   [* = SRDA", s.Dataset, s.SizeLabel)
+	if s.LDAFeasible {
+		b.WriteString(", --- = LDA")
+	}
+	b.WriteString(", ... = IDR/QR]\n")
+	for r, line := range canvas {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", y, strings.TrimRight(string(line), " "))
+	}
+	b.WriteString("         +" + strings.Repeat("-", 4*width) + "\n          ")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-4.1f", p.AlphaRatio)
+	}
+	b.WriteString("   α/(1+α)\n")
+	return b.String()
+}
+
+// CSV emits the sweep points in machine-readable form.
+func (s *Sweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("dataset,size,alpha_ratio,srda_err_mean,srda_err_std,lda_err,idrqr_err\n")
+	for _, p := range s.Points {
+		lda := "NA"
+		if s.LDAFeasible {
+			lda = fmt.Sprintf("%.4f", s.LDAErr)
+		}
+		fmt.Fprintf(&b, "%s,%s,%.2f,%.4f,%.4f,%s,%.4f\n",
+			s.Dataset, s.SizeLabel, p.AlphaRatio, p.MeanErr, p.StdErr, lda, s.IDRQRErr)
+	}
+	return b.String()
+}

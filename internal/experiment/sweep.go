@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srda/internal/classify"
+	"srda/internal/core"
+	"srda/internal/dataset"
+	"srda/internal/mat"
+)
+
+// SweepPoint is one point of a Figure 5 panel.
+type SweepPoint struct {
+	// AlphaRatio is the x-coordinate α/(1+α) ∈ (0,1).
+	AlphaRatio float64
+	// MeanErr is the SRDA mean test error (percent) at this α.
+	MeanErr float64
+	// StdErr is the standard deviation over splits.
+	StdErr float64
+}
+
+// Sweep is a full Figure 5 panel: the SRDA error curve over α plus the
+// flat LDA and IDR/QR reference lines.
+type Sweep struct {
+	// Dataset and SizeLabel identify the panel ("pie-like", "10 Train").
+	Dataset, SizeLabel string
+	// Points is the SRDA curve.
+	Points []SweepPoint
+	// LDAErr and IDRQRErr are the α-independent reference error rates
+	// (percent); NaN-free only when the reference was feasible.
+	LDAErr, IDRQRErr float64
+	// LDAFeasible marks whether the LDA reference could run.
+	LDAFeasible bool
+}
+
+// AlphaSweep reproduces one Figure 5 panel: SRDA error as a function of
+// α/(1+α) over the given ratios, with LDA and IDR/QR reference lines,
+// averaged over r.Splits splits.  Exactly one of perClass (>0) or
+// fraction (>0) selects the split protocol.
+func (r Runner) AlphaSweep(ds *dataset.Dataset, perClass int, fraction float64, ratios []float64) (*Sweep, error) {
+	r = r.Defaults()
+	split := func(rng *rand.Rand) (*dataset.Dataset, *dataset.Dataset, error) {
+		if perClass > 0 {
+			return ds.SplitPerClass(rng, perClass)
+		}
+		return ds.SplitFraction(rng, fraction)
+	}
+	label := fmt.Sprintf("%d Train", perClass)
+	if perClass <= 0 {
+		label = fmt.Sprintf("%.0f%% Train", 100*fraction)
+	}
+	sweep := &Sweep{Dataset: ds.Name, SizeLabel: label}
+
+	// Pre-generate the splits so every α (and the references) sees the
+	// same data, matching the paper's protocol.
+	rng := rand.New(rand.NewSource(r.Seed))
+	type pair struct{ train, test *dataset.Dataset }
+	splits := make([]pair, r.Splits)
+	for s := range splits {
+		train, test, err := split(rng)
+		if err != nil {
+			return nil, err
+		}
+		splits[s] = pair{train, test}
+	}
+
+	// SRDA curve.
+	for _, ratio := range ratios {
+		if ratio <= 0 || ratio >= 1 {
+			return nil, fmt.Errorf("experiment: alpha ratio %v outside (0,1)", ratio)
+		}
+		alpha := ratio / (1 - ratio)
+		errs := make([]float64, 0, r.Splits)
+		for _, sp := range splits {
+			e, err := r.srdaError(sp.train, sp.test, alpha)
+			if err != nil {
+				return nil, err
+			}
+			errs = append(errs, 100*e)
+		}
+		mean, std := meanStd(errs)
+		sweep.Points = append(sweep.Points, SweepPoint{AlphaRatio: ratio, MeanErr: mean, StdErr: std})
+	}
+
+	// Reference lines.
+	sweep.LDAFeasible = r.feasible(AlgoLDA, splits[0].train)
+	var ldaSum, idrSum float64
+	for _, sp := range splits {
+		if sweep.LDAFeasible {
+			e, _, err := r.runOnce(AlgoLDA, sp.train, sp.test)
+			if err != nil {
+				return nil, err
+			}
+			ldaSum += 100 * e
+		}
+		e, _, err := r.runOnce(AlgoIDRQR, sp.train, sp.test)
+		if err != nil {
+			return nil, err
+		}
+		idrSum += 100 * e
+	}
+	if sweep.LDAFeasible {
+		sweep.LDAErr = ldaSum / float64(len(splits))
+	}
+	sweep.IDRQRErr = idrSum / float64(len(splits))
+	return sweep, nil
+}
+
+// srdaError trains SRDA with a specific alpha and returns the test error.
+func (r Runner) srdaError(train, test *dataset.Dataset, alpha float64) (float64, error) {
+	opt := core.Options{Alpha: alpha, LSQRIter: r.LSQRIter}
+	var (
+		embTrain, embTest *mat.Dense
+	)
+	if train.IsSparse() {
+		model, err := core.FitSparseWhitened(train.Sparse, train.Labels, train.NumClasses, opt)
+		if err != nil {
+			return 0, err
+		}
+		embTrain = model.TransformSparse(train.Sparse)
+		embTest = model.TransformSparse(test.Sparse)
+	} else {
+		model, err := core.FitDenseWhitened(train.Dense, train.Labels, train.NumClasses, opt)
+		if err != nil {
+			return 0, err
+		}
+		embTrain = model.TransformDense(train.Dense)
+		embTest = model.TransformDense(test.Dense)
+	}
+	nc, err := classify.FitNearestCentroid(embTrain, train.Labels, train.NumClasses)
+	if err != nil {
+		return 0, err
+	}
+	return classify.ErrorRate(nc.Predict(embTest), test.Labels), nil
+}

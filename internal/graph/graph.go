@@ -1,0 +1,331 @@
+// Package graph builds the affinity graphs behind the spectral-regression
+// view of discriminant analysis.  The paper derives SRDA from the graph
+// matrix W whose (i,j) entry is 1/m_k when samples i and j share class k
+// (eq. 6); its closing remark — "our approach can be generalized by
+// constructing the graph matrix in the unsupervised or semi-supervised
+// way" — is realized here: k-NN affinity graphs with binary, heat-kernel
+// or cosine weights, the supervised class graph, and a semi-supervised
+// blend of the two, all exposed as sparse symmetric operators for the
+// Lanczos eigensolver.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/mat"
+	"srda/internal/sparse"
+)
+
+// Weighting selects the edge-weight scheme for neighborhood graphs.
+type Weighting int
+
+const (
+	// Binary assigns weight 1 to every kept edge.
+	Binary Weighting = iota
+	// Heat assigns exp(−‖xᵢ−xⱼ‖²/(2σ²)).
+	Heat
+	// Cosine assigns the (shifted, nonnegative) cosine similarity.
+	Cosine
+)
+
+// Graph is a symmetric, nonnegative affinity matrix over m samples.
+type Graph struct {
+	// W holds the affinities in CSR form (symmetric by construction).
+	W *sparse.CSR
+	// Degrees caches the row sums D_ii.
+	Degrees []float64
+}
+
+// Size returns the number of vertices.
+func (g *Graph) Size() int { return g.W.Rows }
+
+// newGraph wraps an affinity matrix, computing degrees.
+func newGraph(w *sparse.CSR) *Graph {
+	deg := make([]float64, w.Rows)
+	for i := 0; i < w.Rows; i++ {
+		_, vals := w.Row(i)
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		deg[i] = s
+	}
+	return &Graph{W: w, Degrees: deg}
+}
+
+// ClassGraph builds the paper's supervised graph (eq. 6): samples i and j
+// of class k are connected with weight 1/m_k.  Stored sparsely, the graph
+// has Σ m_k² edges.
+func ClassGraph(labels []int, numClasses int) (*Graph, error) {
+	counts := make([]int, numClasses)
+	byClass := make([][]int, numClasses)
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("graph: label %d out of range", y)
+		}
+		counts[y]++
+		byClass[y] = append(byClass[y], i)
+	}
+	b := sparse.NewBuilder(len(labels), len(labels))
+	for k, members := range byClass {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("graph: class %d has no samples", k)
+		}
+		w := 1 / float64(counts[k])
+		for _, i := range members {
+			for _, j := range members {
+				b.Add(i, j, w)
+			}
+		}
+	}
+	return newGraph(b.Build()), nil
+}
+
+// neighbor heap for k-NN selection (max-heap on distance so the root is
+// the worst current neighbor).
+type nbr struct {
+	idx  int
+	dist float64
+}
+
+type nbrHeap []nbr
+
+func (h nbrHeap) Len() int            { return len(h) }
+func (h nbrHeap) Less(a, b int) bool  { return h[a].dist > h[b].dist }
+func (h nbrHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *nbrHeap) Push(x interface{}) { *h = append(*h, x.(nbr)) }
+func (h *nbrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNNOptions configures KNN graph construction.
+type KNNOptions struct {
+	// K is the neighborhood size (default 5).
+	K int
+	// Weight selects the edge weighting (default Heat).
+	Weight Weighting
+	// Sigma is the heat-kernel bandwidth; 0 auto-tunes to the mean k-NN
+	// distance.
+	Sigma float64
+}
+
+// KNN builds a symmetrized k-nearest-neighbor affinity graph over the
+// rows of x (brute-force O(m²·n); the corpora this project targets keep m
+// in the thousands).  Edges are symmetrized by max: i~j when either is
+// among the other's k nearest.
+func KNN(x *mat.Dense, opt KNNOptions) *Graph {
+	m := x.Rows
+	k := opt.K
+	if k <= 0 {
+		k = 5
+	}
+	if k >= m {
+		k = m - 1
+	}
+
+	// squared norms once
+	norms := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ri := x.RowView(i)
+		norms[i] = blas.Dot(ri, ri)
+	}
+
+	type edge struct {
+		j    int
+		dist float64
+	}
+	neighbors := make([][]edge, m)
+	var sumD float64
+	var cntD int
+	for i := 0; i < m; i++ {
+		h := make(nbrHeap, 0, k+1)
+		ri := x.RowView(i)
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			d := norms[i] + norms[j] - 2*blas.Dot(ri, x.RowView(j))
+			if d < 0 {
+				d = 0
+			}
+			if len(h) < k {
+				heap.Push(&h, nbr{j, d})
+			} else if d < h[0].dist {
+				h[0] = nbr{j, d}
+				heap.Fix(&h, 0)
+			}
+		}
+		neighbors[i] = make([]edge, len(h))
+		for t, e := range h {
+			neighbors[i][t] = edge{e.idx, e.dist}
+			sumD += math.Sqrt(e.dist)
+			cntD++
+		}
+	}
+
+	sigma := opt.Sigma
+	if sigma <= 0 {
+		sigma = sumD / float64(cntD)
+		if sigma == 0 {
+			sigma = 1
+		}
+	}
+
+	weightOf := func(i, j int, d2 float64) float64 {
+		switch opt.Weight {
+		case Binary:
+			return 1
+		case Cosine:
+			ni, nj := math.Sqrt(norms[i]), math.Sqrt(norms[j])
+			if ni == 0 || nj == 0 {
+				return 0
+			}
+			cos := blas.Dot(x.RowView(i), x.RowView(j)) / (ni * nj)
+			if cos < 0 {
+				return 0
+			}
+			return cos
+		default: // Heat
+			return math.Exp(-d2 / (2 * sigma * sigma))
+		}
+	}
+
+	// Symmetrize by keeping the larger weight of the two directions; the
+	// builder sums duplicates, so insert each undirected edge once.
+	type key struct{ a, b int }
+	best := make(map[key]float64, m*k)
+	for i := 0; i < m; i++ {
+		for _, e := range neighbors[i] {
+			a, b := i, e.j
+			if a > b {
+				a, b = b, a
+			}
+			w := weightOf(i, e.j, e.dist)
+			if w <= 0 {
+				continue
+			}
+			if old, ok := best[key{a, b}]; !ok || w > old {
+				best[key{a, b}] = w
+			}
+		}
+	}
+	bld := sparse.NewBuilder(m, m)
+	for kk, w := range best {
+		bld.Add(kk.a, kk.b, w)
+		bld.Add(kk.b, kk.a, w)
+	}
+	return newGraph(bld.Build())
+}
+
+// SemiSupervised blends the supervised class graph over the labeled
+// prefix with an unsupervised k-NN graph over all samples:
+//
+//	W = W_knn + beta · W_class
+//
+// labels[i] < 0 marks sample i unlabeled.  This is the construction the
+// paper's closing remark (and the authors' companion papers) describe for
+// semi-supervised discriminant analysis.
+func SemiSupervised(x *mat.Dense, labels []int, numClasses int, beta float64, opt KNNOptions) (*Graph, error) {
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("graph: %d rows but %d labels", x.Rows, len(labels))
+	}
+	if beta < 0 {
+		return nil, fmt.Errorf("graph: negative beta %v", beta)
+	}
+	knn := KNN(x, opt)
+
+	// Class sub-graph over labeled samples only.
+	counts := make([]int, numClasses)
+	byClass := make([][]int, numClasses)
+	for i, y := range labels {
+		if y < 0 {
+			continue
+		}
+		if y >= numClasses {
+			return nil, fmt.Errorf("graph: label %d out of range", y)
+		}
+		counts[y]++
+		byClass[y] = append(byClass[y], i)
+	}
+	b := sparse.NewBuilder(x.Rows, x.Rows)
+	// copy the knn edges
+	for i := 0; i < x.Rows; i++ {
+		cols, vals := knn.W.Row(i)
+		for t, j := range cols {
+			b.Add(i, j, vals[t])
+		}
+	}
+	for k, members := range byClass {
+		if len(members) == 0 {
+			continue
+		}
+		w := beta / float64(counts[k])
+		for _, i := range members {
+			for _, j := range members {
+				b.Add(i, j, w)
+			}
+		}
+	}
+	return newGraph(b.Build()), nil
+}
+
+// NormalizedOp is the symmetric normalized adjacency D^{-1/2} W D^{-1/2},
+// whose leading eigenvectors drive spectral embedding; it implements
+// solver.SymOperator.  Isolated vertices (zero degree) contribute zero.
+type NormalizedOp struct {
+	g       *Graph
+	invSqrt []float64
+}
+
+// Normalized wraps the graph as its normalized adjacency operator.
+func (g *Graph) Normalized() *NormalizedOp {
+	inv := make([]float64, g.Size())
+	for i, d := range g.Degrees {
+		if d > 0 {
+			inv[i] = 1 / math.Sqrt(d)
+		}
+	}
+	return &NormalizedOp{g: g, invSqrt: inv}
+}
+
+// Dim implements solver.SymOperator.
+func (o *NormalizedOp) Dim() int { return o.g.Size() }
+
+// Apply implements solver.SymOperator.
+func (o *NormalizedOp) Apply(x, dst []float64) []float64 {
+	n := o.Dim()
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	// dst = D^{-1/2} W D^{-1/2} x, fused into one CSR pass.
+	for i := 0; i < n; i++ {
+		cols, vals := o.g.W.Row(i)
+		var s float64
+		for t, j := range cols {
+			s += vals[t] * o.invSqrt[j] * x[j]
+		}
+		dst[i] = s * o.invSqrt[i]
+	}
+	return dst
+}
+
+// LaplacianQuadratic evaluates fᵀLf = ½ Σᵢⱼ wᵢⱼ (fᵢ − fⱼ)², the smoothness
+// functional spectral methods minimize; exposed for tests and diagnostics.
+func (g *Graph) LaplacianQuadratic(f []float64) float64 {
+	var s float64
+	for i := 0; i < g.Size(); i++ {
+		cols, vals := g.W.Row(i)
+		for t, j := range cols {
+			d := f[i] - f[j]
+			s += vals[t] * d * d
+		}
+	}
+	return s / 2
+}

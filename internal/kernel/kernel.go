@@ -1,0 +1,274 @@
+// Package kernel implements Kernel SRDA — the kernelized variant of
+// spectral regression discriminant analysis the paper cites as "Efficient
+// kernel discriminant analysis via spectral regression" (Cai, He, Han —
+// ICDM 2007).  The responses-generation step is identical to SRDA's; the
+// regression step becomes regularized kernel regression: solve
+//
+//	(K + αI) β_k = ȳ_k
+//
+// with one shared Cholesky factorization of the m×m kernel matrix, and
+// embed new points through e_k(x) = Σᵢ β_ik · κ(x, xᵢ).  This trades the
+// O(n)-per-feature cost for O(m²) kernel work and buys nonlinear
+// decision boundaries.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/core"
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// Kernel is a positive-definite similarity function on feature vectors.
+type Kernel interface {
+	// Eval computes κ(x, y).
+	Eval(x, y []float64) float64
+	// Name identifies the kernel in diagnostics.
+	Name() string
+}
+
+// Linear is the inner-product kernel κ(x,y) = xᵀy (+Offset).
+type Linear struct {
+	// Offset is added to every evaluation; 0 gives the plain dot product.
+	Offset float64
+}
+
+// Eval implements Kernel.
+func (k Linear) Eval(x, y []float64) float64 { return blas.Dot(x, y) + k.Offset }
+
+// Name implements Kernel.
+func (k Linear) Name() string { return "linear" }
+
+// RBF is the Gaussian kernel κ(x,y) = exp(−γ‖x−y‖²).
+type RBF struct {
+	// Gamma is the inverse bandwidth; must be > 0.
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(x, y []float64) float64 {
+	var d2 float64
+	for i := range x {
+		d := x[i] - y[i]
+		d2 += d * d
+	}
+	return math.Exp(-k.Gamma * d2)
+}
+
+// Name implements Kernel.
+func (k RBF) Name() string { return "rbf" }
+
+// Polynomial is κ(x,y) = (xᵀy + Coef)^Degree.
+type Polynomial struct {
+	Degree int
+	Coef   float64
+}
+
+// Eval implements Kernel.
+func (k Polynomial) Eval(x, y []float64) float64 {
+	base := blas.Dot(x, y) + k.Coef
+	out := 1.0
+	for d := 0; d < k.Degree; d++ {
+		out *= base
+	}
+	return out
+}
+
+// Name implements Kernel.
+func (k Polynomial) Name() string { return "polynomial" }
+
+// Options configures KSRDA training.
+type Options struct {
+	// Alpha is the kernel-ridge penalty; must be > 0 for a stable solve
+	// (the kernel matrix is often numerically singular).
+	Alpha float64
+	// Kernel defaults to an RBF whose bandwidth is auto-tuned to the data
+	// (γ = 1/mean‖xᵢ−xⱼ‖² over a subsample of pairs — the standard
+	// heuristic).
+	Kernel Kernel
+}
+
+// Model is a trained KSRDA transformer.
+type Model struct {
+	// X keeps the training samples (kernel expansions need them).
+	X *mat.Dense
+	// Beta is m×(c−1): expansion coefficients per response.
+	Beta *mat.Dense
+	// Kernel is the similarity used at train and transform time.
+	Kernel Kernel
+	// NumClasses is c.
+	NumClasses int
+	// rowMean and grandMean implement feature-space centering (K̄ = HKH):
+	// rowMean[i] is the mean kernel value of training point i against the
+	// training set, grandMean the overall mean.  Centering plays the role
+	// the intercept-absorption trick plays in linear SRDA.
+	rowMean   []float64
+	grandMean float64
+}
+
+// autoGamma picks the RBF bandwidth from the data: γ = 1/mean‖xᵢ−xⱼ‖²
+// over up to 1000 deterministic sample pairs.
+func autoGamma(x *mat.Dense) float64 {
+	m := x.Rows
+	if m < 2 {
+		return 1
+	}
+	var sum float64
+	var cnt int
+	step := m*m/1000 + 1
+	for t := 0; t < m*m; t += step {
+		i, j := t/m, t%m
+		if i == j {
+			continue
+		}
+		ri, rj := x.RowView(i), x.RowView(j)
+		var d2 float64
+		for p := range ri {
+			d := ri[p] - rj[p]
+			d2 += d * d
+		}
+		sum += d2
+		cnt++
+	}
+	if cnt == 0 || sum == 0 {
+		return 1
+	}
+	return float64(cnt) / sum
+}
+
+// Fit trains KSRDA on dense data.
+func Fit(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	m := x.Rows
+	if m != len(labels) {
+		return nil, fmt.Errorf("kernel: %d samples but %d labels", m, len(labels))
+	}
+	if opt.Alpha <= 0 {
+		return nil, fmt.Errorf("kernel: alpha must be positive, got %v", opt.Alpha)
+	}
+	k := opt.Kernel
+	if k == nil {
+		k = RBF{Gamma: autoGamma(x)}
+	}
+	rt, err := core.GenerateResponses(labels, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	y := rt.Materialize(labels)
+
+	// Kernel matrix (symmetric; compute the upper triangle).
+	gram := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		ri := x.RowView(i)
+		for j := i; j < m; j++ {
+			v := k.Eval(ri, x.RowView(j))
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	// Feature-space centering K̄ = HKH with H = I − (1/m)·11ᵀ.  This is
+	// the kernel analogue of the paper's intercept-absorption trick: it
+	// removes the feature-space mean so the regression needs no bias term.
+	rowMean := make([]float64, m)
+	var grand float64
+	for i := 0; i < m; i++ {
+		row := gram.RowView(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		rowMean[i] = s / float64(m)
+		grand += s
+	}
+	grand /= float64(m) * float64(m)
+	for i := 0; i < m; i++ {
+		row := gram.RowView(i)
+		for j := range row {
+			row[j] += grand - rowMean[i] - rowMean[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		gram.Set(i, i, gram.At(i, i)+opt.Alpha)
+	}
+	ch, err := decomp.NewCholesky(gram)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: K+αI not positive definite (is the kernel PSD?): %w", err)
+	}
+	beta := ch.Solve(y)
+	return &Model{
+		X: x.Clone(), Beta: beta, Kernel: k, NumClasses: numClasses,
+		rowMean: rowMean, grandMean: grand,
+	}, nil
+}
+
+// Dim returns the embedding dimensionality c−1.
+func (m *Model) Dim() int { return m.Beta.Cols }
+
+// TransformVec embeds one sample: e_k(x) = Σᵢ β_ik κ̄(x, xᵢ) where κ̄
+// applies the training-time feature-space centering.
+func (m *Model) TransformVec(x []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Dim())
+	} else {
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+	mm := m.X.Rows
+	kvals := make([]float64, mm)
+	var mean float64
+	for i := 0; i < mm; i++ {
+		kvals[i] = m.Kernel.Eval(x, m.X.RowView(i))
+		mean += kvals[i]
+	}
+	mean /= float64(mm)
+	for i := 0; i < mm; i++ {
+		kc := kvals[i] - mean - m.rowMean[i] + m.grandMean
+		if kc == 0 {
+			continue
+		}
+		blas.Axpy(kc, m.Beta.RowView(i), dst)
+	}
+	return dst
+}
+
+// Transform embeds every row of x.
+func (m *Model) Transform(x *mat.Dense) *mat.Dense {
+	out := mat.NewDense(x.Rows, m.Dim())
+	for i := 0; i < x.Rows; i++ {
+		m.TransformVec(x.RowView(i), out.RowView(i))
+	}
+	return out
+}
+
+// WhitenWithin rescales the model so the training embedding's
+// (shrinkage-regularized) within-class scatter becomes the identity —
+// the same metric correction linear SRDA applies (see
+// core.WhiteningTransform).  Call with the training data and labels.
+func (m *Model) WhitenWithin(labels []int) error {
+	emb := m.Transform(m.X)
+	rInv, err := core.WhiteningTransform(emb, labels, m.NumClasses)
+	if err != nil {
+		return err
+	}
+	if rInv == nil {
+		return nil
+	}
+	m.Beta = mat.Mul(m.Beta, rInv)
+	return nil
+}
+
+// FitWhitened trains KSRDA and whitens its embedding against the
+// training data — the configuration distance-based classifiers want.
+func FitWhitened(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	model, err := Fit(x, labels, numClasses, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.WhitenWithin(labels); err != nil {
+		return nil, err
+	}
+	return model, nil
+}

@@ -1,0 +1,276 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/blas"
+	"srda/internal/mat"
+)
+
+func randLabels(rng *rand.Rand, m, c int) []int {
+	labels := make([]int, m)
+	for i := range labels {
+		labels[i] = i % c
+	}
+	rng.Shuffle(m, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return labels
+}
+
+func blobs(rng *rand.Rand, m, n, c int, sep float64) (*mat.Dense, []int) {
+	x := mat.NewDense(m, n)
+	labels := randLabels(rng, m, c)
+	for i := 0; i < m; i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[0] += sep * float64(labels[i])
+	}
+	return x, labels
+}
+
+func TestKernelEvaluations(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, -1}
+	if got := (Linear{}).Eval(x, y); got != 1 {
+		t.Fatalf("linear: %v", got)
+	}
+	if got := (Linear{Offset: 2}).Eval(x, y); got != 3 {
+		t.Fatalf("linear offset: %v", got)
+	}
+	if got := (Polynomial{Degree: 2, Coef: 1}).Eval(x, y); got != 4 {
+		t.Fatalf("poly: %v", got)
+	}
+	// RBF: exp(-γ·13); at γ=0 → 1
+	want := math.Exp(-0.5 * 13)
+	if got := (RBF{Gamma: 0.5}).Eval(x, y); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("rbf: %v want %v", got, want)
+	}
+	if got := (RBF{Gamma: 1}).Eval(x, x); got != 1 {
+		t.Fatalf("rbf self-similarity %v", got)
+	}
+}
+
+func TestKSRDALinearSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xTrain, yTrain := blobs(rng, 120, 8, 3, 8)
+	xTest, yTest := blobs(rng, 60, 8, 3, 8)
+	model, err := Fit(xTrain, yTrain, 3, Options{Alpha: 1, Kernel: Linear{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim() != 2 {
+		t.Fatalf("Dim=%d", model.Dim())
+	}
+	errRate := centroidError(model.Transform(xTrain), yTrain, model.Transform(xTest), yTest, 3)
+	if errRate > 0.05 {
+		t.Fatalf("linear-kernel error %.3f", errRate)
+	}
+}
+
+func TestKSRDARBFSolvesConcentricRings(t *testing.T) {
+	// A radially-separable problem no linear method can solve: class 0 is
+	// a tight ball, class 1 a surrounding ring.
+	rng := rand.New(rand.NewSource(2))
+	make2 := func(m int) (*mat.Dense, []int) {
+		x := mat.NewDense(m, 2)
+		labels := make([]int, m)
+		for i := 0; i < m; i++ {
+			labels[i] = i % 2
+			r := 0.5
+			if labels[i] == 1 {
+				r = 3
+			}
+			r += 0.2 * rng.NormFloat64()
+			theta := 2 * math.Pi * rng.Float64()
+			x.Set(i, 0, r*math.Cos(theta))
+			x.Set(i, 1, r*math.Sin(theta))
+		}
+		return x, labels
+	}
+	xTrain, yTrain := make2(160)
+	xTest, yTest := make2(100)
+
+	rbf, err := Fit(xTrain, yTrain, 2, Options{Alpha: 0.1, Kernel: RBF{Gamma: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbfErr := centroidError(rbf.Transform(xTrain), yTrain, rbf.Transform(xTest), yTest, 2)
+	if rbfErr > 0.05 {
+		t.Fatalf("RBF KSRDA error %.3f on rings", rbfErr)
+	}
+
+	lin, err := Fit(xTrain, yTrain, 2, Options{Alpha: 0.1, Kernel: Linear{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linErr := centroidError(lin.Transform(xTrain), yTrain, lin.Transform(xTest), yTest, 2)
+	if linErr < 0.25 {
+		t.Fatalf("linear kernel should fail on rings, got %.3f", linErr)
+	}
+}
+
+func TestKSRDADefaultKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := blobs(rng, 40, 6, 2, 6)
+	model, err := Fit(x, y, 2, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Kernel.Name() != "rbf" {
+		t.Fatalf("default kernel %q", model.Kernel.Name())
+	}
+}
+
+func TestKSRDAValidation(t *testing.T) {
+	x := mat.NewDense(4, 2)
+	if _, err := Fit(x, []int{0, 1}, 2, Options{Alpha: 1}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := Fit(x, []int{0, 1, 0, 1}, 2, Options{Alpha: 0}); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+}
+
+func TestKSRDAExpansionSolvesRegularizedSystem(t *testing.T) {
+	// The defining property: (K + αI)·β = ȳ.
+	rng := rand.New(rand.NewSource(4))
+	x, labels := blobs(rng, 30, 5, 3, 4)
+	alpha := 0.7
+	model, err := Fit(x, labels, 3, Options{Alpha: alpha, Kernel: Linear{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rebuild the centered K̄ = HKH the fit uses
+	m := x.Rows
+	k := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			k.Set(i, j, blas.Dot(x.RowView(i), x.RowView(j)))
+		}
+	}
+	rowMean := make([]float64, m)
+	var grand float64
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			s += k.At(i, j)
+		}
+		rowMean[i] = s / float64(m)
+		grand += s
+	}
+	grand /= float64(m) * float64(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			k.Set(i, j, k.At(i, j)+grand-rowMean[i]-rowMean[j])
+		}
+	}
+	// (K̄+αI)β must reproduce orthonormal, zero-sum responses
+	lhs := mat.Mul(k, model.Beta)
+	lhs.AddScaled(alpha, model.Beta)
+	g := mat.MulTA(lhs, lhs)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-6 {
+				t.Fatalf("(K+αI)β not orthonormal responses at (%d,%d): %v", i, j, g.At(i, j))
+			}
+		}
+	}
+	for j := 0; j < lhs.Cols; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += lhs.At(i, j)
+		}
+		if math.Abs(s) > 1e-7 {
+			t.Fatalf("response %d not zero-sum: %v", j, s)
+		}
+	}
+}
+
+func centroidError(embTrain *mat.Dense, yTrain []int, embTest *mat.Dense, yTest []int, c int) float64 {
+	d := embTrain.Cols
+	cent := mat.NewDense(c, d)
+	counts := make([]float64, c)
+	for i, lab := range yTrain {
+		counts[lab]++
+		blas.Axpy(1, embTrain.RowView(i), cent.RowView(lab))
+	}
+	for k := 0; k < c; k++ {
+		blas.Scal(1/counts[k], cent.RowView(k))
+	}
+	wrong := 0
+	for i := 0; i < embTest.Rows; i++ {
+		best, bestD := -1, math.Inf(1)
+		for k := 0; k < c; k++ {
+			var dist float64
+			row := embTest.RowView(i)
+			cr := cent.RowView(k)
+			for j := range row {
+				diff := row[j] - cr[j]
+				dist += diff * diff
+			}
+			if dist < bestD {
+				best, bestD = k, dist
+			}
+		}
+		if best != yTest[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(embTest.Rows)
+}
+
+func TestAutoGammaScalesWithData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, _ := blobs(rng, 50, 6, 2, 3)
+	g1 := autoGamma(x)
+	if g1 <= 0 {
+		t.Fatalf("gamma %v", g1)
+	}
+	// scaling the data by 10 must shrink gamma by ~100
+	scaled := x.Clone()
+	scaled.Scale(10)
+	g2 := autoGamma(scaled)
+	ratio := g1 / g2
+	if ratio < 50 || ratio > 200 {
+		t.Fatalf("gamma scaling ratio %v, want ≈100", ratio)
+	}
+	// degenerate inputs fall back to 1
+	if autoGamma(mat.NewDense(1, 3)) != 1 {
+		t.Fatal("single sample should fall back")
+	}
+	if autoGamma(mat.NewDense(5, 3)) != 1 {
+		t.Fatal("all-zero data should fall back")
+	}
+}
+
+func TestKSRDAWhitenedImprovesCentroidGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xTrain, yTrain := blobs(rng, 90, 10, 3, 4)
+	xTest, yTest := blobs(rng, 90, 10, 3, 4)
+	plain, err := Fit(xTrain, yTrain, 3, Options{Alpha: 1, Kernel: Linear{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	white, err := FitWhitened(xTrain, yTrain, 3, Options{Alpha: 1, Kernel: Linear{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := centroidError(plain.Transform(xTrain), yTrain, plain.Transform(xTest), yTest, 3)
+	e2 := centroidError(white.Transform(xTrain), yTrain, white.Transform(xTest), yTest, 3)
+	if e2 > e1+0.05 {
+		t.Fatalf("whitening hurt: %.3f -> %.3f", e1, e2)
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	if (Linear{}).Name() != "linear" || (Polynomial{Degree: 2}).Name() != "polynomial" || (RBF{Gamma: 1}).Name() != "rbf" {
+		t.Fatal("kernel names wrong")
+	}
+}

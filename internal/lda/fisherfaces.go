@@ -1,0 +1,102 @@
+package lda
+
+import (
+	"fmt"
+
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// Fisherfaces is the classic two-stage PCA+LDA pipeline (Belhumeur,
+// Hespanha, Kriegman — TPAMI 1997), the "additional preprocessing step"
+// the paper's introduction cites as the standard way to make the scatter
+// matrices nonsingular before LDA: project to the top m−c principal
+// components, then run LDA in that subspace.  The composite projection
+// x ↦ A_ldaᵀ V_pcaᵀ (x − μ) is folded into a single matrix.
+type Fisherfaces struct {
+	// A is the composite n×d projection.
+	A *mat.Dense
+	// Mu is the training mean.
+	Mu []float64
+	// PCADim records how many principal components the first stage kept.
+	PCADim int
+	// NumClasses is c.
+	NumClasses int
+}
+
+// FisherfacesOptions configures the pipeline.
+type FisherfacesOptions struct {
+	// PCADim caps the first-stage dimensionality; 0 uses the classic
+	// m − c (which guarantees a nonsingular within-class scatter).
+	PCADim int
+	// Alpha optionally regularizes the second-stage LDA.
+	Alpha float64
+}
+
+// FitFisherfaces trains the two-stage pipeline.
+func FitFisherfaces(x *mat.Dense, labels []int, numClasses int, opt FisherfacesOptions) (*Fisherfaces, error) {
+	m := x.Rows
+	if m != len(labels) {
+		return nil, fmt.Errorf("lda: %d samples but %d labels", m, len(labels))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("lda: need at least 2 classes")
+	}
+	dim := opt.PCADim
+	if dim <= 0 {
+		dim = m - numClasses
+	}
+	if dim < numClasses-1 {
+		return nil, fmt.Errorf("lda: PCA dimension %d below the %d discriminants needed", dim, numClasses-1)
+	}
+	pca, err := decomp.NewPCA(x, dim)
+	if err != nil {
+		return nil, fmt.Errorf("lda: PCA stage: %w", err)
+	}
+	z := pca.Transform(x)
+	inner, err := Fit(z, labels, numClasses, Options{Alpha: opt.Alpha})
+	if err != nil {
+		return nil, fmt.Errorf("lda: LDA stage: %w", err)
+	}
+	// Fold the two projections: x ↦ A_innerᵀ·(V_pcaᵀ(x−μ) − μ_inner).
+	// pca.Transform already subtracts μ; inner.Transform subtracts its own
+	// mean of the projected data, which is 0 because PCA output is
+	// centered — fold anyway for exactness.
+	a := mat.Mul(pca.Components, inner.A)
+	// effective mean: μ_total = μ_pca + V·μ_inner
+	mu := append([]float64(nil), pca.Mu...)
+	vmu := pca.Components.MulVec(inner.Mu, nil)
+	for i := range mu {
+		mu[i] += vmu[i]
+	}
+	return &Fisherfaces{A: a, Mu: mu, PCADim: pca.Dim(), NumClasses: numClasses}, nil
+}
+
+// Dim returns the number of discriminant directions.
+func (f *Fisherfaces) Dim() int { return f.A.Cols }
+
+// Transform embeds the rows of x.
+func (f *Fisherfaces) Transform(x *mat.Dense) *mat.Dense {
+	out := mat.Mul(x, f.A)
+	shift := f.A.MulTVec(f.Mu, nil)
+	for i := 0; i < out.Rows; i++ {
+		row := out.RowView(i)
+		for j := range row {
+			row[j] -= shift[j]
+		}
+	}
+	return out
+}
+
+// TransformVec embeds one sample.
+func (f *Fisherfaces) TransformVec(x []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, f.Dim())
+	}
+	centered := make([]float64, len(x))
+	for i := range x {
+		centered[i] = x[i] - f.Mu[i]
+	}
+	f.A.MulTVec(centered, dst)
+	return dst
+}

@@ -1,0 +1,195 @@
+// Package lda implements the classical Linear Discriminant Analysis
+// baseline exactly as analyzed in §II-A of the paper — centering, thin SVD
+// of the centered data (via the cross-product trick), and the c×c
+// eigenproblem on the class-aggregated matrix H — together with the
+// regularized variant RLDA (Friedman 1989) that the paper compares
+// against.  This is the O(mnt + t³) algorithm SRDA is measured against.
+package lda
+
+import (
+	"fmt"
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// Alpha is the RLDA regularizer added to the total scatter
+	// (S_t + αI); 0 gives plain LDA with SVD-based singularity handling.
+	Alpha float64
+	// RCond truncates singular values of the centered data below
+	// RCond·σ_max (default 1e-10); this is the paper's "use SVD to solve
+	// the singularity problem".
+	RCond float64
+}
+
+// Model is a trained LDA/RLDA transformer: x ↦ Aᵀ(x − μ).
+type Model struct {
+	// A is the n×d projection matrix (d ≤ c−1).
+	A *mat.Dense
+	// Mu is the training mean subtracted before projecting.
+	Mu []float64
+	// Eigenvalues holds the discriminant ratios λ ∈ [0,1] per direction
+	// (between-scatter over total-scatter in the generalized problem).
+	Eigenvalues []float64
+	// NumClasses is c.
+	NumClasses int
+}
+
+// Fit trains the baseline on a dense m×n matrix with labels in
+// [0, numClasses).  The steps follow §II-A:
+//
+//  1. Center the data: X̄ = X − 1μᵀ.
+//  2. Thin SVD X̄ = U Σ Vᵀ by the cross-product algorithm (decomp.NewSVD),
+//     truncating to the numerical rank r.
+//  3. Build H (r×c): column k is (1/√m_k)·Σ_{i∈class k} u_i, where u_i is
+//     the i-th row of U.  Then UᵀWU = HHᵀ (eq. 11).
+//  4. RLDA whitening: G = (Σ²+αI)^{-1/2} Σ H.  Eigendecompose the small
+//     c×c GᵀG and map back, keeping eigenvalues > 0 (at most c−1).
+//  5. A = V (Σ²+αI)^{-1/2} G q_j / √λ_j — for α = 0 this reduces to the
+//     paper's a = V Σ⁻¹ u_j (eq. 10).
+func Fit(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	m := x.Rows
+	if m != len(labels) {
+		return nil, fmt.Errorf("lda: %d samples but %d labels", m, len(labels))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("lda: need at least 2 classes")
+	}
+	counts := make([]int, numClasses)
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("lda: label %d at sample %d out of range", y, i)
+		}
+		counts[y]++
+	}
+	for k, cnt := range counts {
+		if cnt == 0 {
+			return nil, fmt.Errorf("lda: class %d has no samples", k)
+		}
+	}
+
+	// Step 1: center (densifying — this is precisely the memory cost the
+	// paper charges LDA with).
+	xc := x.Clone()
+	mu := xc.CenterRows()
+
+	// Step 2: thin SVD of the centered data.
+	svd, err := decomp.NewSVD(xc, opt.RCond)
+	if err != nil {
+		return nil, fmt.Errorf("lda: svd: %w", err)
+	}
+	r := svd.Rank()
+	if r == 0 {
+		return nil, fmt.Errorf("lda: centered data has rank 0")
+	}
+
+	// Step 3: class-aggregate the rows of U into H (r×c).
+	h := mat.NewDense(r, numClasses)
+	for i := 0; i < m; i++ {
+		urow := svd.U.RowView(i)
+		k := labels[i]
+		for d := 0; d < r; d++ {
+			h.Set(d, k, h.At(d, k)+urow[d])
+		}
+	}
+	for k := 0; k < numClasses; k++ {
+		inv := 1 / math.Sqrt(float64(counts[k]))
+		for d := 0; d < r; d++ {
+			h.Set(d, k, h.At(d, k)*inv)
+		}
+	}
+
+	// Step 4: whiten rows of H by s_d = σ_d / sqrt(σ_d² + α) to get G.
+	scale := make([]float64, r)
+	for d := 0; d < r; d++ {
+		s2 := svd.Sigma[d] * svd.Sigma[d]
+		scale[d] = svd.Sigma[d] / math.Sqrt(s2+opt.Alpha)
+	}
+	g := h.Clone()
+	for d := 0; d < r; d++ {
+		blas.Scal(scale[d], g.RowView(d))
+	}
+
+	// Small c×c eigenproblem on GᵀG; eigenvalues are the discriminant
+	// ratios, at most c−1 of them nonzero.
+	gtg := mat.Gram(g)
+	eig, err := decomp.NewSymEig(gtg)
+	if err != nil {
+		return nil, fmt.Errorf("lda: eigen: %w", err)
+	}
+	maxDirs := numClasses - 1
+	dirs := 0
+	tol := 1e-10
+	if len(eig.Values) > 0 {
+		tol = 1e-10 * math.Max(eig.Values[0], 1)
+	}
+	for dirs < maxDirs && dirs < len(eig.Values) && eig.Values[dirs] > tol {
+		dirs++
+	}
+	if dirs == 0 {
+		return nil, fmt.Errorf("lda: no discriminative directions found")
+	}
+
+	// Step 5: d_j = G q_j / √λ_j, b_j = (Σ²+αI)^{-1/2} d_j, a_j = V b_j.
+	// The raw directions are (S_t+αI)-orthonormal; rescale each by
+	// 1/√(1−λ_j) so they become (S_w+αI)-orthonormal instead.  That is
+	// the convention under which Euclidean distance in the embedding
+	// behaves like the within-class Mahalanobis metric, which
+	// nearest-centroid/k-NN classification assumes.  λ_j = 1 (exact class
+	// collapse, the n > m regime) leaves the within-variance zero; the
+	// scale is capped there.
+	b := mat.NewDense(r, dirs)
+	q := make([]float64, numClasses)
+	gq := make([]float64, r)
+	for j := 0; j < dirs; j++ {
+		eig.Vectors.ColCopy(j, q)
+		g.MulVec(q, gq)
+		lam := eig.Values[j]
+		scaleJ := 1 / (math.Sqrt(lam) * math.Sqrt(math.Max(1-lam, 1e-8)))
+		for d := 0; d < r; d++ {
+			s2 := svd.Sigma[d]*svd.Sigma[d] + opt.Alpha
+			b.Set(d, j, gq[d]*scaleJ/math.Sqrt(s2))
+		}
+	}
+	a := mat.Mul(svd.V, b)
+
+	return &Model{
+		A:           a,
+		Mu:          mu,
+		Eigenvalues: eig.Values[:dirs],
+		NumClasses:  numClasses,
+	}, nil
+}
+
+// Dim returns the number of discriminant directions kept.
+func (m *Model) Dim() int { return m.A.Cols }
+
+// Transform embeds the rows of x: Z = (X − 1μᵀ)·A.
+func (m *Model) Transform(x *mat.Dense) *mat.Dense {
+	if x.Cols != m.A.Rows {
+		panic(fmt.Sprintf("lda: Transform feature mismatch: data has %d, model %d", x.Cols, m.A.Rows))
+	}
+	out := mat.Mul(x, m.A)
+	shift := m.A.MulTVec(m.Mu, nil)
+	for i := 0; i < out.Rows; i++ {
+		blas.Axpy(-1, shift, out.RowView(i))
+	}
+	return out
+}
+
+// TransformVec embeds a single sample.
+func (m *Model) TransformVec(x []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Dim())
+	}
+	centered := make([]float64, len(x))
+	for i := range x {
+		centered[i] = x[i] - m.Mu[i]
+	}
+	m.A.MulTVec(centered, dst)
+	return dst
+}

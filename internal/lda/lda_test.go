@@ -1,0 +1,733 @@
+package lda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/blas"
+	"srda/internal/core"
+	"srda/internal/mat"
+)
+
+func randLabels(rng *rand.Rand, m, c int) []int {
+	labels := make([]int, m)
+	for i := range labels {
+		labels[i] = i % c
+	}
+	rng.Shuffle(m, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return labels
+}
+
+func gaussianBlobs(rng *rand.Rand, m, n, c int, sep float64) (*mat.Dense, []int) {
+	x := mat.NewDense(m, n)
+	labels := randLabels(rng, m, c)
+	for i := 0; i < m; i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[0] += sep * float64(labels[i])
+		if n > 1 {
+			row[1] += sep * 0.5 * float64((labels[i]*7)%c)
+		}
+	}
+	return x, labels
+}
+
+func TestScattersIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := gaussianBlobs(rng, 60, 8, 3, 3)
+	sb, sw, st := Scatters(x, labels, 3)
+	sum := sb.Clone()
+	sum.AddScaled(1, sw)
+	if d := mat.MaxAbsDiff(sum, st); d > 1e-9 {
+		t.Fatalf("S_b + S_w != S_t (diff %v)", d)
+	}
+	// S_t must equal the Gram matrix of the centered data (eq. after (3)).
+	xc := x.Clone()
+	xc.CenterRows()
+	g := mat.Gram(xc)
+	if d := mat.MaxAbsDiff(g, st); d > 1e-8*(1+st.Norm()) {
+		t.Fatalf("S_t != X̄ᵀX̄ (diff %v)", d)
+	}
+}
+
+func TestScattersSymmetricPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, labels := gaussianBlobs(rng, 40, 6, 4, 2)
+	sb, sw, _ := Scatters(x, labels, 4)
+	for _, s := range []*mat.Dense{sb, sw} {
+		for i := 0; i < s.Rows; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(s.At(i, j)-s.At(j, i)) > 1e-10 {
+					t.Fatal("scatter not symmetric")
+				}
+			}
+		}
+		// PSD spot check via random quadratic forms
+		v := make([]float64, s.Cols)
+		for trial := 0; trial < 20; trial++ {
+			for k := range v {
+				v[k] = rng.NormFloat64()
+			}
+			if q := blas.Dot(v, s.MulVec(v, nil)); q < -1e-8 {
+				t.Fatalf("scatter has negative quadratic form %v", q)
+			}
+		}
+	}
+}
+
+func TestFitSolvesGeneralizedEigenproblem(t *testing.T) {
+	// Every fitted direction must satisfy S_b a = λ S_t a with its
+	// recorded eigenvalue λ — the defining property (eq. 5).
+	rng := rand.New(rand.NewSource(3))
+	x, labels := gaussianBlobs(rng, 120, 10, 4, 4)
+	model, err := Fit(x, labels, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim() != 3 {
+		t.Fatalf("Dim=%d want 3", model.Dim())
+	}
+	sb, _, st := Scatters(x, labels, 4)
+	a := make([]float64, x.Cols)
+	for j := 0; j < model.Dim(); j++ {
+		model.A.ColCopy(j, a)
+		lhs := sb.MulVec(a, nil)
+		rhs := st.MulVec(a, nil)
+		lam := model.Eigenvalues[j]
+		var worst float64
+		for i := range lhs {
+			if d := math.Abs(lhs[i] - lam*rhs[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-6*(1+blas.Nrm2(lhs)) {
+			t.Fatalf("direction %d violates S_b a = λ S_t a by %v (λ=%v)", j, worst, lam)
+		}
+	}
+}
+
+func TestEigenvaluesSortedInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := gaussianBlobs(rng, 90, 7, 3, 3)
+	model, err := Fit(x, labels, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, l := range model.Eigenvalues {
+		if l < -1e-10 || l > 1+1e-10 {
+			t.Fatalf("eigenvalue %d = %v outside [0,1]", j, l)
+		}
+		if j > 0 && l > model.Eigenvalues[j-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+}
+
+func TestFitMaximizesFisherRatio(t *testing.T) {
+	// The first direction's Fisher ratio must beat random directions.
+	rng := rand.New(rand.NewSource(5))
+	x, labels := gaussianBlobs(rng, 100, 12, 3, 3)
+	model, err := Fit(x, labels, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, st := Scatters(x, labels, 3)
+	a0 := model.A.ColCopy(0, nil)
+	best := FisherRatio(sb, st, a0)
+	if math.Abs(best-model.Eigenvalues[0]) > 1e-8 {
+		t.Fatalf("ratio %v != eigenvalue %v", best, model.Eigenvalues[0])
+	}
+	v := make([]float64, x.Cols)
+	for trial := 0; trial < 50; trial++ {
+		for k := range v {
+			v[k] = rng.NormFloat64()
+		}
+		if r := FisherRatio(sb, st, v); r > best+1e-9 {
+			t.Fatalf("random direction beats LDA: %v > %v", r, best)
+		}
+	}
+}
+
+func TestSingularCaseHandled(t *testing.T) {
+	// n > m: scatter matrices are singular; the SVD route must still work.
+	rng := rand.New(rand.NewSource(6))
+	m, n, c := 25, 60, 3
+	x, labels := gaussianBlobs(rng, m, n, c, 5)
+	model, err := Fit(x, labels, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := model.Transform(x)
+	if emb.Cols != c-1 {
+		t.Fatalf("embedding dim %d", emb.Cols)
+	}
+	for i := range emb.Data {
+		if math.IsNaN(emb.Data[i]) || math.IsInf(emb.Data[i], 0) {
+			t.Fatal("non-finite embedding in singular case")
+		}
+	}
+}
+
+func TestTransformCentersProperly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, labels := gaussianBlobs(rng, 50, 6, 2, 4)
+	model, err := Fit(x, labels, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := model.Transform(x)
+	// Embedded training data must have zero mean (projection of centered).
+	for j := 0; j < emb.Cols; j++ {
+		var s float64
+		for i := 0; i < emb.Rows; i++ {
+			s += emb.At(i, j)
+		}
+		if math.Abs(s/float64(emb.Rows)) > 1e-8 {
+			t.Fatalf("embedding mean %v not zero", s/float64(emb.Rows))
+		}
+	}
+	// Vec and matrix paths agree.
+	v := model.TransformVec(x.RowView(3), nil)
+	for j := range v {
+		if math.Abs(v[j]-emb.At(3, j)) > 1e-10 {
+			t.Fatal("TransformVec disagrees with Transform")
+		}
+	}
+}
+
+func TestRLDAConvergesToLDA(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, labels := gaussianBlobs(rng, 80, 9, 3, 3)
+	plain, err := Fit(x, labels, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Fit(x, labels, 3, Options{Alpha: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection matrices may differ by sign per column; compare spans via
+	// embeddings' pairwise distances.
+	e1, e2 := plain.Transform(x), reg.Transform(x)
+	for trial := 0; trial < 30; trial++ {
+		i, p := rng.Intn(x.Rows), rng.Intn(x.Rows)
+		d1 := rowDist(e1, i, p)
+		d2 := rowDist(e2, i, p)
+		if math.Abs(d1-d2) > 1e-5*(1+d1) {
+			t.Fatalf("RLDA(α→0) geometry differs from LDA: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func rowDist(e *mat.Dense, i, p int) float64 {
+	var d float64
+	for j := 0; j < e.Cols; j++ {
+		diff := e.At(i, j) - e.At(p, j)
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+func TestRLDARegularizationShrinksDirections(t *testing.T) {
+	// With huge α the whitening term dampens everything; eigenvalues of
+	// the regularized problem must decrease monotonically in α.
+	rng := rand.New(rand.NewSource(9))
+	x, labels := gaussianBlobs(rng, 70, 8, 3, 3)
+	var prev = math.Inf(1)
+	for _, alpha := range []float64{0, 1, 100, 1e4} {
+		model, err := Fit(x, labels, 3, Options{Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if model.Eigenvalues[0] > prev+1e-12 {
+			t.Fatalf("leading eigenvalue grew with alpha: %v -> %v", prev, model.Eigenvalues[0])
+		}
+		prev = model.Eigenvalues[0]
+	}
+}
+
+func TestTheorem2SRDADirectionsSolveLDAEigenproblem(t *testing.T) {
+	// Paper Theorem 2 / Corollary 3: with linearly independent samples
+	// (n > m) and α→0, each SRDA direction is an eigenvector of the LDA
+	// generalized eigenproblem S_b a = λ S_t a.
+	rng := rand.New(rand.NewSource(10))
+	m, n, c := 18, 40, 3
+	x := mat.NewDense(m, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := randLabels(rng, m, c)
+	srda, err := core.FitDense(x, labels, c, core.Options{Alpha: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, st := Scatters(x, labels, c)
+	a := make([]float64, n)
+	for j := 0; j < srda.Dim(); j++ {
+		srda.W.ColCopy(j, a)
+		sba := sb.MulVec(a, nil)
+		sta := st.MulVec(a, nil)
+		// Rayleigh quotient as the eigenvalue estimate.
+		lam := blas.Dot(a, sba) / blas.Dot(a, sta)
+		var worst float64
+		for i := range sba {
+			if d := math.Abs(sba[i] - lam*sta[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-6*(1+blas.Nrm2(sba)) {
+			t.Fatalf("SRDA direction %d is not an LDA eigenvector (residual %v, λ=%v)", j, worst, lam)
+		}
+		// In the independent-samples case all discriminative eigenvalues
+		// are 1 (training classes collapse to points).
+		if math.Abs(lam-1) > 1e-6 {
+			t.Fatalf("expected λ=1 for independent samples, got %v", lam)
+		}
+	}
+}
+
+func TestLDAAndSRDAAgreeOnClassification(t *testing.T) {
+	// Functional equivalence on a well-posed dense problem (m >> n,
+	// clearly separated classes): both methods must make nearly the same
+	// nearest-centroid decisions and deliver comparable error rates.
+	// The two embeddings share the subspace but differ by an invertible
+	// within-subspace map, so decisions can differ on boundary points;
+	// with well-separated classes they must agree almost everywhere and
+	// deliver the same error rate (the paper's Tables III–IX pattern).
+	rng := rand.New(rand.NewSource(11))
+	xTrain, yTrain := gaussianBlobs(rng, 200, 20, 4, 8)
+	xTest, yTest := gaussianBlobs(rng, 200, 20, 4, 8)
+
+	ldaModel, err := Fit(xTrain, yTrain, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srdaModel, err := core.FitDense(xTrain, yTrain, 4, core.Options{Alpha: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := nearestCentroidPredict(ldaModel.Transform(xTrain), yTrain, ldaModel.Transform(xTest), 4)
+	p2 := nearestCentroidPredict(srdaModel.TransformDense(xTrain), yTrain, srdaModel.TransformDense(xTest), 4)
+	agree, err1, err2 := 0, 0, 0
+	for i := range p1 {
+		if p1[i] == p2[i] {
+			agree++
+		}
+		if p1[i] != yTest[i] {
+			err1++
+		}
+		if p2[i] != yTest[i] {
+			err2++
+		}
+	}
+	n := float64(len(p1))
+	if frac := float64(agree) / n; frac < 0.85 {
+		t.Fatalf("LDA and SRDA agree on only %.0f%% of test points", 100*frac)
+	}
+	if gap := math.Abs(float64(err1)-float64(err2)) / n; gap > 0.1 {
+		t.Fatalf("error-rate gap %.2f between LDA (%d) and SRDA (%d)", gap, err1, err2)
+	}
+}
+
+func nearestCentroidPredict(embTrain *mat.Dense, yTrain []int, embTest *mat.Dense, c int) []int {
+	d := embTrain.Cols
+	cent := mat.NewDense(c, d)
+	counts := make([]float64, c)
+	for i, lab := range yTrain {
+		counts[lab]++
+		blas.Axpy(1, embTrain.RowView(i), cent.RowView(lab))
+	}
+	for k := 0; k < c; k++ {
+		blas.Scal(1/counts[k], cent.RowView(k))
+	}
+	out := make([]int, embTest.Rows)
+	for i := 0; i < embTest.Rows; i++ {
+		best, bestD := -1, math.Inf(1)
+		for k := 0; k < c; k++ {
+			var dist float64
+			for j := 0; j < d; j++ {
+				diff := embTest.At(i, j) - cent.At(k, j)
+				dist += diff * diff
+			}
+			if dist < bestD {
+				best, bestD = k, dist
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func TestFitValidation(t *testing.T) {
+	x := mat.NewDense(4, 3)
+	if _, err := Fit(x, []int{0, 1}, 2, Options{}); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := Fit(x, []int{0, 0, 0, 0}, 2, Options{}); err == nil {
+		t.Fatal("empty class accepted")
+	}
+	if _, err := Fit(x, []int{0, 1, 0, 1}, 1, Options{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestFisherfacesMatchesFoldedPipeline(t *testing.T) {
+	// The composite projection must equal running PCA then LDA explicitly.
+	rng := rand.New(rand.NewSource(30))
+	x, labels := gaussianBlobs(rng, 80, 25, 4, 5)
+	ff, err := FitFisherfaces(x, labels, 4, FisherfacesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m−c = 76 exceeds the data rank (n = 25), so PCA clamps to 25
+	if ff.PCADim != 25 {
+		t.Fatalf("PCADim=%d want rank-clamped 25", ff.PCADim)
+	}
+	got := ff.Transform(x)
+	// explicit two-stage on the same data
+	v := ff.TransformVec(x.RowView(5), nil)
+	for j := range v {
+		if math.Abs(v[j]-got.At(5, j)) > 1e-9 {
+			t.Fatal("TransformVec disagrees with Transform")
+		}
+	}
+	// embedding must be centered on training data
+	for j := 0; j < got.Cols; j++ {
+		var s float64
+		for i := 0; i < got.Rows; i++ {
+			s += got.At(i, j)
+		}
+		if math.Abs(s/float64(got.Rows)) > 1e-8 {
+			t.Fatalf("embedding mean %v", s/float64(got.Rows))
+		}
+	}
+}
+
+func TestFisherfacesHandlesSingularCase(t *testing.T) {
+	// n > m: plain scatter matrices are singular; the PCA stage fixes it.
+	rng := rand.New(rand.NewSource(31))
+	x, labels := gaussianBlobs(rng, 30, 100, 3, 8)
+	ff, err := FitFisherfaces(x, labels, 3, FisherfacesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := ff.Transform(x)
+	if emb.Cols != 2 {
+		t.Fatalf("dim %d", emb.Cols)
+	}
+	for _, v := range emb.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite embedding")
+		}
+	}
+}
+
+func TestFisherfacesClassifiesComparablyToLDA(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	xTrain, yTrain := gaussianBlobs(rng, 200, 20, 4, 8)
+	xTest, yTest := gaussianBlobs(rng, 150, 20, 4, 8)
+	ff, err := FitFisherfaces(xTrain, yTrain, 4, FisherfacesOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := nearestCentroidPredict(ff.Transform(xTrain), yTrain, ff.Transform(xTest), 4)
+	ldaModel, err := Fit(xTrain, yTrain, 4, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := nearestCentroidPredict(ldaModel.Transform(xTrain), yTrain, ldaModel.Transform(xTest), 4)
+	e1, e2 := errRate(p1, yTest), errRate(p2, yTest)
+	if math.Abs(e1-e2) > 0.1 {
+		t.Fatalf("Fisherfaces %.3f vs RLDA %.3f: unexpectedly far apart", e1, e2)
+	}
+}
+
+func errRate(pred, truth []int) float64 {
+	wrong := 0
+	for i := range pred {
+		if pred[i] != truth[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(pred))
+}
+
+func TestFisherfacesValidation(t *testing.T) {
+	x := mat.NewDense(6, 4)
+	if _, err := FitFisherfaces(x, []int{0, 1}, 2, FisherfacesOptions{}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := FitFisherfaces(x, []int{0, 1, 0, 1, 0, 1}, 2, FisherfacesOptions{PCADim: 0}); err != nil {
+		// m−c = 4 >= c−1 = 1, should be fine with real data; zero matrix
+		// will fail in PCA (rank 0) which is also acceptable
+		t.Logf("zero-matrix pipeline failed as expected: %v", err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	xr, labels := gaussianBlobs(rng, 12, 8, 6, 3)
+	if _, err := FitFisherfaces(xr, labels, 6, FisherfacesOptions{PCADim: 2}); err == nil {
+		t.Fatal("PCADim below c−1 accepted")
+	}
+}
+
+func TestOrthogonalLDAHasOrthonormalBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	x, labels := gaussianBlobs(rng, 90, 12, 4, 5)
+	model, err := FitOrthogonal(x, labels, 4, Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mat.MulTA(model.A, model.A)
+	if !mat.Equalish(g, mat.Identity(model.Dim()), 1e-9) {
+		t.Fatal("OLDA basis not orthonormal")
+	}
+	// spans the same subspace as plain LDA: projections of LDA's columns
+	// onto OLDA's basis reconstruct them
+	plain, err := Fit(x, labels, 4, Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < plain.Dim(); j++ {
+		col := plain.A.ColCopy(j, nil)
+		coef := model.A.MulTVec(col, nil)
+		rec := model.A.MulVec(coef, nil)
+		var resid float64
+		for i := range col {
+			d := col[i] - rec[i]
+			resid += d * d
+		}
+		if math.Sqrt(resid) > 1e-6*blas.Nrm2(col) {
+			t.Fatalf("OLDA span misses LDA direction %d (resid %v)", j, math.Sqrt(resid))
+		}
+	}
+}
+
+func TestNullSpaceLDACollapsesTraining(t *testing.T) {
+	// In the n > m regime, NLDA's defining property: training samples of a
+	// class project to exactly their class's point (within-scatter zero).
+	rng := rand.New(rand.NewSource(41))
+	m, n, c := 24, 60, 3
+	x, labels := gaussianBlobs(rng, m, n, c, 5)
+	model, err := FitNullSpace(x, labels, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := model.Transform(x)
+	for i := 1; i < m; i++ {
+		for p := 0; p < i; p++ {
+			if labels[i] != labels[p] {
+				continue
+			}
+			for j := 0; j < emb.Cols; j++ {
+				if math.Abs(emb.At(i, j)-emb.At(p, j)) > 1e-6 {
+					t.Fatalf("same-class samples differ at dim %d", j)
+				}
+			}
+		}
+	}
+	// classes must separate
+	var minGap = math.Inf(1)
+	for i := 1; i < m; i++ {
+		for p := 0; p < i; p++ {
+			if labels[i] == labels[p] {
+				continue
+			}
+			minGap = math.Min(minGap, rowDist(emb, i, p))
+		}
+	}
+	if minGap < 1e-6 {
+		t.Fatalf("classes collapsed together, gap %v", minGap)
+	}
+}
+
+func TestNullSpaceLDAFailsGracefullyWhenOversampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x, labels := gaussianBlobs(rng, 200, 10, 3, 5)
+	if _, err := FitNullSpace(x, labels, 3, Options{}); err == nil {
+		t.Fatal("NLDA should report an empty null space for m >> n")
+	}
+}
+
+func TestNullSpaceLDAGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	xTrain, yTrain := gaussianBlobs(rng, 45, 120, 3, 10)
+	xTest, yTest := gaussianBlobs(rng, 60, 120, 3, 10)
+	model, err := FitNullSpace(xTrain, yTrain, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := nearestCentroidPredict(model.Transform(xTrain), yTrain, model.Transform(xTest), 3)
+	if e := errRate(pred, yTest); e > 0.1 {
+		t.Fatalf("NLDA test error %.3f on separable data", e)
+	}
+}
+
+func TestTwoDLDAOnFaceImages(t *testing.T) {
+	// 2D-LDA must classify pie-like faces competitively and never densify
+	// a side²×side² scatter.
+	rng := rand.New(rand.NewSource(50))
+	side := 12
+	faces := make2DFaces(rng, 10, 20, side)
+	xTrain, yTrain, xTest, yTest := splitHalf(faces.x, faces.labels)
+	model, err := Fit2D(xTrain, side, side, yTrain, 10, TwoDLDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim() != 9*9 {
+		t.Fatalf("Dim=%d want 81", model.Dim())
+	}
+	pred := nearestCentroidPredict(model.Transform(xTrain), yTrain, model.Transform(xTest), 10)
+	if e := errRate(pred, yTest); e > 0.25 {
+		t.Fatalf("2DLDA error %.3f", e)
+	}
+}
+
+type faceSet struct {
+	x      *mat.Dense
+	labels []int
+}
+
+// make2DFaces builds images with class structure in both row and column
+// patterns (so bilinear projections have something to find).
+func make2DFaces(rng *rand.Rand, classes, perClass, side int) faceSet {
+	m := classes * perClass
+	x := mat.NewDense(m, side*side)
+	labels := make([]int, m)
+	protos := make([][]float64, classes)
+	for k := range protos {
+		p := make([]float64, side*side)
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				p[r*side+c] = math.Sin(float64((k+2)*r)/float64(side)) * math.Cos(float64((k+1)*c)/float64(side))
+			}
+		}
+		protos[k] = p
+	}
+	i := 0
+	for k := 0; k < classes; k++ {
+		for s := 0; s < perClass; s++ {
+			row := x.RowView(i)
+			copy(row, protos[k])
+			for j := range row {
+				row[j] += 0.3 * rng.NormFloat64()
+			}
+			labels[i] = k
+			i++
+		}
+	}
+	return faceSet{x, labels}
+}
+
+func splitHalf(x *mat.Dense, labels []int) (*mat.Dense, []int, *mat.Dense, []int) {
+	m := x.Rows
+	var ti, si []int
+	for i := 0; i < m; i++ {
+		if i%2 == 0 {
+			ti = append(ti, i)
+		} else {
+			si = append(si, i)
+		}
+	}
+	take := func(idx []int) (*mat.Dense, []int) {
+		out := mat.NewDense(len(idx), x.Cols)
+		lab := make([]int, len(idx))
+		for r, i := range idx {
+			copy(out.RowView(r), x.RowView(i))
+			lab[r] = labels[i]
+		}
+		return out, lab
+	}
+	a, al := take(ti)
+	b, bl := take(si)
+	return a, al, b, bl
+}
+
+func TestTwoDLDAValidation(t *testing.T) {
+	x := mat.NewDense(6, 16)
+	labels := []int{0, 1, 0, 1, 0, 1}
+	if _, err := Fit2D(x, 5, 5, labels, 2, TwoDLDAOptions{}); err == nil {
+		t.Fatal("image shape mismatch accepted")
+	}
+	if _, err := Fit2D(x, 4, 4, labels[:3], 2, TwoDLDAOptions{}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := Fit2D(x, 4, 4, labels, 2, TwoDLDAOptions{DimL: 10}); err == nil {
+		t.Fatal("oversized DimL accepted")
+	}
+}
+
+func TestTwoDLDAMuchSmallerThanVectorLDA(t *testing.T) {
+	// The whole point: 2DLDA's parameters are (side×l)², not side²×(c−1).
+	rng := rand.New(rand.NewSource(51))
+	side := 16
+	faces := make2DFaces(rng, 4, 10, side)
+	model, err := Fit2D(faces.x, side, side, faces.labels, 4, TwoDLDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params2D := model.L.Rows*model.L.Cols + model.R.Rows*model.R.Cols
+	paramsVec := side * side * 3 // vector LDA: n×(c−1)
+	if params2D >= paramsVec {
+		t.Fatalf("2DLDA params %d not below vector LDA %d", params2D, paramsVec)
+	}
+}
+
+func TestMMCSeparatesAndIsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	xTrain, yTrain := gaussianBlobs(rng, 150, 15, 3, 8)
+	xTest, yTest := gaussianBlobs(rng, 100, 15, 3, 8)
+	model, err := FitMMC(xTrain, yTrain, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim() < 1 || model.Dim() > 2 {
+		t.Fatalf("Dim=%d", model.Dim())
+	}
+	// V-columns are orthonormal combinations of orthonormal eigenvectors
+	g := mat.MulTA(model.A, model.A)
+	if !mat.Equalish(g, mat.Identity(model.Dim()), 1e-8) {
+		t.Fatal("MMC basis not orthonormal")
+	}
+	pred := nearestCentroidPredict(model.Transform(xTrain), yTrain, model.Transform(xTest), 3)
+	if e := errRate(pred, yTest); e > 0.05 {
+		t.Fatalf("MMC error %.3f on separable blobs", e)
+	}
+}
+
+func TestMMCMarginMatchesScatterTrace(t *testing.T) {
+	// Each MMC eigenvalue equals aᵀ(S_b − S_w)a for its direction.
+	rng := rand.New(rand.NewSource(61))
+	x, labels := gaussianBlobs(rng, 80, 8, 3, 4)
+	model, err := FitMMC(x, labels, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, sw, _ := Scatters(x, labels, 3)
+	diff := sb.Clone()
+	diff.AddScaled(-1, sw)
+	a := make([]float64, x.Cols)
+	for j := 0; j < model.Dim(); j++ {
+		model.A.ColCopy(j, a)
+		got := blas.Dot(a, diff.MulVec(a, nil))
+		if math.Abs(got-model.Eigenvalues[j]) > 1e-6*(1+math.Abs(got)) {
+			t.Fatalf("margin %d: %v vs eigenvalue %v", j, got, model.Eigenvalues[j])
+		}
+	}
+}
+
+func TestMMCHandlesSingularCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	x, labels := gaussianBlobs(rng, 20, 80, 3, 6)
+	model, err := FitMMC(x, labels, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := model.Transform(x)
+	for _, v := range emb.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in MMC embedding")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package lda
+
+import (
+	"srda/internal/blas"
+	"srda/internal/mat"
+)
+
+// Scatters computes the explicit n×n scatter matrices of the labeled data:
+// between-class S_b (eq. 2), within-class S_w (eq. 3), and total
+// S_t = S_b + S_w.  These are the dense matrices whose eigendecomposition
+// classical LDA needs — quadratic memory in n, which is exactly what the
+// paper's complexity argument is about.  Provided for validation, small
+// problems, and the test suite; the Fit path never materializes them.
+func Scatters(x *mat.Dense, labels []int, numClasses int) (sb, sw, st *mat.Dense) {
+	m, n := x.Rows, x.Cols
+	counts := make([]int, numClasses)
+	mu := make([]float64, n)
+	centroids := mat.NewDense(numClasses, n)
+	for i := 0; i < m; i++ {
+		row := x.RowView(i)
+		blas.Axpy(1, row, mu)
+		blas.Axpy(1, row, centroids.RowView(labels[i]))
+		counts[labels[i]]++
+	}
+	blas.Scal(1/float64(m), mu)
+	for k := 0; k < numClasses; k++ {
+		if counts[k] > 0 {
+			blas.Scal(1/float64(counts[k]), centroids.RowView(k))
+		}
+	}
+
+	sb = mat.NewDense(n, n)
+	diff := make([]float64, n)
+	for k := 0; k < numClasses; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		copy(diff, centroids.RowView(k))
+		blas.Axpy(-1, mu, diff)
+		blas.Ger(n, n, float64(counts[k]), diff, diff, sb.Data, sb.Stride)
+	}
+
+	sw = mat.NewDense(n, n)
+	for i := 0; i < m; i++ {
+		copy(diff, x.RowView(i))
+		blas.Axpy(-1, centroids.RowView(labels[i]), diff)
+		blas.Ger(n, n, 1, diff, diff, sw.Data, sw.Stride)
+	}
+
+	st = sb.Clone()
+	st.AddScaled(1, sw)
+	return sb, sw, st
+}
+
+// FisherRatio evaluates the Rayleigh quotient aᵀS_b a / aᵀS_t a for a
+// direction a — the objective of eq. (4).  Returns 0 when the denominator
+// vanishes.
+func FisherRatio(sb, st *mat.Dense, a []float64) float64 {
+	num := blas.Dot(a, sb.MulVec(a, nil))
+	den := blas.Dot(a, st.MulVec(a, nil))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,230 @@
+package lda
+
+import (
+	"fmt"
+
+	"srda/internal/blas"
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// TwoDLDA is a two-dimensional LDA transformer (Ye, Janardan, Li — NIPS
+// 2004): images are treated as matrices A rather than vectors, and two
+// small projections L (rows×l1) and R (cols×l2) are learned by
+// alternating generalized eigenproblems so that the bilinear embedding
+// LᵀAR maximizes between- over within-class scatter.  Working with
+// side×side scatter matrices instead of side²×side² ones sidesteps the
+// singularity problem entirely — the matrix-variate answer to the same
+// small-sample issue SRDA solves by regression.
+type TwoDLDA struct {
+	// L and R are the row- and column-side projections.
+	L, R *mat.Dense
+	// MeanImage is the training mean (rows×cols).
+	MeanImage *mat.Dense
+	// Rows, Cols are the image dimensions.
+	Rows, Cols int
+	// NumClasses is c.
+	NumClasses int
+}
+
+// TwoDLDAOptions configures training.
+type TwoDLDAOptions struct {
+	// DimL and DimR are the projected sizes (default c−1 capped at the
+	// image side).
+	DimL, DimR int
+	// Iters is the number of alternating rounds (default 4).
+	Iters int
+	// Reg regularizes the within-class scatters (default 1e-6·trace).
+	Reg float64
+}
+
+// Fit2D trains 2D-LDA on vectorized square-ish images: each row of x is
+// an image stored row-major as rows×cols.
+func Fit2D(x *mat.Dense, imgRows, imgCols int, labels []int, numClasses int, opt TwoDLDAOptions) (*TwoDLDA, error) {
+	m := x.Rows
+	if imgRows*imgCols != x.Cols {
+		return nil, fmt.Errorf("lda: %d×%d images do not match %d features", imgRows, imgCols, x.Cols)
+	}
+	if m != len(labels) {
+		return nil, fmt.Errorf("lda: %d samples but %d labels", m, len(labels))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("lda: need at least 2 classes")
+	}
+	counts := make([]int, numClasses)
+	for _, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("lda: label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for k, cnt := range counts {
+		if cnt == 0 {
+			return nil, fmt.Errorf("lda: class %d has no samples", k)
+		}
+	}
+	dimL, dimR := opt.DimL, opt.DimR
+	if dimL <= 0 {
+		dimL = min2(numClasses-1, imgRows)
+	}
+	if dimR <= 0 {
+		dimR = min2(numClasses-1, imgCols)
+	}
+	if dimL > imgRows || dimR > imgCols {
+		return nil, fmt.Errorf("lda: projected dims (%d,%d) exceed image (%d,%d)", dimL, dimR, imgRows, imgCols)
+	}
+	iters := opt.Iters
+	if iters <= 0 {
+		iters = 4
+	}
+
+	// Per-class and global mean images.
+	classMean := make([]*mat.Dense, numClasses)
+	for k := range classMean {
+		classMean[k] = mat.NewDense(imgRows, imgCols)
+	}
+	grand := mat.NewDense(imgRows, imgCols)
+	img := func(i int) *mat.Dense { return mat.NewDenseData(imgRows, imgCols, x.RowView(i)) }
+	for i := 0; i < m; i++ {
+		a := img(i)
+		classMean[labels[i]].AddScaled(1, a)
+		grand.AddScaled(1, a)
+	}
+	for k := 0; k < numClasses; k++ {
+		classMean[k].Scale(1 / float64(counts[k]))
+	}
+	grand.Scale(1 / float64(m))
+
+	// Initialize R to the leading identity columns.
+	r := mat.NewDense(imgCols, dimR)
+	for j := 0; j < dimR; j++ {
+		r.Set(j, j, 1)
+	}
+	var l *mat.Dense
+
+	for it := 0; it < iters; it++ {
+		// Fix R, solve for L on row-side scatters of A·R (imgRows×imgRows).
+		lNew, err := sideEig(imgRows, dimL, opt.Reg, func(add func(diff *mat.Dense, weight float64, within bool)) {
+			for i := 0; i < m; i++ {
+				d := img(i).Clone()
+				d.AddScaled(-1, classMean[labels[i]])
+				add(mat.Mul(d, r), 1, true)
+			}
+			for k := 0; k < numClasses; k++ {
+				d := classMean[k].Clone()
+				d.AddScaled(-1, grand)
+				add(mat.Mul(d, r), float64(counts[k]), false)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lda: 2DLDA row side: %w", err)
+		}
+		l = lNew
+		// Fix L, solve for R on column-side scatters of Aᵀ·L (imgCols×imgCols).
+		rNew, err := sideEig(imgCols, dimR, opt.Reg, func(add func(diff *mat.Dense, weight float64, within bool)) {
+			for i := 0; i < m; i++ {
+				d := img(i).Clone()
+				d.AddScaled(-1, classMean[labels[i]])
+				add(mat.MulTA(d, l), 1, true) // (dᵀ L): imgCols×dimL
+			}
+			for k := 0; k < numClasses; k++ {
+				d := classMean[k].Clone()
+				d.AddScaled(-1, grand)
+				add(mat.MulTA(d, l), float64(counts[k]), false)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lda: 2DLDA column side: %w", err)
+		}
+		r = rNew
+	}
+
+	return &TwoDLDA{
+		L: l, R: r, MeanImage: grand,
+		Rows: imgRows, Cols: imgCols, NumClasses: numClasses,
+	}, nil
+}
+
+// sideEig assembles within/between scatters from the emitted projected
+// difference matrices (each contributes diff·diffᵀ·weight) and solves the
+// regularized generalized eigenproblem S_b u = λ (S_w + εI) u, returning
+// the top dim eigenvectors as columns.
+func sideEig(size, dim int, reg float64, emit func(add func(diff *mat.Dense, weight float64, within bool))) (*mat.Dense, error) {
+	sw := mat.NewDense(size, size)
+	sb := mat.NewDense(size, size)
+	emit(func(diff *mat.Dense, weight float64, within bool) {
+		target := sb
+		if within {
+			target = sw
+		}
+		// target += weight · diff·diffᵀ
+		prod := mat.MulTB(diff, diff)
+		target.AddScaled(weight, prod)
+	})
+	var trace float64
+	for i := 0; i < size; i++ {
+		trace += sw.At(i, i)
+	}
+	eps := reg
+	if eps <= 0 {
+		eps = 1e-6 * (1 + trace/float64(size))
+	}
+	for i := 0; i < size; i++ {
+		sw.Set(i, i, sw.At(i, i)+eps)
+	}
+	ch, err := decomp.NewCholesky(sw)
+	if err != nil {
+		return nil, err
+	}
+	// Whiten: M = R⁻ᵀ S_b R⁻¹, symmetric eigen, map back u = R⁻¹ v.
+	mRed := decomp.SolveUpperTranspose(ch.R, sb)
+	mRed = decomp.SolveUpperTranspose(ch.R, mRed.T())
+	for i := 0; i < size; i++ {
+		for j := 0; j < i; j++ {
+			v := (mRed.At(i, j) + mRed.At(j, i)) / 2
+			mRed.Set(i, j, v)
+			mRed.Set(j, i, v)
+		}
+	}
+	eig, err := decomp.NewSymEig(mRed)
+	if err != nil {
+		return nil, err
+	}
+	out := mat.NewDense(size, dim)
+	v := make([]float64, size)
+	for j := 0; j < dim; j++ {
+		eig.Vectors.ColCopy(j, v)
+		decomp.SolveUpperVec(ch.R, v)
+		// normalize for stability
+		if nrm := blas.Nrm2(v); nrm > 0 {
+			blas.Scal(1/nrm, v)
+		}
+		out.SetCol(j, v)
+	}
+	return out, nil
+}
+
+// Dim returns the flattened embedding size l1·l2.
+func (t *TwoDLDA) Dim() int { return t.L.Cols * t.R.Cols }
+
+// Transform embeds vectorized images: each row becomes vec(Lᵀ(A−Ā)R).
+func (t *TwoDLDA) Transform(x *mat.Dense) *mat.Dense {
+	if x.Cols != t.Rows*t.Cols {
+		panic(fmt.Sprintf("lda: 2DLDA expects %d features, got %d", t.Rows*t.Cols, x.Cols))
+	}
+	out := mat.NewDense(x.Rows, t.Dim())
+	for i := 0; i < x.Rows; i++ {
+		a := mat.NewDenseData(t.Rows, t.Cols, x.RowView(i)).Clone()
+		a.AddScaled(-1, t.MeanImage)
+		proj := mat.Mul(mat.MulTA(t.L, a), t.R) // l1×l2
+		copy(out.RowView(i), proj.Data)
+	}
+	return out
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

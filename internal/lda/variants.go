@@ -1,0 +1,238 @@
+package lda
+
+import (
+	"fmt"
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// FitOrthogonal trains Orthogonal LDA (OLDA, Ye 2005): classical (R)LDA
+// directions re-orthonormalized by a thin QR so the projection satisfies
+// AᵀA = I.  Orthogonal bases distort distances less when the scatter
+// estimates are noisy, which makes OLDA a common small-sample variant; it
+// shares LDA's O(mnt + t³) training cost.
+func FitOrthogonal(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	model, err := Fit(x, labels, numClasses, opt)
+	if err != nil {
+		return nil, err
+	}
+	qr := decomp.NewQR(model.A)
+	model.A = qr.ThinQ()
+	return model, nil
+}
+
+// FitNullSpace trains Null-space LDA (NLDA, Chen et al. 2000), the
+// small-sample variant that searches within null(S_w): directions that
+// zero the within-class scatter while keeping between-class scatter.  In
+// the n > m regime this space is nonempty and NLDA separates training
+// classes exactly; with m ≥ n + c the null space collapses and NLDA
+// degrades — the known limitation, surfaced as an error.
+//
+// Implementation without dense n×n scatters:
+//
+//  1. Restrict to range(X̄) via the thin SVD X̄ = UΣVᵀ (null directions
+//     orthogonal to all data are useless: they also zero S_b).
+//  2. Within that r-dim space, S_w has the basis-coordinates matrix
+//     Σ UᵀW_w U Σ... equivalently, compute the within-class centered
+//     coordinates Z_w (each sample minus its class mean, projected) and
+//     take the null space of Z_wᵀZ_w via the symmetric eigensolver.
+//  3. Maximize between-class scatter inside that null space through the
+//     c×c eigenproblem, as in classical LDA.
+func FitNullSpace(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	m, n := x.Rows, x.Cols
+	if m != len(labels) {
+		return nil, fmt.Errorf("lda: %d samples but %d labels", m, len(labels))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("lda: need at least 2 classes")
+	}
+	counts := make([]int, numClasses)
+	for _, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("lda: label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for k, cnt := range counts {
+		if cnt == 0 {
+			return nil, fmt.Errorf("lda: class %d has no samples", k)
+		}
+	}
+
+	// Step 1: basis of range(X̄).
+	xc := x.Clone()
+	mu := xc.CenterRows()
+	svd, err := decomp.NewSVD(xc, opt.RCond)
+	if err != nil {
+		return nil, fmt.Errorf("lda: svd: %w", err)
+	}
+	r := svd.Rank()
+	if r == 0 {
+		return nil, fmt.Errorf("lda: centered data has rank 0")
+	}
+
+	// Coordinates of samples in the range basis: Z = X̄ V (m×r) = UΣ.
+	z := svd.U.Clone()
+	for j := 0; j < r; j++ {
+		s := svd.Sigma[j]
+		for i := 0; i < m; i++ {
+			z.Set(i, j, z.At(i, j)*s)
+		}
+	}
+
+	// Within-class centering of Z.
+	classMean := mat.NewDense(numClasses, r)
+	for i := 0; i < m; i++ {
+		blas.Axpy(1, z.RowView(i), classMean.RowView(labels[i]))
+	}
+	for k := 0; k < numClasses; k++ {
+		blas.Scal(1/float64(counts[k]), classMean.RowView(k))
+	}
+	zw := z.Clone()
+	for i := 0; i < m; i++ {
+		blas.Axpy(-1, classMean.RowView(labels[i]), zw.RowView(i))
+	}
+
+	// Step 2: null space of S_w restricted to the range basis.
+	sw := mat.Gram(zw) // r×r
+	eig, err := decomp.NewSymEig(sw)
+	if err != nil {
+		return nil, fmt.Errorf("lda: within-scatter eigen: %w", err)
+	}
+	tol := 1e-9 * math.Max(eig.Values[0], 1)
+	nullStart := r
+	for j := 0; j < r; j++ {
+		if eig.Values[j] <= tol {
+			nullStart = j
+			break
+		}
+	}
+	nullDim := r - nullStart
+	if nullDim == 0 {
+		return nil, fmt.Errorf("lda: within-class scatter has no null space (m=%d too large for n=%d); use RLDA or SRDA", m, n)
+	}
+	nullBasis := eig.Vectors.Slice(0, r, nullStart, r).Clone() // r×nullDim
+
+	// Step 3: between-class scatter inside the null space, via class
+	// means (B = Qᵀ S_b Q assembled from projected weighted class means).
+	var grand = make([]float64, r)
+	for k := 0; k < numClasses; k++ {
+		blas.Axpy(float64(counts[k])/float64(m), classMean.RowView(k), grand)
+	}
+	proj := mat.NewDense(numClasses, nullDim)
+	tmp := make([]float64, r)
+	for k := 0; k < numClasses; k++ {
+		copy(tmp, classMean.RowView(k))
+		blas.Axpy(-1, grand, tmp)
+		nullBasis.MulTVec(tmp, proj.RowView(k))
+		blas.Scal(math.Sqrt(float64(counts[k])), proj.RowView(k))
+	}
+	bMat := mat.Gram(proj) // nullDim×nullDim restricted S_b
+	eigB, err := decomp.NewSymEig(bMat)
+	if err != nil {
+		return nil, fmt.Errorf("lda: between-scatter eigen: %w", err)
+	}
+	maxDirs := numClasses - 1
+	dirs := 0
+	tolB := 1e-10 * math.Max(eigB.Values[0], 1)
+	for dirs < maxDirs && dirs < len(eigB.Values) && eigB.Values[dirs] > tolB {
+		dirs++
+	}
+	if dirs == 0 {
+		return nil, fmt.Errorf("lda: no between-class structure in the null space")
+	}
+
+	// Map back: null-space directions in range coordinates, then to the
+	// original feature space through V.
+	inNull := eigB.Vectors.Slice(0, nullDim, 0, dirs).Clone()
+	inRange := mat.Mul(nullBasis, inNull) // r×dirs
+	a := mat.Mul(svd.V, inRange)          // n×dirs
+
+	return &Model{
+		A:           a,
+		Mu:          mu,
+		Eigenvalues: eigB.Values[:dirs],
+		NumClasses:  numClasses,
+	}, nil
+}
+
+// FitMMC trains the Maximum Margin Criterion variant (Li, Jiang, Zhang —
+// NIPS 2003/TNN 2006): maximize tr(Aᵀ(S_b − S_w)A) with AᵀA = I.  The
+// difference matrix needs no inversion, so MMC — like NLDA and 2D-LDA —
+// sidesteps the singularity problem, at the cost of ignoring the
+// within-class metric.  Implemented without n×n scatters: restrict to
+// range(X̄) via the thin SVD, form the r×r restricted S_b − S_w, and take
+// the top eigenvectors with positive margin.
+func FitMMC(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
+	m := x.Rows
+	if m != len(labels) {
+		return nil, fmt.Errorf("lda: %d samples but %d labels", m, len(labels))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("lda: need at least 2 classes")
+	}
+	counts := make([]int, numClasses)
+	for _, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("lda: label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for k, cnt := range counts {
+		if cnt == 0 {
+			return nil, fmt.Errorf("lda: class %d has no samples", k)
+		}
+	}
+
+	xc := x.Clone()
+	mu := xc.CenterRows()
+	svd, err := decomp.NewSVD(xc, opt.RCond)
+	if err != nil {
+		return nil, fmt.Errorf("lda: svd: %w", err)
+	}
+	r := svd.Rank()
+	if r == 0 {
+		return nil, fmt.Errorf("lda: centered data has rank 0")
+	}
+	// Coordinates Z = UΣ; S_t restricted is Σ² (diagonal); S_b restricted
+	// from class means of Z; S_w = S_t − S_b, so
+	// S_b − S_w = 2·S_b − diag(Σ²).
+	z := svd.U.Clone()
+	for j := 0; j < r; j++ {
+		s := svd.Sigma[j]
+		for i := 0; i < m; i++ {
+			z.Set(i, j, z.At(i, j)*s)
+		}
+	}
+	classMean := mat.NewDense(numClasses, r)
+	for i := 0; i < m; i++ {
+		blas.Axpy(1, z.RowView(i), classMean.RowView(labels[i]))
+	}
+	diffMat := mat.NewDense(r, r)
+	for k := 0; k < numClasses; k++ {
+		blas.Scal(1/float64(counts[k]), classMean.RowView(k))
+		// Z is centered (X̄ has zero column means), so the grand mean of Z
+		// is 0 and S_b = Σ m_k μ_k μ_kᵀ.
+		blas.Ger(r, r, 2*float64(counts[k]), classMean.RowView(k), classMean.RowView(k), diffMat.Data, diffMat.Stride)
+	}
+	for j := 0; j < r; j++ {
+		diffMat.Set(j, j, diffMat.At(j, j)-svd.Sigma[j]*svd.Sigma[j])
+	}
+	eig, err := decomp.NewSymEig(diffMat)
+	if err != nil {
+		return nil, fmt.Errorf("lda: eigen: %w", err)
+	}
+	maxDirs := numClasses - 1
+	dirs := 0
+	for dirs < maxDirs && dirs < len(eig.Values) && eig.Values[dirs] > 0 {
+		dirs++
+	}
+	if dirs == 0 {
+		return nil, fmt.Errorf("lda: no positive-margin directions")
+	}
+	a := mat.Mul(svd.V, eig.Vectors.Slice(0, r, 0, dirs).Clone())
+	return &Model{A: a, Mu: mu, Eigenvalues: eig.Values[:dirs], NumClasses: numClasses}, nil
+}

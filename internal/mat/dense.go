@@ -1,0 +1,368 @@
+// Package mat provides a row-major dense matrix type and the operations on
+// it that the SRDA pipeline needs: products (including transposed and
+// Gram-matrix forms), row/column statistics, centering, slicing views, and
+// norms.  It is a thin, allocation-conscious layer over internal/blas.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"srda/internal/blas"
+)
+
+// Dense is an r×c matrix of float64 stored row-major.  The zero value is an
+// empty matrix.  Data is len r*Stride with Stride >= c; a Dense whose
+// Stride exceeds c is a view into a larger allocation and shares storage
+// with it.
+type Dense struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps an existing row-major slice (len must be exactly r*c)
+// without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: c, Data: data}
+}
+
+// FromRows builds a matrix whose rows are copies of the given slices, which
+// must all share one length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("mat: ragged rows in FromRows")
+		}
+		copy(m.RowView(i), row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Stride+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.Data[i*m.Stride+j] = v
+}
+
+func (m *Dense) boundsCheck(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// RowView returns row i as a mutable slice sharing the matrix storage.
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic("mat: row index out of range")
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// ColCopy copies column j into dst (allocated when nil) and returns it.
+func (m *Dense) ColCopy(j int, dst []float64) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic("mat: column index out of range")
+	}
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Stride+j]
+	}
+	return dst
+}
+
+// SetCol writes src into column j.
+func (m *Dense) SetCol(j int, src []float64) {
+	if len(src) != m.Rows {
+		panic("mat: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Stride+j] = src[i]
+	}
+}
+
+// Slice returns a view of rows [r0, r1) and columns [c0, c1) sharing
+// storage with m.
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic("mat: bad slice bounds")
+	}
+	return &Dense{
+		Rows:   r1 - r0,
+		Cols:   c1 - c0,
+		Stride: m.Stride,
+		Data:   m.Data[r0*m.Stride+c0 : (r1-1)*m.Stride+c1],
+	}
+}
+
+// Clone returns a compact deep copy (Stride == Cols).
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.RowView(i), m.RowView(i))
+	}
+	return out
+}
+
+// CopyFrom overwrites m with src; shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: shape mismatch in CopyFrom")
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.RowView(i), src.RowView(i))
+	}
+}
+
+// T returns a compact transposed copy.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			out.Data[j*out.Stride+i] = v
+		}
+	}
+	return out
+}
+
+// Zero sets all elements to zero.
+func (m *Dense) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (m *Dense) Scale(alpha float64) {
+	for i := 0; i < m.Rows; i++ {
+		blas.Scal(alpha, m.RowView(i))
+	}
+}
+
+// AddScaled computes m += alpha*b elementwise; shapes must match.
+func (m *Dense) AddScaled(alpha float64, b *Dense) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: shape mismatch in AddScaled")
+	}
+	for i := 0; i < m.Rows; i++ {
+		blas.Axpy(alpha, b.RowView(i), m.RowView(i))
+	}
+}
+
+// Mul computes C = A*B, allocating C.  Panics on inner-dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	blas.Gemm(a.Rows, b.Cols, a.Cols, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	return c
+}
+
+// MulTA computes C = Aᵀ*B without materializing Aᵀ.
+func MulTA(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulTA dimension mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Cols, b.Cols)
+	blas.GemmTA(a.Cols, b.Cols, a.Rows, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	return c
+}
+
+// MulTB computes C = A*Bᵀ without materializing Bᵀ.
+func MulTB(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTB dimension mismatch %dx%d *ᵀ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Rows)
+	blas.GemmTB(a.Rows, b.Rows, a.Cols, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	return c
+}
+
+// Gram computes the n×n Gram matrix AᵀA of an m×n matrix A, exploiting
+// symmetry (only the upper triangle is computed, then mirrored).
+func Gram(a *Dense) *Dense {
+	n := a.Cols
+	g := NewDense(n, n)
+	// Accumulate row-by-row rank-one contributions into the upper triangle.
+	for p := 0; p < a.Rows; p++ {
+		row := a.RowView(p)
+		for i := 0; i < n; i++ {
+			v := row[i]
+			if v == 0 {
+				continue
+			}
+			blas.Axpy(v, row[i:], g.Data[i*g.Stride+i:i*g.Stride+n])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Data[j*g.Stride+i] = g.Data[i*g.Stride+j]
+		}
+	}
+	return g
+}
+
+// GramT computes the m×m outer Gram matrix AAᵀ of an m×n matrix A.
+func GramT(a *Dense) *Dense {
+	m := a.Rows
+	g := NewDense(m, m)
+	for i := 0; i < m; i++ {
+		ri := a.RowView(i)
+		for j := i; j < m; j++ {
+			v := blas.Dot(ri, a.RowView(j))
+			g.Data[i*g.Stride+j] = v
+			g.Data[j*g.Stride+i] = v
+		}
+	}
+	return g
+}
+
+// MulVec computes y = A*x, allocating y when dst is nil.
+func (m *Dense) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("mat: MulVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	blas.Gemv(m.Rows, m.Cols, 1, m.Data, m.Stride, x, 0, dst)
+	return dst
+}
+
+// MulTVec computes y = Aᵀ*x, allocating y when dst is nil.
+func (m *Dense) MulTVec(x, dst []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("mat: MulTVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	}
+	blas.GemvT(m.Rows, m.Cols, 1, m.Data, m.Stride, x, 0, dst)
+	return dst
+}
+
+// ColMeans returns the per-column mean of m.
+func (m *Dense) ColMeans() []float64 {
+	mu := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return mu
+	}
+	for i := 0; i < m.Rows; i++ {
+		blas.Axpy(1, m.RowView(i), mu)
+	}
+	blas.Scal(1/float64(m.Rows), mu)
+	return mu
+}
+
+// CenterRows subtracts the column means from every row in place and
+// returns the means (so callers can center test data consistently).
+func (m *Dense) CenterRows() []float64 {
+	mu := m.ColMeans()
+	for i := 0; i < m.Rows; i++ {
+		blas.Axpy(-1, mu, m.RowView(i))
+	}
+	return mu
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Dense) Norm() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.RowView(i) {
+			if v == 0 {
+				continue
+			}
+			a := math.Abs(v)
+			if scale < a {
+				r := scale / a
+				ssq = 1 + ssq*r*r
+				scale = a
+			} else {
+				r := a / scale
+				ssq += r * r
+			}
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two same-shaped matrices; useful in tests.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: shape mismatch in MaxAbsDiff")
+	}
+	var worst float64
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.RowView(i), b.RowView(i)
+		for j := range ra {
+			if d := math.Abs(ra[j] - rb[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Equalish reports whether a and b agree elementwise within eps.
+func Equalish(a, b *Dense, eps float64) bool {
+	return a.Rows == b.Rows && a.Cols == b.Cols && MaxAbsDiff(a, b) <= eps
+}
+
+// String renders small matrices for debugging; large ones are abbreviated.
+func (m *Dense) String() string {
+	const maxShow = 8
+	s := fmt.Sprintf("Dense %dx%d", m.Rows, m.Cols)
+	if m.Rows > maxShow || m.Cols > maxShow {
+		return s
+	}
+	for i := 0; i < m.Rows; i++ {
+		s += "\n"
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf(" % .4g", m.At(i, j))
+		}
+	}
+	return s
+}

@@ -1,0 +1,334 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDenseAndAtSet(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2)=%v want 7", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("zero value not zero: %v", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for index %v", idx)
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestFromRowsAndRowView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong: %v", m)
+	}
+	rv := m.RowView(0)
+	rv[1] = 9
+	if m.At(0, 1) != 9 {
+		t.Fatal("RowView must alias storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I[%d][%d]=%v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestColCopySetCol(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	col := m.ColCopy(1, nil)
+	want := []float64{2, 4, 6}
+	for i := range col {
+		if col[i] != want[i] {
+			t.Fatalf("col=%v", col)
+		}
+	}
+	m.SetCol(0, []float64{7, 8, 9})
+	if m.At(2, 0) != 9 {
+		t.Fatalf("SetCol failed: %v", m)
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	m := randDense(rand.New(rand.NewSource(1)), 5, 5)
+	v := m.Slice(1, 4, 2, 5)
+	if v.Rows != 3 || v.Cols != 3 {
+		t.Fatalf("slice dims %dx%d", v.Rows, v.Cols)
+	}
+	if v.At(0, 0) != m.At(1, 2) {
+		t.Fatal("slice content wrong")
+	}
+	v.Set(0, 0, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("slice must share storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestTransposeOfSlice(t *testing.T) {
+	m := randDense(rand.New(rand.NewSource(2)), 6, 4)
+	v := m.Slice(1, 5, 0, 3)
+	tt := v.T()
+	for i := 0; i < v.Rows; i++ {
+		for j := 0; j < v.Cols; j++ {
+			if tt.At(j, i) != v.At(i, j) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulSmallKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equalish(c, want, 1e-12) {
+		t.Fatalf("c=%v", c)
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulTAEqualsExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randDense(rng, 20, 7), randDense(rng, 20, 9)
+	got := MulTA(a, b)
+	want := Mul(a.T(), b)
+	if !Equalish(got, want, 1e-9) {
+		t.Fatalf("MulTA diff %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestMulTBEqualsExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randDense(rng, 8, 15), randDense(rng, 11, 15)
+	got := MulTB(a, b)
+	want := Mul(a, b.T())
+	if !Equalish(got, want, 1e-9) {
+		t.Fatalf("MulTB diff %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestGramEqualsExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randDense(rng, 30, 12)
+	got := Gram(a)
+	want := Mul(a.T(), a)
+	if !Equalish(got, want, 1e-9) {
+		t.Fatalf("Gram diff %v", MaxAbsDiff(got, want))
+	}
+	// symmetry exactly
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(i, j) != got.At(j, i) {
+				t.Fatal("Gram not exactly symmetric")
+			}
+		}
+	}
+}
+
+func TestGramTEqualsExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randDense(rng, 9, 25)
+	got := GramT(a)
+	want := Mul(a, a.T())
+	if !Equalish(got, want, 1e-9) {
+		t.Fatalf("GramT diff %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestMulVecAndMulTVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec=%v", y)
+	}
+	z := a.MulTVec([]float64{1, 1}, nil)
+	if z[0] != 5 || z[1] != 7 || z[2] != 9 {
+		t.Fatalf("MulTVec=%v", z)
+	}
+}
+
+func TestColMeansAndCenterRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 20}})
+	mu := m.ColMeans()
+	if mu[0] != 2 || mu[1] != 15 {
+		t.Fatalf("means=%v", mu)
+	}
+	m.CenterRows()
+	for j := 0; j < 2; j++ {
+		var s float64
+		for i := 0; i < 2; i++ {
+			s += m.At(i, j)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("column %d not centered: sum=%v", j, s)
+		}
+	}
+}
+
+func TestNorm(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm=%v want 5", got)
+	}
+	if got := NewDense(2, 2).Norm(); got != 0 {
+		t.Fatalf("zero Norm=%v", got)
+	}
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 1}, {1, 1}})
+	m.Scale(2)
+	m.AddScaled(-1, b)
+	want := FromRows([][]float64{{1, 3}, {5, 7}})
+	if !Equalish(m, want, 1e-12) {
+		t.Fatalf("m=%v", m)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q, r, s := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b, c := randDense(rng, p, q), randDense(rng, q, r), randDense(rng, r, s)
+		lhs := Mul(Mul(a, b), c)
+		rhs := Mul(a, Mul(b, c))
+		return Equalish(lhs, rhs, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randDense(rng, 1+rng.Intn(12), 1+rng.Intn(12))
+		return Equalish(a.T().T(), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulOnSlicedViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	big := randDense(rng, 10, 10)
+	a := big.Slice(0, 4, 0, 6)
+	b := big.Slice(2, 8, 1, 4)
+	got := Mul(a, b)
+	want := Mul(a.Clone(), b.Clone())
+	if !Equalish(got, want, 1e-10) {
+		t.Fatal("Mul must handle strided views")
+	}
+}
+
+func TestNewDenseDataAndCopyFromZero(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewDenseData(2, 3, data)
+	if m.At(1, 2) != 6 {
+		t.Fatal("NewDenseData wrong layout")
+	}
+	data[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Fatal("NewDenseData must not copy")
+	}
+	dst := NewDense(2, 3)
+	dst.CopyFrom(m)
+	if dst.At(0, 0) != 9 || dst.At(1, 2) != 6 {
+		t.Fatal("CopyFrom wrong")
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 || m.At(1, 2) != 0 {
+		t.Fatal("Zero failed")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad data length accepted")
+			}
+		}()
+		NewDenseData(2, 2, data)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("shape mismatch in CopyFrom accepted")
+			}
+		}()
+		dst.CopyFrom(NewDense(3, 3))
+	}()
+}
+
+func TestStringRendersSmallAndAbbreviatesLarge(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}, {3, 4}})
+	s := small.String()
+	if !strings.Contains(s, "Dense 2x2") || !strings.Contains(s, "3") {
+		t.Fatalf("String: %q", s)
+	}
+	big := NewDense(20, 20)
+	if strings.Contains(big.String(), "\n") {
+		t.Fatal("large matrix should render as summary only")
+	}
+}

@@ -1,0 +1,289 @@
+// Package regress implements multi-response ridge regression, the
+// computational core of SRDA (§III of the paper).  Three solution
+// strategies are provided, matching the paper's complexity analysis:
+//
+//   - Primal normal equations (eq. 20): factor XᵀX + αI once by Cholesky
+//     (O(mn² + n³)) and back-solve for every response — best when n ≤ m.
+//   - Dual normal equations (eq. 21): factor XXᵀ + αI (O(nm² + m³)) and
+//     map back through Xᵀ — best when n > m (the pseudo-inverse route the
+//     paper uses to cut cost for high-dimensional data).
+//   - LSQR (§III-C2): k iterations of O(nnz) mat-vecs per response —
+//     linear time for sparse data, and the only option when the Gram
+//     matrix itself would not fit in memory.
+//
+// All strategies support the paper's intercept-absorption trick: append a
+// constant-1 feature so the bias b is estimated jointly without centering
+// the data (which would destroy sparsity).
+package regress
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"srda/internal/decomp"
+	"srda/internal/mat"
+	"srda/internal/solver"
+)
+
+// Strategy selects how the ridge systems are solved.
+type Strategy int
+
+const (
+	// Auto picks Primal when n<=m, Dual when n>m for dense operators, and
+	// LSQR for sparse operators.
+	Auto Strategy = iota
+	// Primal solves (XᵀX + αI) w = Xᵀy by Cholesky.
+	Primal
+	// Dual solves (XXᵀ + αI) z = y and sets w = Xᵀz.  For α→0 this is the
+	// pseudo-inverse route of eq. (21); for α>0 it is exactly equivalent
+	// to Primal by the push-through identity.
+	Dual
+	// IterLSQR runs damped LSQR per response.
+	IterLSQR
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Primal:
+		return "primal"
+	case Dual:
+		return "dual"
+	case IterLSQR:
+		return "lsqr"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a ridge fit.
+type Options struct {
+	// Alpha is the Tikhonov penalty (the paper's α); must be >= 0.
+	Alpha float64
+	// Strategy selects the solver; Auto by default.
+	Strategy Strategy
+	// Intercept, when true, augments X with a constant-1 column and fits
+	// the bias jointly (the paper's trick for sparse data).  The bias is
+	// returned separately from the weights.
+	Intercept bool
+	// LSQRIter caps LSQR iterations per response (default 30; the paper
+	// uses 15–20).
+	LSQRIter int
+	// Workers bounds the goroutines solving independent responses in the
+	// LSQR path (the c−1 systems share nothing but the read-only
+	// operator).  0 means GOMAXPROCS; 1 forces sequential solves.
+	Workers int
+}
+
+// Model is a fitted multi-response ridge regressor: Yhat = X·W + 1·bᵀ.
+type Model struct {
+	// W is n×k: one weight column per response.
+	W *mat.Dense
+	// B holds the k intercepts (all zero when fitted without intercept).
+	B []float64
+	// Strategy records which solver produced the fit.
+	Strategy Strategy
+	// Iters is the total LSQR iteration count (zero for direct solves).
+	Iters int
+}
+
+// FitDense fits ridge regression of the m×k response matrix Y on the m×n
+// dense design matrix X.
+func FitDense(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("regress: X has %d rows but Y has %d", x.Rows, y.Rows)
+	}
+	if opt.Alpha < 0 {
+		return nil, fmt.Errorf("regress: negative alpha %v", opt.Alpha)
+	}
+	strat := opt.Strategy
+	if strat == Auto {
+		if x.Cols > x.Rows {
+			strat = Dual
+		} else {
+			strat = Primal
+		}
+	}
+	switch strat {
+	case Primal:
+		return fitPrimal(x, y, opt)
+	case Dual:
+		return fitDual(x, y, opt)
+	case IterLSQR:
+		return FitOperator(solver.DenseOp{A: x}, y, opt)
+	default:
+		return nil, fmt.Errorf("regress: unknown strategy %v", strat)
+	}
+}
+
+// FitOperator fits ridge regression through an abstract operator using
+// LSQR; this is the linear-time sparse path.  The Strategy option is
+// ignored (always LSQR).
+func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) {
+	m, n := op.Dims()
+	if m != y.Rows {
+		return nil, fmt.Errorf("regress: operator has %d rows but Y has %d", m, y.Rows)
+	}
+	if opt.Alpha < 0 {
+		return nil, fmt.Errorf("regress: negative alpha %v", opt.Alpha)
+	}
+	work := op
+	if opt.Intercept {
+		work = solver.AugmentedOp{Inner: op}
+	}
+	k := y.Cols
+	model := &Model{W: mat.NewDense(n, k), B: make([]float64, k), Strategy: IterLSQR}
+	params := solver.LSQRParams{Damp: math.Sqrt(opt.Alpha), MaxIter: opt.LSQRIter}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	// The responses are independent ridge systems over one read-only
+	// operator; fan them out.  Each worker owns its RHS buffer; W columns
+	// and B entries are disjoint per response, so no further locking is
+	// needed beyond summing the iteration counts.
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		iters atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rhs := make([]float64, m)
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= k {
+					return
+				}
+				y.ColCopy(j, rhs)
+				res := solver.LSQR(work, rhs, params)
+				iters.Add(int64(res.Iters))
+				if opt.Intercept {
+					model.W.SetCol(j, res.X[:n])
+					model.B[j] = res.X[n]
+				} else {
+					model.W.SetCol(j, res.X)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	model.Iters = int(iters.Load())
+	return model, nil
+}
+
+// fitPrimal implements eq. (20): one Cholesky of the (n+1)×(n+1)
+// (augmented) Gram matrix shared by all responses.
+func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
+	xa := augment(x, opt.Intercept)
+	n := xa.Cols
+	g := mat.Gram(xa)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+opt.Alpha)
+	}
+	ch, err := decomp.NewCholesky(g)
+	if err != nil {
+		return nil, fmt.Errorf("regress: normal equations not positive definite (alpha=%v): %w", opt.Alpha, err)
+	}
+	xty := mat.MulTA(xa, y)
+	w := ch.Solve(xty)
+	return splitIntercept(w, opt.Intercept, Primal), nil
+}
+
+// fitDual implements eq. (21): factor the m×m matrix XXᵀ + αI, solve for
+// each response, then map back through Xᵀ.  Identical solution to
+// fitPrimal for α>0 (push-through identity); pseudo-inverse limit as α→0.
+func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
+	xa := augment(x, opt.Intercept)
+	m := xa.Rows
+	g := mat.GramT(xa)
+	alpha := opt.Alpha
+	if alpha == 0 {
+		// A tiny ridge keeps the factorization defined when rows are
+		// dependent; mirrors the α→0 limit of Theorem 2.
+		alpha = 1e-12 * (1 + g.Norm())
+	}
+	for i := 0; i < m; i++ {
+		g.Set(i, i, g.At(i, i)+alpha)
+	}
+	ch, err := decomp.NewCholesky(g)
+	if err != nil {
+		return nil, fmt.Errorf("regress: dual system not positive definite (alpha=%v): %w", opt.Alpha, err)
+	}
+	z := ch.Solve(y)
+	w := mat.MulTA(xa, z)
+	return splitIntercept(w, opt.Intercept, Dual), nil
+}
+
+// augment appends a constant-1 column when intercept is requested.
+func augment(x *mat.Dense, intercept bool) *mat.Dense {
+	if !intercept {
+		return x
+	}
+	xa := mat.NewDense(x.Rows, x.Cols+1)
+	for i := 0; i < x.Rows; i++ {
+		row := xa.RowView(i)
+		copy(row, x.RowView(i))
+		row[x.Cols] = 1
+	}
+	return xa
+}
+
+// splitIntercept separates the trailing intercept row of the stacked
+// solution when present.
+func splitIntercept(w *mat.Dense, intercept bool, strat Strategy) *Model {
+	k := w.Cols
+	if !intercept {
+		return &Model{W: w, B: make([]float64, k), Strategy: strat}
+	}
+	n := w.Rows - 1
+	model := &Model{W: w.Slice(0, n, 0, k).Clone(), B: make([]float64, k), Strategy: strat}
+	for j := 0; j < k; j++ {
+		model.B[j] = w.At(n, j)
+	}
+	return model
+}
+
+// PredictDense computes X·W + 1·bᵀ for a dense X.
+func (m *Model) PredictDense(x *mat.Dense) *mat.Dense {
+	out := mat.Mul(x, m.W)
+	m.addBias(out)
+	return out
+}
+
+// PredictOperator computes the predictions through an operator, one
+// response at a time (no densification).
+func (m *Model) PredictOperator(op solver.Operator, rows int) *mat.Dense {
+	k := m.W.Cols
+	out := mat.NewDense(rows, k)
+	col := make([]float64, m.W.Rows)
+	dst := make([]float64, rows)
+	for j := 0; j < k; j++ {
+		m.W.ColCopy(j, col)
+		op.Apply(col, dst)
+		for i := 0; i < rows; i++ {
+			out.Set(i, j, dst[i]+m.B[j])
+		}
+	}
+	return out
+}
+
+func (m *Model) addBias(out *mat.Dense) {
+	for i := 0; i < out.Rows; i++ {
+		row := out.RowView(i)
+		for j := range row {
+			row[j] += m.B[j]
+		}
+	}
+}

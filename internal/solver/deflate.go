@@ -1,0 +1,157 @@
+package solver
+
+import (
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/mat"
+)
+
+// deflatedOp applies P(A + shift·I)P where P projects out the columns of
+// found: previously converged eigenvectors collapse to eigenvalue 0 while
+// the remaining spectrum moves to λ + shift > 0, cleanly separated.
+type deflatedOp struct {
+	inner SymOperator
+	shift float64
+	found *mat.Dense // n×r accepted eigenvectors, orthonormal
+	tmp   []float64
+}
+
+func (o *deflatedOp) Dim() int { return o.inner.Dim() }
+
+func (o *deflatedOp) project(x []float64) {
+	if o.found == nil {
+		return
+	}
+	for j := 0; j < o.found.Cols; j++ {
+		col := o.found.ColCopy(j, o.tmp)
+		blas.Axpy(-blas.Dot(col, x), col, x)
+	}
+}
+
+func (o *deflatedOp) Apply(x, dst []float64) []float64 {
+	n := o.Dim()
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	px := make([]float64, n)
+	copy(px, x)
+	o.project(px)
+	o.inner.Apply(px, dst)
+	blas.Axpy(o.shift, px, dst)
+	o.project(dst)
+	return dst
+}
+
+// LanczosDeflated computes the k algebraically largest eigenpairs of a
+// symmetric operator, correctly resolving repeated eigenvalues — the case
+// plain Lanczos cannot handle, and exactly the structure of the paper's
+// class graph, whose eigenvalue 1 has multiplicity c (eq. 15).  It
+// restarts Lanczos with fresh start vectors on a shifted, deflated
+// operator until k pairs have converged (residual ‖Av−λv‖ ≤ tol·scale) or
+// the restart budget is exhausted.
+func LanczosDeflated(op SymOperator, k int, tol float64, seed int64) (*LanczosResult, error) {
+	n := op.Dim()
+	if k > n {
+		k = n
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+
+	// Estimate the spectral radius with one cheap Lanczos run so the shift
+	// makes the whole spectrum positive.
+	probe, err := Lanczos(op, 1, 2*k+20, 1e-6, seed)
+	if err != nil {
+		return nil, err
+	}
+	radius := math.Abs(probe.Values[0]) + 1
+	shift := radius + 1
+
+	found := mat.NewDense(n, 0)
+	var values []float64
+	dop := &deflatedOp{inner: op, shift: shift, tmp: make([]float64, n)}
+
+	av := make([]float64, n)
+	// Accepting exactly one pair per restart keeps discovery greedy in
+	// eigenvalue order: after deflating the current largest direction, the
+	// next restart's Lanczos converges to the largest *remaining* one —
+	// including further copies of a repeated eigenvalue, which is the
+	// whole point of the deflation.
+	maxRestarts := 2*k + 6
+	v := make([]float64, n)
+	for restart := 0; restart < maxRestarts && len(values) < k; restart++ {
+		dop.found = nil
+		if found.Cols > 0 {
+			dop.found = found
+		}
+		// Generous Krylov budget: graph spectra cluster near the top, and
+		// full reorthogonalization keeps even long runs stable.
+		innerIter := 240
+		if n < innerIter {
+			innerIter = n
+		}
+		res, err := Lanczos(dop, 2, innerIter, tol, seed+int64(restart)*7919+1)
+		if err != nil {
+			return nil, err
+		}
+		// The deflated subspace sits at eigenvalue 0 and the genuine
+		// spectrum at λ+shift >= shift−radius >= 1, so a top Ritz value in
+		// the deflated region means the start vector was unlucky — retry.
+		if res.Values[0] < (shift-radius)/2 {
+			continue
+		}
+		res.Vectors.ColCopy(0, v)
+		// re-orthogonalize against accepted vectors and renormalize
+		for c := 0; c < found.Cols; c++ {
+			col := found.ColCopy(c, dop.tmp)
+			blas.Axpy(-blas.Dot(col, v), col, v)
+		}
+		nrm := blas.Nrm2(v)
+		if nrm < 1e-8 {
+			continue
+		}
+		blas.Scal(1/nrm, v)
+		// true residual on the original operator
+		op.Apply(v, av)
+		lam := blas.Dot(v, av)
+		var resid float64
+		for i := range av {
+			d := av[i] - lam*v[i]
+			resid += d * d
+		}
+		if math.Sqrt(resid) > tol*radius {
+			continue
+		}
+		grown := mat.NewDense(n, found.Cols+1)
+		for c := 0; c < found.Cols; c++ {
+			grown.SetCol(c, found.ColCopy(c, dop.tmp))
+		}
+		grown.SetCol(found.Cols, v)
+		found = grown
+		values = append(values, lam)
+	}
+	if len(values) == 0 {
+		return nil, ErrLanczosBreakdown
+	}
+
+	// Sort accepted pairs by descending eigenvalue.
+	order := make([]int, len(values))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && values[order[j-1]] < values[order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	outVals := make([]float64, len(values))
+	outVecs := mat.NewDense(n, len(values))
+	for c, idx := range order {
+		outVals[c] = values[idx]
+		outVecs.SetCol(c, found.ColCopy(idx, dop.tmp))
+	}
+	return &LanczosResult{Values: outVals, Vectors: outVecs, Iters: 0}, nil
+}

@@ -1,0 +1,153 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"srda/internal/blas"
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// SymOperator is a symmetric linear map R^n → R^n exposed through its
+// action; the adjoint is itself.  Graph adjacency/Laplacian matrices are
+// the motivating implementations.
+type SymOperator interface {
+	// Dim returns n.
+	Dim() int
+	// Apply computes A*x into dst (allocated when nil).
+	Apply(x, dst []float64) []float64
+}
+
+// DenseSymOp adapts a symmetric *mat.Dense.
+type DenseSymOp struct{ A *mat.Dense }
+
+// Dim implements SymOperator.
+func (o DenseSymOp) Dim() int { return o.A.Rows }
+
+// Apply implements SymOperator.
+func (o DenseSymOp) Apply(x, dst []float64) []float64 { return o.A.MulVec(x, dst) }
+
+// LanczosResult holds the leading eigenpairs found.
+type LanczosResult struct {
+	// Values are the eigenvalues in descending order.
+	Values []float64
+	// Vectors is n×k, column j pairing with Values[j]; columns are
+	// orthonormal.
+	Vectors *mat.Dense
+	// Iters is the Krylov dimension actually used.
+	Iters int
+}
+
+// ErrLanczosBreakdown is returned when the Krylov space exhausts before
+// any eigenpair converges (possible only for pathological operators).
+var ErrLanczosBreakdown = errors.New("solver: Lanczos breakdown before convergence")
+
+// Lanczos computes the k algebraically largest eigenpairs of a symmetric
+// operator using the Lanczos iteration with full reorthogonalization.
+// maxIter caps the Krylov dimension (default 8k+20, clamped to n); tol is
+// the residual tolerance relative to the spectral-norm estimate (default
+// 1e-10).  seed fixes the start vector for reproducibility.
+//
+// Full reorthogonalization costs O(iter²·n) but is robust against the
+// ghost-eigenvalue problem; the Krylov dimensions this repository needs
+// (c−1+1 eigenvectors of graph matrices) keep iter small.
+func Lanczos(op SymOperator, k int, maxIter int, tol float64, seed int64) (*LanczosResult, error) {
+	n := op.Dim()
+	if k <= 0 {
+		return nil, errors.New("solver: Lanczos needs k >= 1")
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 8*k + 20
+	}
+	if maxIter > n {
+		maxIter = n
+	}
+	if maxIter < k {
+		maxIter = k
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	// Krylov basis, stored row-major: q[j] is the j-th Lanczos vector.
+	basis := mat.NewDense(maxIter, n)
+	alpha := make([]float64, maxIter)
+	beta := make([]float64, maxIter) // beta[j] links q[j] and q[j+1]
+
+	// Deterministic pseudo-random start vector.
+	q0 := basis.RowView(0)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range q0 {
+		state = state*6364136223846793005 + 1442695040888963407
+		q0[i] = float64(int64(state>>11))/float64(1<<52) - 0.5
+	}
+	blas.Scal(1/blas.Nrm2(q0), q0)
+
+	w := make([]float64, n)
+	dim := 0
+	for j := 0; j < maxIter; j++ {
+		dim = j + 1
+		qj := basis.RowView(j)
+		op.Apply(qj, w)
+		alpha[j] = blas.Dot(qj, w)
+		// w -= alpha*q_j + beta*q_{j-1}
+		blas.Axpy(-alpha[j], qj, w)
+		if j > 0 {
+			blas.Axpy(-beta[j-1], basis.RowView(j-1), w)
+		}
+		// Full reorthogonalization (twice is enough).
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i <= j; i++ {
+				qi := basis.RowView(i)
+				blas.Axpy(-blas.Dot(qi, w), qi, w)
+			}
+		}
+		b := blas.Nrm2(w)
+		beta[j] = b
+		if j+1 < maxIter {
+			if b <= 1e-14*(math.Abs(alpha[j])+1) {
+				// Invariant subspace found: the Krylov space is exact.
+				break
+			}
+			copy(basis.RowView(j+1), w)
+			blas.Scal(1/b, basis.RowView(j+1))
+		}
+	}
+
+	// Solve the dim×dim tridiagonal eigenproblem densely.
+	t := mat.NewDense(dim, dim)
+	for j := 0; j < dim; j++ {
+		t.Set(j, j, alpha[j])
+		if j+1 < dim {
+			t.Set(j, j+1, beta[j])
+			t.Set(j+1, j, beta[j])
+		}
+	}
+	eig, err := decomp.NewSymEig(t)
+	if err != nil {
+		return nil, err
+	}
+	if dim < k {
+		k = dim
+	}
+	if k == 0 {
+		return nil, ErrLanczosBreakdown
+	}
+
+	// Ritz vectors: V = Qᵀ S (basis rows are q_j).
+	vectors := mat.NewDense(n, k)
+	col := make([]float64, dim)
+	for c := 0; c < k; c++ {
+		eig.Vectors.ColCopy(c, col)
+		out := make([]float64, n)
+		for j := 0; j < dim; j++ {
+			blas.Axpy(col[j], basis.RowView(j), out)
+		}
+		vectors.SetCol(c, out)
+	}
+	return &LanczosResult{Values: eig.Values[:k], Vectors: vectors, Iters: dim}, nil
+}

@@ -1,0 +1,217 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/decomp"
+	"srda/internal/mat"
+)
+
+// randSym builds a random symmetric matrix.
+func randSym(rng *rand.Rand, n int) *mat.Dense {
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestLanczosMatchesDenseEig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{5, 20, 60} {
+		a := randSym(rng, n)
+		k := 3
+		if k > n {
+			k = n
+		}
+		res, err := Lanczos(DenseSymOp{a}, k, 0, 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eig, err := decomp.NewSymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			if math.Abs(res.Values[j]-eig.Values[j]) > 1e-7*(1+math.Abs(eig.Values[0])) {
+				t.Fatalf("n=%d: eigenvalue %d: %v vs %v", n, j, res.Values[j], eig.Values[j])
+			}
+		}
+	}
+}
+
+func TestLanczosEigenvectorsSatisfyDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 40
+	a := randSym(rng, n)
+	res, err := Lanczos(DenseSymOp{a}, 4, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, n)
+	for j := 0; j < 4; j++ {
+		res.Vectors.ColCopy(j, v)
+		av := a.MulVec(v, nil)
+		var worst float64
+		for i := range av {
+			if d := math.Abs(av[i] - res.Values[j]*v[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-7*(1+math.Abs(res.Values[j])) {
+			t.Fatalf("Av != λv for pair %d (residual %v)", j, worst)
+		}
+	}
+	// orthonormality
+	g := mat.MulTA(res.Vectors, res.Vectors)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-8 {
+				t.Fatalf("Ritz vectors not orthonormal at (%d,%d): %v", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLanczosLowRankOperator(t *testing.T) {
+	// Rank-2 PSD matrix: Lanczos must find both nonzero eigenvalues and
+	// stop early on the invariant subspace.
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+		v[i] = rng.NormFloat64()
+	}
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 3*u[i]*u[j]+v[i]*v[j])
+		}
+	}
+	res, err := Lanczos(DenseSymOp{a}, 4, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := decomp.NewSymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(res.Values[j]-eig.Values[j]) > 1e-7*(1+eig.Values[0]) {
+			t.Fatalf("eigenvalue %d: %v vs %v", j, res.Values[j], eig.Values[j])
+		}
+	}
+}
+
+func TestLanczosKClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSym(rng, 4)
+	res, err := Lanczos(DenseSymOp{a}, 10, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 4 {
+		t.Fatalf("expected clamp to n=4, got %d", len(res.Values))
+	}
+	if _, err := Lanczos(DenseSymOp{a}, 0, 0, 0, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestLanczosDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSym(rng, 25)
+	r1, err := Lanczos(DenseSymOp{a}, 3, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Lanczos(DenseSymOp{a}, 3, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(r1.Vectors, r2.Vectors, 0) {
+		t.Fatal("same seed must give identical results")
+	}
+}
+
+func TestLanczosDeflatedResolvesMultiplicity(t *testing.T) {
+	// Matrix with a 3-fold eigenvalue 2 and the rest 0: block-diagonal of
+	// three (1/m)J blocks scaled by 2.
+	n := 12
+	a := mat.NewDense(n, n)
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				a.Set(b*4+i, b*4+j, 2.0/4)
+			}
+		}
+	}
+	res, err := LanczosDeflated(DenseSymOp{a}, 4, 1e-9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) < 3 {
+		t.Fatalf("found only %d eigenpairs", len(res.Values))
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(res.Values[j]-2) > 1e-7 {
+			t.Fatalf("eigenvalue %d = %v want 2", j, res.Values[j])
+		}
+	}
+	if len(res.Values) > 3 && math.Abs(res.Values[3]) > 1e-7 {
+		t.Fatalf("4th eigenvalue %v want 0", res.Values[3])
+	}
+	// orthonormal eigenvectors satisfying Av = λv
+	v := make([]float64, n)
+	for j := 0; j < 3; j++ {
+		res.Vectors.ColCopy(j, v)
+		av := a.MulVec(v, nil)
+		for i := range av {
+			if math.Abs(av[i]-2*v[i]) > 1e-7 {
+				t.Fatalf("pair %d violates Av=2v", j)
+			}
+		}
+	}
+	g := mat.MulTA(res.Vectors, res.Vectors)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-7 {
+				t.Fatal("deflated vectors not orthonormal")
+			}
+		}
+	}
+}
+
+func TestLanczosDeflatedMatchesDenseEigGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randSym(rng, 35)
+	res, err := LanczosDeflated(DenseSymOp{a}, 5, 1e-9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := decomp.NewSymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5 && j < len(res.Values); j++ {
+		if math.Abs(res.Values[j]-eig.Values[j]) > 1e-6*(1+math.Abs(eig.Values[0])) {
+			t.Fatalf("eigenvalue %d: %v vs %v", j, res.Values[j], eig.Values[j])
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"srda/internal/decomp"
+	"srda/internal/mat"
+	"srda/internal/sparse"
+)
+
+func randDense(rng *rand.Rand, r, c int) *mat.Dense {
+	m := mat.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// ridgeDirect solves (AᵀA + αI)x = Aᵀb by Cholesky, the ground truth the
+// iterative solvers must match.
+func ridgeDirect(t *testing.T, a *mat.Dense, b []float64, alpha float64) []float64 {
+	t.Helper()
+	g := mat.Gram(a)
+	for i := 0; i < g.Rows; i++ {
+		g.Set(i, i, g.At(i, i)+alpha)
+	}
+	ch, err := decomp.NewCholesky(g)
+	if err != nil {
+		t.Fatalf("ridgeDirect: %v", err)
+	}
+	return ch.SolveVec(a.MulTVec(b, nil), nil)
+}
+
+func TestLSQRConsistentSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 60, 12
+	a := randDense(rng, m, n)
+	xTrue := randVec(rng, n)
+	b := a.MulVec(xTrue, nil)
+	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 200})
+	for i := range xTrue {
+		if math.Abs(res.X[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v want %v (reason %q)", i, res.X[i], xTrue[i], res.Reason)
+		}
+	}
+}
+
+func TestLSQRMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n := 80, 15
+	a := randDense(rng, m, n)
+	b := randVec(rng, m)
+	want := ridgeDirect(t, a, b, 0)
+	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 300, ATol: 1e-12, BTol: 1e-12})
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestLSQRDampedMatchesRidge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 50, 10
+	a := randDense(rng, m, n)
+	b := randVec(rng, m)
+	alpha := 1.0
+	want := ridgeDirect(t, a, b, alpha)
+	res := LSQR(DenseOp{a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 300, ATol: 1e-12, BTol: 1e-12})
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestLSQRUnderdeterminedDamped(t *testing.T) {
+	// n > m: ridge still has a unique solution; LSQR must find it.
+	rng := rand.New(rand.NewSource(4))
+	m, n := 10, 40
+	a := randDense(rng, m, n)
+	b := randVec(rng, m)
+	alpha := 0.5
+	// Direct solution via dual form: x = Aᵀ(AAᵀ + αI)⁻¹ b.
+	g := mat.GramT(a)
+	for i := 0; i < m; i++ {
+		g.Set(i, i, g.At(i, i)+alpha)
+	}
+	ch, err := decomp.NewCholesky(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.MulTVec(ch.SolveVec(b, nil), nil)
+	res := LSQR(DenseOp{a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 400, ATol: 1e-13, BTol: 1e-13})
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestLSQRZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randDense(rng, 5, 3)
+	res := LSQR(DenseOp{a}, make([]float64, 5), LSQRParams{})
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatal("x must be zero for zero rhs")
+		}
+	}
+}
+
+func TestLSQRSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, n := 70, 30
+	d := mat.NewDense(m, n)
+	bld := sparse.NewBuilder(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.12 {
+				v := rng.NormFloat64()
+				d.Set(i, j, v)
+				bld.Add(i, j, v)
+			}
+		}
+	}
+	s := bld.Build()
+	b := randVec(rng, m)
+	p := LSQRParams{Damp: 0.3, MaxIter: 200, ATol: 1e-12, BTol: 1e-12}
+	xd := LSQR(DenseOp{d}, b, p).X
+	xs := LSQR(SparseOp{s}, b, p).X
+	for i := range xd {
+		if math.Abs(xd[i]-xs[i]) > 1e-8 {
+			t.Fatalf("sparse/dense divergence at %d: %v vs %v", i, xd[i], xs[i])
+		}
+	}
+}
+
+func TestLSQRConvergesFastOnWellConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, n := 200, 20
+	a := randDense(rng, m, n)
+	b := randVec(rng, m)
+	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 100})
+	if res.Iters > 60 {
+		t.Fatalf("LSQR took %d iterations on a well-conditioned system", res.Iters)
+	}
+}
+
+func TestAugmentedOpEquivalentToExplicitOnes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, n := 40, 9
+	a := randDense(rng, m, n)
+	aug := mat.NewDense(m, n+1)
+	for i := 0; i < m; i++ {
+		copy(aug.RowView(i)[:n], a.RowView(i))
+		aug.Set(i, n, 1)
+	}
+	x := randVec(rng, n+1)
+	got := AugmentedOp{DenseOp{a}}.Apply(x, nil)
+	want := aug.MulVec(x, nil)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Apply mismatch at %d", i)
+		}
+	}
+	y := randVec(rng, m)
+	gt := AugmentedOp{DenseOp{a}}.ApplyT(y, nil)
+	wt := aug.MulTVec(y, nil)
+	for i := range gt {
+		if math.Abs(gt[i]-wt[i]) > 1e-12 {
+			t.Fatalf("ApplyT mismatch at %d", i)
+		}
+	}
+}
+
+func TestCenteredOpEquivalentToExplicitCentering(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, n := 25, 7
+	a := randDense(rng, m, n)
+	centered := a.Clone()
+	mu := centered.CenterRows()
+	op := CenteredOp{Inner: DenseOp{a}, Mu: mu}
+	x := randVec(rng, n)
+	got := op.Apply(x, nil)
+	want := centered.MulVec(x, nil)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("Apply mismatch at %d", i)
+		}
+	}
+	y := randVec(rng, m)
+	gt := op.ApplyT(y, nil)
+	wt := centered.MulTVec(y, nil)
+	for i := range gt {
+		if math.Abs(gt[i]-wt[i]) > 1e-10 {
+			t.Fatalf("ApplyT mismatch at %d", i)
+		}
+	}
+}
+
+func TestCGNEMatchesRidgeDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m, n := 60, 14
+	a := randDense(rng, m, n)
+	b := randVec(rng, m)
+	alpha := 0.7
+	want := ridgeDirect(t, a, b, alpha)
+	res := CGNE(DenseOp{a}, b, alpha, 500, 1e-12)
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestLSQRAndCGNEAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 10+rng.Intn(30), 2+rng.Intn(8)
+		a := randDense(rng, m, n)
+		b := randVec(rng, m)
+		alpha := 0.1 + rng.Float64()
+		x1 := LSQR(DenseOp{a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 400, ATol: 1e-13, BTol: 1e-13}).X
+		x2 := CGNE(DenseOp{a}, b, alpha, 1000, 1e-13).X
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-5*(1+math.Abs(x1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSQRIterationLimitRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randDense(rng, 100, 50)
+	b := randVec(rng, 100)
+	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 3, ATol: 1e-16, BTol: 1e-16})
+	if res.Iters > 3 {
+		t.Fatalf("Iters=%d exceeds MaxIter", res.Iters)
+	}
+}
+
+func TestLSQRPanicsOnBadRHS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LSQR(DenseOp{mat.NewDense(3, 2)}, make([]float64, 4), LSQRParams{})
+}
+
+func TestDiskOpStickyError(t *testing.T) {
+	// A DiskCSR whose file has been closed must surface the error through
+	// Err and produce zero vectors, not panic.
+	rng := rand.New(rand.NewSource(30))
+	d := mat.NewDense(6, 4)
+	b := sparse.NewBuilder(6, 4)
+	for i := 0; i < 6; i++ {
+		v := rng.NormFloat64()
+		d.Set(i, i%4, v)
+		b.Add(i, i%4, v)
+	}
+	s := b.Build()
+	dir := t.TempDir()
+	path := dir + "/m.csr"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := sparse.OpenDiskCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &DiskOp{A: dc}
+	if m, n := op.Dims(); m != 6 || n != 4 {
+		t.Fatalf("Dims %d %d", m, n)
+	}
+	x := []float64{1, 1, 1, 1}
+	out := op.Apply(x, nil)
+	want := s.MulVec(x, nil)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatal("healthy DiskOp should match in-memory")
+		}
+	}
+	dc.Close() // sabotage
+	out = op.Apply(x, nil)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("failed operator should produce zeros")
+		}
+	}
+	if op.Err() == nil {
+		t.Fatal("error not recorded")
+	}
+	// subsequent ApplyT short-circuits
+	if out := op.ApplyT(make([]float64, 6), nil); out[0] != 0 {
+		t.Fatal("sticky error not honored")
+	}
+}
+
+func TestOperatorDims(t *testing.T) {
+	a := mat.NewDense(3, 5)
+	if m, n := (SparseOp{sparse.FromDense(a, 0)}).Dims(); m != 3 || n != 5 {
+		t.Fatalf("SparseOp dims %d %d", m, n)
+	}
+	if m, n := (CenteredOp{Inner: DenseOp{a}, Mu: make([]float64, 5)}).Dims(); m != 3 || n != 5 {
+		t.Fatalf("CenteredOp dims %d %d", m, n)
+	}
+}

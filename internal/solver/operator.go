@@ -1,0 +1,205 @@
+// Package solver implements the iterative least-squares machinery behind
+// SRDA's linear-time path: LSQR (Paige & Saunders 1982) with Tikhonov
+// damping, plus conjugate gradients on the normal equations for
+// comparison.  Solvers operate on an abstract Operator so dense matrices,
+// CSR sparse matrices, and the paper's "append a 1 to every sample"
+// intercept augmentation all share one code path.
+package solver
+
+import (
+	"sync"
+
+	"srda/internal/mat"
+	"srda/internal/sparse"
+)
+
+// Operator is a linear map A: R^n -> R^m exposed through its action and
+// the action of its adjoint.  Implementations must treat x as read-only
+// and may use dst (when non-nil and correctly sized) as the output buffer.
+type Operator interface {
+	// Dims returns (m, n): the output and input dimensions.
+	Dims() (m, n int)
+	// Apply computes A*x into a vector of length m.
+	Apply(x, dst []float64) []float64
+	// ApplyT computes Aᵀ*x into a vector of length n.
+	ApplyT(x, dst []float64) []float64
+}
+
+// DenseOp adapts a *mat.Dense to the Operator interface.
+type DenseOp struct{ A *mat.Dense }
+
+// Dims implements Operator.
+func (o DenseOp) Dims() (int, int) { return o.A.Rows, o.A.Cols }
+
+// Apply implements Operator.
+func (o DenseOp) Apply(x, dst []float64) []float64 { return o.A.MulVec(x, dst) }
+
+// ApplyT implements Operator.
+func (o DenseOp) ApplyT(x, dst []float64) []float64 { return o.A.MulTVec(x, dst) }
+
+// SparseOp adapts a *sparse.CSR to the Operator interface.
+type SparseOp struct{ A *sparse.CSR }
+
+// Dims implements Operator.
+func (o SparseOp) Dims() (int, int) { return o.A.Rows, o.A.Cols }
+
+// Apply implements Operator.
+func (o SparseOp) Apply(x, dst []float64) []float64 { return o.A.MulVec(x, dst) }
+
+// ApplyT implements Operator.
+func (o SparseOp) ApplyT(x, dst []float64) []float64 { return o.A.MulTVec(x, dst) }
+
+// AugmentedOp wraps an operator A as [A | 1]: every row gains a trailing
+// constant-1 feature.  This is the paper's intercept-absorption trick
+// (§III-B): ridge-regressing with the augmented operator fits aᵀx + b
+// without ever centering the (possibly sparse) data, so sparsity is
+// preserved.  The intercept coordinate is the last entry of the solution
+// vector.
+type AugmentedOp struct{ Inner Operator }
+
+// Dims implements Operator: one extra input dimension for the intercept.
+func (o AugmentedOp) Dims() (int, int) {
+	m, n := o.Inner.Dims()
+	return m, n + 1
+}
+
+// Apply implements Operator.
+func (o AugmentedOp) Apply(x, dst []float64) []float64 {
+	m, n := o.Inner.Dims()
+	dst = o.Inner.Apply(x[:n], dst)
+	b := x[n]
+	if b != 0 {
+		for i := 0; i < m; i++ {
+			dst[i] += b
+		}
+	}
+	return dst
+}
+
+// ApplyT implements Operator.
+func (o AugmentedOp) ApplyT(x, dst []float64) []float64 {
+	m, n := o.Inner.Dims()
+	if dst == nil {
+		dst = make([]float64, n+1)
+	}
+	o.Inner.ApplyT(x, dst[:n])
+	var s float64
+	for i := 0; i < m; i++ {
+		s += x[i]
+	}
+	dst[n] = s
+	return dst
+}
+
+// CenteredOp wraps an operator as A - 1·μᵀ, i.e. the operator whose rows
+// are the centered rows of A, without densifying A.  Used to run LDA-style
+// computations on sparse data for comparison purposes.
+type CenteredOp struct {
+	Inner Operator
+	Mu    []float64 // column means, length n
+}
+
+// Dims implements Operator.
+func (o CenteredOp) Dims() (int, int) { return o.Inner.Dims() }
+
+// Apply implements Operator.
+func (o CenteredOp) Apply(x, dst []float64) []float64 {
+	m, _ := o.Inner.Dims()
+	dst = o.Inner.Apply(x, dst)
+	var mux float64
+	for j, v := range o.Mu {
+		mux += v * x[j]
+	}
+	for i := 0; i < m; i++ {
+		dst[i] -= mux
+	}
+	return dst
+}
+
+// ApplyT implements Operator.
+func (o CenteredOp) ApplyT(x, dst []float64) []float64 {
+	_, n := o.Inner.Dims()
+	dst = o.Inner.ApplyT(x, dst)
+	var sx float64
+	for _, v := range x {
+		sx += v
+	}
+	for j := 0; j < n; j++ {
+		dst[j] -= sx * o.Mu[j]
+	}
+	return dst
+}
+
+// DiskOp adapts an out-of-core *sparse.DiskCSR to the Operator interface.
+// The Operator contract has no error channel, so I/O failures are made
+// sticky: the first error freezes the operator (subsequent products
+// return zero vectors) and is reported by Err.  Callers run the solve,
+// then check Err once.  Safe for the concurrent use the parallel
+// response solver makes of it (the underlying reads go through ReadAt).
+type DiskOp struct {
+	A   *sparse.DiskCSR
+	mu  sync.Mutex
+	err error
+}
+
+// Dims implements Operator.
+func (o *DiskOp) Dims() (int, int) { return o.A.Rows, o.A.Cols }
+
+// Err returns the first I/O error encountered, if any.
+func (o *DiskOp) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+func (o *DiskOp) fail(err error) {
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+// Apply implements Operator.
+func (o *DiskOp) Apply(x, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, o.A.Rows)
+	}
+	if o.Err() != nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	out, err := o.A.MulVec(x, dst)
+	if err != nil {
+		o.fail(err)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	return out
+}
+
+// ApplyT implements Operator.
+func (o *DiskOp) ApplyT(x, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, o.A.Cols)
+	}
+	if o.Err() != nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	out, err := o.A.MulTVec(x, dst)
+	if err != nil {
+		o.fail(err)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// operations SRDA's iterative path needs: matrix-vector products with A and
+// Aᵀ, row access, column statistics, and conversions to and from dense
+// form.  A COO (triplet) builder handles incremental construction.
+//
+// CSR is the layout the paper's complexity analysis assumes: one LSQR
+// iteration costs two sparse mat-vecs, O(m·s) with s the average number of
+// nonzeros per row, which is what makes SRDA linear-time on text data.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"srda/internal/mat"
+)
+
+// CSR is an immutable m×n sparse matrix in compressed sparse row form.
+// Row i occupies ColIdx[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]],
+// with column indices strictly increasing within a row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// AvgRowNNZ returns the average number of stored entries per row — the
+// paper's "s" parameter.
+func (a *CSR) AvgRowNNZ() float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / float64(a.Rows)
+}
+
+// Density returns nnz / (rows*cols).
+func (a *CSR) Density() float64 {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / (float64(a.Rows) * float64(a.Cols))
+}
+
+// Row returns the column indices and values of row i, sharing storage.
+func (a *CSR) Row(i int) (cols []int, vals []float64) {
+	if i < 0 || i >= a.Rows {
+		panic("sparse: row index out of range")
+	}
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[lo:hi], a.Val[lo:hi]
+}
+
+// At returns element (i, j) with a binary search over row i.
+func (a *CSR) At(i, j int) float64 {
+	if j < 0 || j >= a.Cols {
+		panic("sparse: column index out of range")
+	}
+	cols, vals := a.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// MulVec computes y = A*x, allocating y when dst is nil.
+func (a *CSR) MulVec(x, dst []float64) []float64 {
+	if len(x) != a.Cols {
+		panic("sparse: MulVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulTVec computes y = Aᵀ*x, allocating y when dst is nil.
+func (a *CSR) MulTVec(x, dst []float64) []float64 {
+	if len(x) != a.Rows {
+		panic("sparse: MulTVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.Cols)
+	} else {
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			dst[a.ColIdx[k]] += a.Val[k] * xi
+		}
+	}
+	return dst
+}
+
+// AddScaledRow accumulates alpha * row i of A into the dense vector dst.
+func (a *CSR) AddScaledRow(i int, alpha float64, dst []float64) {
+	cols, vals := a.Row(i)
+	for k, j := range cols {
+		dst[j] += alpha * vals[k]
+	}
+}
+
+// RowDot returns the inner product of row i with the dense vector x.
+func (a *CSR) RowDot(i int, x []float64) float64 {
+	cols, vals := a.Row(i)
+	var s float64
+	for k, j := range cols {
+		s += vals[k] * x[j]
+	}
+	return s
+}
+
+// RowNorm2 returns the squared Euclidean norm of row i.
+func (a *CSR) RowNorm2(i int) float64 {
+	_, vals := a.Row(i)
+	var s float64
+	for _, v := range vals {
+		s += v * v
+	}
+	return s
+}
+
+// ScaleRow multiplies row i by alpha in place.
+func (a *CSR) ScaleRow(i int, alpha float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	for k := lo; k < hi; k++ {
+		a.Val[k] *= alpha
+	}
+}
+
+// ColMeans returns the per-column mean (treating missing entries as zero).
+func (a *CSR) ColMeans() []float64 {
+	mu := make([]float64, a.Cols)
+	for k, j := range a.ColIdx {
+		mu[j] += a.Val[k]
+	}
+	if a.Rows > 0 {
+		inv := 1 / float64(a.Rows)
+		for j := range mu {
+			mu[j] *= inv
+		}
+	}
+	return mu
+}
+
+// SelectRows returns a new CSR containing the given rows of a, in order.
+// Duplicate indices are allowed (bootstrap-style sampling).
+func (a *CSR) SelectRows(idx []int) *CSR {
+	out := &CSR{Rows: len(idx), Cols: a.Cols, RowPtr: make([]int, len(idx)+1)}
+	nnz := 0
+	for _, i := range idx {
+		if i < 0 || i >= a.Rows {
+			panic("sparse: SelectRows index out of range")
+		}
+		nnz += a.RowPtr[i+1] - a.RowPtr[i]
+	}
+	out.ColIdx = make([]int, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	for r, i := range idx {
+		cols, vals := a.Row(i)
+		out.ColIdx = append(out.ColIdx, cols...)
+		out.Val = append(out.Val, vals...)
+		out.RowPtr[r+1] = len(out.Val)
+	}
+	return out
+}
+
+// ToDense expands a into a dense matrix.
+func (a *CSR) ToDense() *mat.Dense {
+	d := mat.NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := d.RowView(i)
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			row[j] = vals[k]
+		}
+	}
+	return d
+}
+
+// FromDense compresses a dense matrix, dropping entries with |v| <= dropTol.
+func FromDense(d *mat.Dense, dropTol float64) *CSR {
+	a := &CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int, d.Rows+1)}
+	for i := 0; i < d.Rows; i++ {
+		row := d.RowView(i)
+		for j, v := range row {
+			if v > dropTol || v < -dropTol {
+				a.ColIdx = append(a.ColIdx, j)
+				a.Val = append(a.Val, v)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Val)
+	}
+	return a
+}
+
+// MemoryBytes estimates the resident size of the CSR structure, used by the
+// experiment harness to model the paper's 2 GB memory wall.
+func (a *CSR) MemoryBytes() int64 {
+	return int64(len(a.RowPtr))*8 + int64(len(a.ColIdx))*8 + int64(len(a.Val))*8
+}
+
+// String summarizes the matrix shape and sparsity.
+func (a *CSR) String() string {
+	return fmt.Sprintf("CSR %dx%d nnz=%d (%.4f%%)", a.Rows, a.Cols, a.NNZ(), 100*a.Density())
+}
+
+// Builder accumulates COO triplets and compiles them into a CSR matrix.
+// Duplicate (i,j) entries are summed at Build time.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+type entry struct {
+	i, j int
+	v    float64
+}
+
+// NewBuilder creates a builder for an r×c matrix.
+func NewBuilder(r, c int) *Builder {
+	if r < 0 || c < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &Builder{rows: r, cols: c}
+}
+
+// Add accumulates v at (i, j).  Zero values are ignored.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range %dx%d", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, entry{i, j, v})
+}
+
+// Build compiles the accumulated triplets into a CSR matrix, summing
+// duplicates and dropping entries that cancel to exactly zero.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(p, q int) bool {
+		if b.entries[p].i != b.entries[q].i {
+			return b.entries[p].i < b.entries[q].i
+		}
+		return b.entries[p].j < b.entries[q].j
+	})
+	a := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	for k := 0; k < len(b.entries); {
+		e := b.entries[k]
+		v := e.v
+		k++
+		for k < len(b.entries) && b.entries[k].i == e.i && b.entries[k].j == e.j {
+			v += b.entries[k].v
+			k++
+		}
+		if v == 0 {
+			continue
+		}
+		a.ColIdx = append(a.ColIdx, e.j)
+		a.Val = append(a.Val, v)
+		a.RowPtr[e.i+1] = len(a.Val)
+	}
+	// RowPtr so far holds per-row end marks only for rows with entries;
+	// forward-fill empties.
+	for i := 1; i <= b.rows; i++ {
+		if a.RowPtr[i] < a.RowPtr[i-1] {
+			a.RowPtr[i] = a.RowPtr[i-1]
+		}
+	}
+	return a
+}

@@ -1,0 +1,226 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// DiskCSR is a CSR matrix stored in a file and streamed during
+// matrix-vector products, realizing the paper's §III-C2 observation that
+// "even [if] the data matrix is too large to be fit into the memory,
+// SRDA can still be applied with some reasonable disk I/O" — each LSQR
+// iteration only needs one sequential pass over the row data for A·v and
+// one for Aᵀ·v.  Only the row-pointer array (8 bytes per row) is held in
+// memory.
+//
+// File layout (little-endian):
+//
+//	magic   "SRDACSR1" (8 bytes)
+//	rows    int64
+//	cols    int64
+//	nnz     int64
+//	rowptr  (rows+1)·int64
+//	colidx  nnz·int64
+//	values  nnz·float64
+type DiskCSR struct {
+	Rows, Cols int
+	rowPtr     []int64
+	f          *os.File
+	colOff     int64 // file offset of the column-index region
+	valOff     int64 // file offset of the value region
+}
+
+const diskMagic = "SRDACSR1"
+
+// WriteFile serializes the matrix into the DiskCSR file format.
+func (a *CSR) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(diskMagic); err != nil {
+		return err
+	}
+	for _, v := range []int64{int64(a.Rows), int64(a.Cols), int64(a.NNZ())} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range a.RowPtr {
+		if err := binary.Write(w, binary.LittleEndian, int64(p)); err != nil {
+			return err
+		}
+	}
+	for _, c := range a.ColIdx {
+		if err := binary.Write(w, binary.LittleEndian, int64(c)); err != nil {
+			return err
+		}
+	}
+	for _, v := range a.Val {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// OpenDiskCSR opens a file written by WriteFile, loading only the row
+// pointers.  The caller owns Close.
+func OpenDiskCSR(path string) (*DiskCSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(diskMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sparse: reading magic: %w", err)
+	}
+	if string(magic) != diskMagic {
+		f.Close()
+		return nil, fmt.Errorf("sparse: %s is not a DiskCSR file", path)
+	}
+	var rows, cols, nnz int64
+	for _, p := range []*int64{&rows, &cols, &nnz} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		f.Close()
+		return nil, fmt.Errorf("sparse: corrupt header (%d, %d, %d)", rows, cols, nnz)
+	}
+	rowPtr := make([]int64, rows+1)
+	if err := binary.Read(r, binary.LittleEndian, rowPtr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sparse: reading row pointers: %w", err)
+	}
+	if rowPtr[rows] != nnz {
+		f.Close()
+		return nil, fmt.Errorf("sparse: row pointers inconsistent with nnz")
+	}
+	headerLen := int64(len(diskMagic)) + 3*8 + (rows+1)*8
+	return &DiskCSR{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		rowPtr: rowPtr,
+		f:      f,
+		colOff: headerLen,
+		valOff: headerLen + nnz*8,
+	}, nil
+}
+
+// Close releases the underlying file.
+func (d *DiskCSR) Close() error { return d.f.Close() }
+
+// NNZ returns the number of stored entries.
+func (d *DiskCSR) NNZ() int { return int(d.rowPtr[d.Rows]) }
+
+// streamer walks the colidx and value regions sequentially in lockstep.
+type streamer struct {
+	cols *bufio.Reader
+	vals *bufio.Reader
+	cbuf [8]byte
+	vbuf [8]byte
+}
+
+func (d *DiskCSR) newStreamer() *streamer {
+	return &streamer{
+		cols: bufio.NewReaderSize(io.NewSectionReader(d.f, d.colOff, int64(d.NNZ())*8), 1<<18),
+		vals: bufio.NewReaderSize(io.NewSectionReader(d.f, d.valOff, int64(d.NNZ())*8), 1<<18),
+	}
+}
+
+func (s *streamer) next() (col int, val float64, err error) {
+	if _, err = io.ReadFull(s.cols, s.cbuf[:]); err != nil {
+		return 0, 0, err
+	}
+	if _, err = io.ReadFull(s.vals, s.vbuf[:]); err != nil {
+		return 0, 0, err
+	}
+	c := int64(binary.LittleEndian.Uint64(s.cbuf[:]))
+	v := binary.LittleEndian.Uint64(s.vbuf[:])
+	return int(c), math.Float64frombits(v), nil
+}
+
+// MulVec computes y = A·x with one sequential pass over the file.
+func (d *DiskCSR) MulVec(x, dst []float64) ([]float64, error) {
+	if len(x) != d.Cols {
+		return nil, fmt.Errorf("sparse: MulVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, d.Rows)
+	}
+	st := d.newStreamer()
+	for i := 0; i < d.Rows; i++ {
+		var s float64
+		for k := d.rowPtr[i]; k < d.rowPtr[i+1]; k++ {
+			col, val, err := st.next()
+			if err != nil {
+				return nil, fmt.Errorf("sparse: streaming row %d: %w", i, err)
+			}
+			s += val * x[col]
+		}
+		dst[i] = s
+	}
+	return dst, nil
+}
+
+// MulTVec computes y = Aᵀ·x with one sequential pass over the file.
+func (d *DiskCSR) MulTVec(x, dst []float64) ([]float64, error) {
+	if len(x) != d.Rows {
+		return nil, fmt.Errorf("sparse: MulTVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, d.Cols)
+	} else {
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+	st := d.newStreamer()
+	for i := 0; i < d.Rows; i++ {
+		xi := x[i]
+		for k := d.rowPtr[i]; k < d.rowPtr[i+1]; k++ {
+			col, val, err := st.next()
+			if err != nil {
+				return nil, fmt.Errorf("sparse: streaming row %d: %w", i, err)
+			}
+			dst[col] += val * xi
+		}
+	}
+	return dst, nil
+}
+
+// Load reads the whole matrix into memory (for tests and small files).
+func (d *DiskCSR) Load() (*CSR, error) {
+	nnz := d.NNZ()
+	out := &CSR{
+		Rows:   d.Rows,
+		Cols:   d.Cols,
+		RowPtr: make([]int, d.Rows+1),
+		ColIdx: make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	for i := range d.rowPtr {
+		out.RowPtr[i] = int(d.rowPtr[i])
+	}
+	st := d.newStreamer()
+	for k := 0; k < nnz; k++ {
+		col, val, err := st.next()
+		if err != nil {
+			return nil, err
+		}
+		out.ColIdx[k] = col
+		out.Val[k] = val
+	}
+	return out, nil
+}

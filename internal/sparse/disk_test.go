@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiskCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, a := randSparseDense(rng, 40, 25, 0.15)
+	path := filepath.Join(t.TempDir(), "m.csr")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDiskCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Rows != 40 || d.Cols != 25 || d.NNZ() != a.NNZ() {
+		t.Fatalf("header %d/%d/%d", d.Rows, d.Cols, d.NNZ())
+	}
+	back, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() {
+		t.Fatal("nnz mismatch after load")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ca, va := a.Row(i)
+		cb, vb := back.Row(i)
+		if len(ca) != len(cb) {
+			t.Fatalf("row %d length", i)
+		}
+		for k := range ca {
+			if ca[k] != cb[k] || va[k] != vb[k] {
+				t.Fatalf("row %d entry %d", i, k)
+			}
+		}
+	}
+}
+
+func TestDiskCSRMatVecMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, a := randSparseDense(rng, 60, 35, 0.1)
+	path := filepath.Join(t.TempDir(), "m.csr")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDiskCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	x := make([]float64, 35)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got, err := d.MulVec(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.MulVec(x, nil)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+	y := make([]float64, 60)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	gt, err := d.MulTVec(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := a.MulTVec(y, nil)
+	for i := range wt {
+		if math.Abs(gt[i]-wt[i]) > 1e-12 {
+			t.Fatalf("MulTVec[%d]: %v vs %v", i, gt[i], wt[i])
+		}
+	}
+}
+
+func TestDiskCSRRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a csr file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCSR(path); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	if _, err := OpenDiskCSR(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDiskCSRDimensionChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, a := randSparseDense(rng, 10, 6, 0.3)
+	path := filepath.Join(t.TempDir(), "m.csr")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDiskCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.MulVec(make([]float64, 5), nil); err == nil {
+		t.Fatal("wrong x length accepted")
+	}
+	if _, err := d.MulTVec(make([]float64, 9), nil); err == nil {
+		t.Fatal("wrong y length accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package text implements the document-preprocessing pipeline the paper
+// applies to 20Newsgroups before discriminant analysis: tokenization,
+// stop-word removal, Porter stemming, vocabulary construction, and
+// TF / TF-IDF vectorization into the sparse matrices SRDA consumes
+// ("Each document is then represented as a term-frequency vector and
+// normalized to 1", §IV-A).
+package text
+
+// Stem reduces an English word to its stem with the classic Porter
+// algorithm (M.F. Porter, "An algorithm for suffix stripping", 1980).
+// Input is expected lowercase; non-alphabetic input is returned
+// unchanged.  Words of length <= 2 are returned as-is, per the original.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for _, r := range word {
+		if r < 'a' || r > 'z' {
+			return word
+		}
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] acts as a consonant at position i ('y' is a
+// consonant when it follows a vowel position per Porter's definition).
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes Porter's m: the number of VC sequences in w[:len].
+func measure(w []byte) int {
+	n := len(w)
+	m := 0
+	i := 0
+	// skip initial consonants
+	for i < n && isCons(w, i) {
+		i++
+	}
+	for i < n {
+		// in a vowel run
+		for i < n && !isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		m++
+		for i < n && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether the stem contains a vowel.
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports *d: the stem ends with a double consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports *o: the stem ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	c := w[n-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+// hasSuffix reports whether w ends with s.
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix old with new when the remaining stem's
+// measure exceeds minM; returns (word, applied).
+func replaceIf(w []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, old) {
+		return w, false
+	}
+	stem := w[:len(w)-len(old)]
+	if measure(stem) <= minM {
+		return w, true // suffix matched; rule consumed but not applied
+	}
+	return append(append([]byte{}, stem...), new...), true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	applied := false
+	if hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]) {
+		w = w[:len(w)-2]
+		applied = true
+	} else if hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]) {
+		w = w[:len(w)-3]
+		applied = true
+	}
+	if !applied {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w) && !hasSuffix(w, "l") && !hasSuffix(w, "s") && !hasSuffix(w, "z"):
+		return w[:len(w)-1]
+	case measure(w) == 1 && endsCVC(w):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		out := append([]byte{}, w...)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+// step2 suffix table, longest-match-first within shared last letters per
+// the original specification.
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"},
+	{"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"},
+	{"abli", "able"}, {"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"}, {"ousness", "ous"},
+	{"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if out, matched := replaceIf(w, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+	{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if out, matched := replaceIf(w, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+	"ement", "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	// (m>1 and (*S or *T)) ION
+	if hasSuffix(w, "ion") {
+		stem := w[:len(w)-3]
+		if len(stem) > 0 && (stem[len(stem)-1] == 's' || stem[len(stem)-1] == 't') && measure(stem) > 1 {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && hasSuffix(w, "l") {
+		return w[:len(w)-1]
+	}
+	return w
+}

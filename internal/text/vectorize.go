@@ -1,0 +1,255 @@
+package text
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"srda/internal/dataset"
+	"srda/internal/sparse"
+)
+
+// stopWords is the classic English stop list (SMART-derived subset).
+var stopWords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`a about above after again against all am an and any are as at be
+		because been before being below between both but by can did do does doing down during each few for
+		from further had has have having he her here hers herself him himself his how i if in into is it its
+		itself just me more most my myself no nor not now of off on once only or other our ours ourselves
+		out over own same she should so some such than that the their theirs them themselves then there
+		these they this those through to too under until up very was we were what when where which while who
+		whom why will with you your yours yourself yourselves`) {
+		stopWords[w] = true
+	}
+}
+
+// IsStopWord reports membership in the built-in English stop list.
+func IsStopWord(w string) bool { return stopWords[strings.ToLower(w)] }
+
+// Tokenize lowercases and splits text into alphabetic tokens, dropping
+// everything else (numbers, punctuation, markup) — the coarse but
+// standard preprocessing for bag-of-words discriminant analysis.
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			cur.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// VectorizerOptions configures corpus vectorization.
+type VectorizerOptions struct {
+	// MinDocFreq drops terms appearing in fewer documents (default 1).
+	MinDocFreq int
+	// MaxDocRatio drops terms appearing in more than this fraction of
+	// documents (default 1.0 = keep everything).
+	MaxDocRatio float64
+	// Stem applies Porter stemming (default behavior is governed by the
+	// caller; zero value means no stemming).
+	Stem bool
+	// KeepStopWords disables the built-in stop list.
+	KeepStopWords bool
+	// TFIDF weights counts by log(1 + N/df); otherwise raw term
+	// frequencies are used.  Either way rows are L2-normalized, matching
+	// the paper's preprocessing.
+	TFIDF bool
+}
+
+// Vectorizer maps documents to sparse term vectors over a fixed
+// vocabulary learned from a training corpus.
+type Vectorizer struct {
+	// Vocab maps term → column index.
+	Vocab map[string]int
+	// Terms lists the vocabulary in column order.
+	Terms []string
+	// IDF holds per-term inverse document frequencies (all 1 when the
+	// vectorizer was built without TFIDF).
+	IDF []float64
+	opt VectorizerOptions
+}
+
+// NewVectorizer learns a vocabulary from the corpus and returns the
+// fitted vectorizer together with the vectorized corpus.
+func NewVectorizer(docs []string, labels []int, numClasses int, opt VectorizerOptions) (*Vectorizer, *dataset.Dataset, error) {
+	if len(docs) == 0 {
+		return nil, nil, fmt.Errorf("text: empty corpus")
+	}
+	if labels != nil && len(labels) != len(docs) {
+		return nil, nil, fmt.Errorf("text: %d docs but %d labels", len(docs), len(labels))
+	}
+	if opt.MinDocFreq <= 0 {
+		opt.MinDocFreq = 1
+	}
+	if opt.MaxDocRatio <= 0 || opt.MaxDocRatio > 1 {
+		opt.MaxDocRatio = 1
+	}
+
+	// Pass 1: document frequencies over processed tokens.
+	processed := make([][]string, len(docs))
+	df := map[string]int{}
+	for i, doc := range docs {
+		toks := v0process(doc, opt)
+		processed[i] = toks
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+
+	// Vocabulary: filtered by document frequency, sorted for determinism.
+	maxDF := int(opt.MaxDocRatio * float64(len(docs)))
+	var terms []string
+	for t, d := range df {
+		if d >= opt.MinDocFreq && d <= maxDF {
+			terms = append(terms, t)
+		}
+	}
+	if len(terms) == 0 {
+		return nil, nil, fmt.Errorf("text: vocabulary is empty after filtering")
+	}
+	sort.Strings(terms)
+	vocab := make(map[string]int, len(terms))
+	for j, t := range terms {
+		vocab[t] = j
+	}
+	idf := make([]float64, len(terms))
+	for j, t := range terms {
+		if opt.TFIDF {
+			idf[j] = math.Log(1 + float64(len(docs))/float64(df[t]))
+		} else {
+			idf[j] = 1
+		}
+	}
+	v := &Vectorizer{Vocab: vocab, Terms: terms, IDF: idf, opt: opt}
+
+	// Pass 2: vectorize.
+	bld := sparse.NewBuilder(len(docs), len(terms))
+	counts := map[int]float64{}
+	for i := range docs {
+		v.accumulate(processed[i], counts)
+		v.emit(bld, i, counts)
+	}
+	ds := &dataset.Dataset{
+		Name:       "text",
+		Sparse:     bld.Build(),
+		Labels:     labels,
+		NumClasses: numClasses,
+	}
+	if labels == nil {
+		ds.Labels = make([]int, len(docs))
+		ds.NumClasses = 1
+	}
+	return v, ds, nil
+}
+
+// Transform vectorizes new documents with the learned vocabulary
+// (out-of-vocabulary terms are dropped).
+func (v *Vectorizer) Transform(docs []string) *sparse.CSR {
+	bld := sparse.NewBuilder(len(docs), len(v.Terms))
+	counts := map[int]float64{}
+	for i, doc := range docs {
+		v.accumulate(v0process(doc, v.opt), counts)
+		v.emit(bld, i, counts)
+	}
+	return bld.Build()
+}
+
+// NumTerms returns the vocabulary size.
+func (v *Vectorizer) NumTerms() int { return len(v.Terms) }
+
+// v0process tokenizes and normalizes one document.
+func v0process(doc string, opt VectorizerOptions) []string {
+	raw := Tokenize(doc)
+	out := raw[:0]
+	for _, t := range raw {
+		if len(t) < 2 {
+			continue
+		}
+		if !opt.KeepStopWords && stopWords[t] {
+			continue
+		}
+		if opt.Stem {
+			t = Stem(t)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// accumulate counts in-vocabulary terms into the reusable map.
+func (v *Vectorizer) accumulate(tokens []string, counts map[int]float64) {
+	for k := range counts {
+		delete(counts, k)
+	}
+	for _, t := range tokens {
+		if j, ok := v.Vocab[t]; ok {
+			counts[j]++
+		}
+	}
+}
+
+// emit writes one L2-normalized (TF or TF-IDF) row.
+func (v *Vectorizer) emit(bld *sparse.Builder, row int, counts map[int]float64) {
+	var ss float64
+	for j, cnt := range counts {
+		w := cnt * v.IDF[j]
+		ss += w * w
+	}
+	if ss == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(ss)
+	for j, cnt := range counts {
+		bld.Add(row, j, cnt*v.IDF[j]*inv)
+	}
+}
+
+// vectorizerWire is the gob-encoded persistent form.
+type vectorizerWire struct {
+	Terms []string
+	IDF   []float64
+	Opt   VectorizerOptions
+}
+
+// Save serializes the fitted vectorizer with encoding/gob so a trained
+// text pipeline can be shipped alongside its model.
+func (v *Vectorizer) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(vectorizerWire{Terms: v.Terms, IDF: v.IDF, Opt: v.opt})
+}
+
+// LoadVectorizer reads a vectorizer written by Save.
+func LoadVectorizer(r io.Reader) (*Vectorizer, error) {
+	var wire vectorizerWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("text: decoding vectorizer: %w", err)
+	}
+	if len(wire.Terms) != len(wire.IDF) {
+		return nil, fmt.Errorf("text: corrupt vectorizer: %d terms, %d idf values", len(wire.Terms), len(wire.IDF))
+	}
+	vocab := make(map[string]int, len(wire.Terms))
+	for j, t := range wire.Terms {
+		vocab[t] = j
+	}
+	return &Vectorizer{Vocab: vocab, Terms: wire.Terms, IDF: wire.IDF, opt: wire.Opt}, nil
+}

@@ -1,0 +1,44 @@
+package srda
+
+import (
+	"fmt"
+
+	"srda/internal/core"
+	"srda/internal/solver"
+	"srda/internal/sparse"
+)
+
+// IncrementalSRDA maintains an SRDA model under a sample stream with
+// exact batch equivalence: O(n²) per added sample, O(c·n²) per model
+// refresh, no pass over past data.
+type IncrementalSRDA = core.Incremental
+
+// NewIncrementalSRDA starts an empty incremental trainer for
+// numFeatures-dimensional samples in numClasses classes with ridge
+// penalty alpha (> 0).
+func NewIncrementalSRDA(numFeatures, numClasses int, alpha float64) (*IncrementalSRDA, error) {
+	return core.NewIncremental(numFeatures, numClasses, alpha)
+}
+
+// DiskCSR is a CSR matrix stored on disk and streamed during products —
+// the paper's "reasonable disk I/O" mode for data exceeding memory.
+type DiskCSR = sparse.DiskCSR
+
+// OpenDiskCSR opens a matrix written with CSR.WriteFile, keeping only
+// the row pointers in memory.
+func OpenDiskCSR(path string) (*DiskCSR, error) { return sparse.OpenDiskCSR(path) }
+
+// FitDiskCSR trains SRDA out of core: each LSQR iteration streams the
+// file twice (once for A·v, once for Aᵀ·v) and nothing but the row
+// pointers and the solver's O(m+n) vectors stay resident.
+func FitDiskCSR(d *DiskCSR, labels []int, numClasses int, opt Options) (*Model, error) {
+	op := &solver.DiskOp{A: d}
+	model, err := core.FitOperator(op, labels, numClasses, opt.toCore())
+	if err != nil {
+		return nil, err
+	}
+	if ioErr := op.Err(); ioErr != nil {
+		return nil, fmt.Errorf("srda: out-of-core training hit an I/O error: %w", ioErr)
+	}
+	return model, nil
+}

@@ -1,0 +1,36 @@
+package srda
+
+import (
+	"io"
+
+	"srda/internal/text"
+)
+
+// TextVectorizer maps raw documents to the L2-normalized sparse term
+// vectors the paper's 20Newsgroups preprocessing produces.
+type TextVectorizer = text.Vectorizer
+
+// TextVectorizerOptions configures tokenization, stemming, stop-word
+// removal, document-frequency filtering, and TF-IDF weighting.
+type TextVectorizerOptions = text.VectorizerOptions
+
+// NewTextVectorizer learns a vocabulary from the corpus and returns the
+// fitted vectorizer plus the vectorized dataset, ready for FitCSR.
+func NewTextVectorizer(docs []string, labels []int, numClasses int, opt TextVectorizerOptions) (*TextVectorizer, *Dataset, error) {
+	return text.NewVectorizer(docs, labels, numClasses, opt)
+}
+
+// StemWord reduces an English word to its Porter stem.
+func StemWord(w string) string { return text.Stem(w) }
+
+// TokenizeText lowercases and splits text into alphabetic tokens.
+func TokenizeText(s string) []string { return text.Tokenize(s) }
+
+// IsStopWord reports membership in the built-in English stop list.
+func IsStopWord(w string) bool { return text.IsStopWord(w) }
+
+// LoadTextVectorizer reads a vectorizer written with
+// TextVectorizer.Save.
+func LoadTextVectorizer(r io.Reader) (*TextVectorizer, error) {
+	return text.LoadVectorizer(r)
+}
