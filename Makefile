@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench repro repro-paper examples clean
+.PHONY: all check build test vet race cover bench repro repro-paper examples clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, static checks, unit tests, and the race
+# detector (internal/serve is concurrent; run it racy by default).
+check: build vet test race
 
 build:
 	$(GO) build ./...

@@ -330,6 +330,60 @@ func BenchmarkIDRQRFit(b *testing.B) {
 	}
 }
 
+// predictBenchSetup trains a model at a serving-realistic shape (wide
+// features, few classes) and cuts a 64-sample batch, the micro-batcher's
+// default MaxBatch.
+func predictBenchSetup(b *testing.B) (*srda.Model, *srda.Dense) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(77))
+	const m, n, c, batch = 300, 2000, 10, 64
+	x := srda.NewDense(m+batch, n)
+	labels := make([]int, m+batch)
+	for i := 0; i < m+batch; i++ {
+		labels[i] = i % c
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[0] += 7 * float64(labels[i])
+	}
+	train := x.Slice(0, m, 0, n)
+	model, err := srda.Fit(train.Clone(), labels[:m], c, srda.Options{Alpha: 1, Solver: srda.SolverDual})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model, x.Slice(m, m+batch, 0, n).Clone()
+}
+
+// BenchmarkPredictLoop classifies a 64-sample batch one row at a time —
+// the per-request cost a server pays without micro-batching (one GemvT
+// over W plus a centroid-distance loop per sample).
+func BenchmarkPredictLoop(b *testing.B) {
+	model, batch := predictBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < batch.Rows; r++ {
+			model.PredictVec(batch.RowView(r))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(batch.Rows)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkPredictBatch classifies the same 64 samples through the
+// GEMM-lowered batch path srdaserve's dispatcher uses; the ratio to
+// BenchmarkPredictLoop is the micro-batching win recorded in the perf
+// trajectory.
+func BenchmarkPredictBatch(b *testing.B) {
+	model, batch := predictBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.PredictBatch(batch)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(batch.Rows)/b.Elapsed().Seconds(), "samples/s")
+}
+
 // BenchmarkTransformSparse times embedding throughput on CSR rows.
 func BenchmarkTransformSparse(b *testing.B) {
 	_, _, _, news := datasets()

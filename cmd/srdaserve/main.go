@@ -1,0 +1,147 @@
+// Command srdaserve serves predictions from a trained SRDA model over
+// JSON/HTTP with micro-batched inference, hot reload, and metrics.
+//
+// Serve a model produced by srdatrain (or srda.SaveModelFile):
+//
+//	srdaserve -model out.srda -addr :8080
+//
+// Endpoints: POST /v1/predict (single or multi-sample, dense or sparse
+// {index: value} payloads), GET /healthz, GET /metrics (Prometheus text).
+// Incoming samples are coalesced across requests into batches of up to
+// -max-batch samples or -max-wait of latency and classified through one
+// GEMM per batch.
+//
+// The model hot-reloads without a restart: send SIGHUP, or pass -watch to
+// poll the model file for changes.  In-flight requests finish on the model
+// they started with.  SIGINT/SIGTERM drain gracefully within
+// -drain-timeout.  See doc/SERVING.md for the payload schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"srda"
+	"srda/internal/serve"
+)
+
+type config struct {
+	modelPath    string
+	addr         string
+	maxBatch     int
+	maxWait      time.Duration
+	workers      int
+	queueDepth   int
+	watch        time.Duration
+	drainTimeout time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.modelPath, "model", "", "trained model file to serve (required; written by srdatrain)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 64, "max samples coalesced into one inference batch")
+	flag.DurationVar(&cfg.maxWait, "max-wait", 2*time.Millisecond, "max time the batcher holds a non-full batch open")
+	flag.IntVar(&cfg.workers, "workers", 0, "inference worker goroutines (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.queueDepth, "queue", 4096, "queued-sample cap; beyond it requests get 503")
+	flag.DurationVar(&cfg.watch, "watch", 0, "poll the model file at this interval and hot-reload on change (0 = off; SIGHUP always reloads)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "srdaserve: ", log.LstdFlags)
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(cfg, logger, nil, shutdown); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run loads the model, starts the server, and blocks until a shutdown
+// signal arrives, then drains.  When ready is non-nil the bound listener
+// address is sent on it once the server is accepting (used by tests and
+// for -addr :0).
+func run(cfg config, logger *log.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
+	if cfg.modelPath == "" {
+		return fmt.Errorf("need -model; see -h")
+	}
+	model, err := srda.LoadModelFile(cfg.modelPath)
+	if err != nil {
+		return fmt.Errorf("loading model: %w", err)
+	}
+	s, err := serve.New(model, serve.Options{
+		MaxBatch:   cfg.maxBatch,
+		MaxWait:    cfg.maxWait,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	logger.Printf("model %s: %d features, %d classes, %d embedding dims",
+		cfg.modelPath, model.W.Rows, model.NumClasses, model.Dim())
+
+	// SIGHUP always forces a reload; -watch additionally polls for changes.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	hupDone := make(chan struct{})
+	go func() {
+		defer close(hupDone)
+		for range hup {
+			if seq, err := s.ReloadFromFile(cfg.modelPath); err != nil {
+				logger.Printf("SIGHUP reload failed, keeping current model: %v", err)
+			} else {
+				logger.Printf("SIGHUP: reloaded %s (model seq %d)", cfg.modelPath, seq)
+			}
+		}
+	}()
+	if cfg.watch > 0 {
+		stopWatch := s.WatchFile(cfg.modelPath, cfg.watch, logger)
+		defer stopWatch()
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	logger.Printf("serving on %s (max-batch %d, max-wait %s)", ln.Addr(), cfg.maxBatch, cfg.maxWait)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	select {
+	case sig := <-shutdown:
+		logger.Printf("%v: draining (timeout %s)", sig, cfg.drainTimeout)
+	case err := <-serveErr:
+		return fmt.Errorf("listener failed: %w", err)
+	}
+	signal.Stop(hup)
+	close(hup)
+	<-hupDone
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Print("drained, bye")
+	return nil
+}

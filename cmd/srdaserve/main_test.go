@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"srda"
+	"srda/internal/serve"
+)
+
+// trainAndSave trains a small sparse model end to end through the public
+// API and persists it the way srdatrain does.
+func trainAndSave(t *testing.T, path string, seed int64) (*srda.Model, *srda.Dataset) {
+	t.Helper()
+	ds := srda.NewsLike(srda.NewsConfig{Classes: 3, Docs: 150, Vocab: 400, AvgLen: 25, TopicBoost: 10, Seed: seed})
+	model, err := srda.FitCSR(ds.Sparse, ds.Labels, ds.NumClasses, srda.Options{Alpha: 1, LSQRIter: 20, Whiten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srda.SaveModelFile(model, path); err != nil {
+		t.Fatal(err)
+	}
+	return model, ds
+}
+
+// startServer runs the binary's run() on a random port and returns the
+// base URL plus a stop function that triggers and awaits graceful drain.
+func startServer(t *testing.T, cfg config) (string, func()) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	if cfg.drainTimeout == 0 {
+		cfg.drainTimeout = 5 * time.Second
+	}
+	ready := make(chan net.Addr, 1)
+	shutdown := make(chan os.Signal, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(cfg, log.New(io.Discard, "", 0), ready, shutdown)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return "http://" + addr.String(), func() {
+		shutdown <- syscall.SIGTERM
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("server exited with error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never drained")
+		}
+	}
+}
+
+// sparseSampleOf converts one CSR row into the request payload form.
+func sparseSampleOf(ds *srda.Dataset, i int) serve.Sample {
+	cols, vals := ds.Sparse.Row(i)
+	m := make(map[int]float64, len(cols))
+	for t, j := range cols {
+		m[j] = vals[t]
+	}
+	return serve.SparseSample(m)
+}
+
+// TestServeEndToEnd is the train → save → serve → predict acceptance
+// path: a model trained and saved through the public API is served by the
+// binary's run loop and answers with the same classes the in-process
+// model produces.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	model, ds := trainAndSave(t, modelPath, 31)
+
+	base, stop := startServer(t, config{
+		modelPath: modelPath,
+		maxBatch:  8,
+		maxWait:   time.Millisecond,
+	})
+	defer stop()
+	client := serve.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Features != ds.NumFeatures() || h.Classes != ds.NumClasses || h.ModelSeq != 1 {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+
+	want := model.PredictBatchCSR(ds.Sparse)
+	samples := make([]serve.Sample, 0, 20)
+	for i := 0; i < 20; i++ {
+		samples = append(samples, sparseSampleOf(ds, i))
+	}
+	got, err := client.Predict(ctx, samples...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: served class %d, model says %d", i, got[i], want[i])
+		}
+	}
+
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) == 0 {
+		t.Fatal("empty metrics exposition")
+	}
+}
+
+// TestServeWatchReload overwrites the model file under a running server
+// started with -watch and verifies the swap is picked up.
+func TestServeWatchReload(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	_, ds := trainAndSave(t, modelPath, 32)
+
+	base, stop := startServer(t, config{
+		modelPath: modelPath,
+		watch:     5 * time.Millisecond,
+	})
+	defer stop()
+	client := serve.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	time.Sleep(20 * time.Millisecond) // fresh mtime even on coarse filesystems
+	model2, _ := trainAndSave(t, modelPath, 33)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h, err := client.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.ModelSeq >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never picked up the rewritten model")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := model2.PredictBatchCSR(ds.Sparse)
+	got, err := client.Predict(ctx, sparseSampleOf(ds, 0), sparseSampleOf(ds, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("served %v from the watched-in model, want %v", got, want[:2])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	if err := run(config{}, logger, nil, nil); err == nil {
+		t.Fatal("missing -model accepted")
+	}
+	if err := run(config{modelPath: filepath.Join(t.TempDir(), "nope.bin")}, logger, nil, nil); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+}

@@ -128,12 +128,9 @@ func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solv
 	}
 
 	if modelPath != "" {
-		f, err := os.Create(modelPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := model.Save(f); err != nil {
+		// Atomic temp-file + rename: a crash mid-save can never leave a
+		// truncated model for srdaserve's hot reload to pick up.
+		if err := srda.SaveModelFile(model, modelPath); err != nil {
 			return err
 		}
 		fmt.Printf("model written to %s\n", modelPath)
@@ -145,12 +142,7 @@ func runPredict(predictPath, modelPath string, features int) error {
 	if modelPath == "" {
 		return fmt.Errorf("-predict requires -model")
 	}
-	mf, err := os.Open(modelPath)
-	if err != nil {
-		return err
-	}
-	defer mf.Close()
-	model, err := srda.LoadModel(mf)
+	model, err := srda.LoadModelFile(modelPath)
 	if err != nil {
 		return err
 	}

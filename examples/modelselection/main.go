@@ -7,9 +7,10 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"srda"
 )
@@ -55,16 +56,26 @@ func main() {
 	}
 
 	// Persist and reload — the round trip preserves the transform and the
-	// stored class centroids exactly.
-	var buf bytes.Buffer
-	if err := model.Save(&buf); err != nil {
+	// stored class centroids exactly.  SaveModelFile writes atomically
+	// (temp file + rename), so a serving process watching this path could
+	// hot-reload it safely.
+	dir, err := os.MkdirTemp("", "modelselection")
+	if err != nil {
 		log.Fatal(err)
 	}
-	size := buf.Len()
-	loaded, err := srda.LoadModel(&buf)
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "best.srda")
+	if err := srda.SaveModelFile(model, path); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := srda.LoadModelFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("model round-trip: %d bytes, %d dims, predicts class %d for sample 0 (label %d)\n",
-		size, loaded.Dim(), loaded.PredictVec(ds.Dense.RowView(0)), ds.Labels[0])
+		fi.Size(), loaded.Dim(), loaded.PredictVec(ds.Dense.RowView(0)), ds.Labels[0])
 }

@@ -275,7 +275,27 @@ func GemmTB(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 	for i := 0; i < m; i++ {
 		arow := a[i*lda : i*lda+k]
 		crow := c[i*ldc : i*ldc+n]
-		for j := 0; j < n; j++ {
+		j := 0
+		// Four outputs per pass over arow: one load of a[i][t] feeds four
+		// accumulator chains, quartering the A traffic versus j separate
+		// dots and keeping four independent FMA chains in flight.
+		for ; j+3 < n; j += 4 {
+			s0, s1, s2, s3 := dot4(arow,
+				b[j*ldb:j*ldb+k], b[(j+1)*ldb:(j+1)*ldb+k],
+				b[(j+2)*ldb:(j+2)*ldb+k], b[(j+3)*ldb:(j+3)*ldb+k])
+			if beta == 0 {
+				crow[j] = alpha * s0
+				crow[j+1] = alpha * s1
+				crow[j+2] = alpha * s2
+				crow[j+3] = alpha * s3
+			} else {
+				crow[j] = alpha*s0 + beta*crow[j]
+				crow[j+1] = alpha*s1 + beta*crow[j+1]
+				crow[j+2] = alpha*s2 + beta*crow[j+2]
+				crow[j+3] = alpha*s3 + beta*crow[j+3]
+			}
+		}
+		for ; j < n; j++ {
 			s := Dot(arow, b[j*ldb:j*ldb+k])
 			if beta == 0 {
 				crow[j] = alpha * s
@@ -284,6 +304,21 @@ func GemmTB(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 			}
 		}
 	}
+}
+
+// dot4 computes the dot of x against four equal-length vectors in a
+// single pass over x.
+func dot4(x, y0, y1, y2, y3 []float64) (s0, s1, s2, s3 float64) {
+	if len(y0) != len(x) || len(y1) != len(x) || len(y2) != len(x) || len(y3) != len(x) {
+		panic("blas: vector length mismatch in dot4")
+	}
+	for i, xv := range x {
+		s0 += xv * y0[i]
+		s1 += xv * y1[i]
+		s2 += xv * y2[i]
+		s3 += xv * y3[i]
+	}
+	return
 }
 
 func min(a, b int) int {

@@ -1,0 +1,40 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"srda/internal/mat"
+)
+
+// TestPredictBatchMatchesPredict pins the GEMM-lowered batch path to the
+// per-row reference on random embeddings, including the d=1 (c=2) case.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range []struct{ c, d int }{{2, 1}, {4, 3}, {10, 9}} {
+		emb := mat.NewDense(200, shape.d)
+		labels := make([]int, emb.Rows)
+		for i := 0; i < emb.Rows; i++ {
+			labels[i] = i % shape.c
+			row := emb.RowView(i)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			row[0] += 5 * float64(labels[i])
+		}
+		nc, err := FitNearestCentroid(emb, labels, shape.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nc.Predict(emb)
+		got := nc.PredictBatch(emb)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("c=%d d=%d: batch[%d]=%d, loop=%d", shape.c, shape.d, i, got[i], want[i])
+			}
+		}
+	}
+	if got := (&NearestCentroid{Centroids: mat.NewDense(3, 2)}).PredictBatch(mat.NewDense(0, 2)); len(got) != 0 {
+		t.Fatalf("empty batch produced %d predictions", len(got))
+	}
+}

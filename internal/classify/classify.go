@@ -51,6 +51,39 @@ func (nc *NearestCentroid) Predict(emb *mat.Dense) []int {
 	return out
 }
 
+// PredictBatch classifies every embedded row at once by lowering the
+// per-row centroid-distance loops into a single GEMM: with G = emb·Cᵀ,
+// argmin_k ||e_i − c_k||² = argmin_k (||c_k||² − 2·G[i][k]), so the whole
+// batch costs one m×c matrix product plus an O(m·c) argmin sweep.  The
+// result matches Predict exactly up to floating-point tie-breaking.
+func (nc *NearestCentroid) PredictBatch(emb *mat.Dense) []int {
+	if emb.Cols != nc.Centroids.Cols {
+		panic(fmt.Sprintf("classify: PredictBatch dim mismatch: embedding has %d, centroids %d", emb.Cols, nc.Centroids.Cols))
+	}
+	out := make([]int, emb.Rows)
+	if emb.Rows == 0 {
+		return out
+	}
+	c := nc.Centroids.Rows
+	cn := make([]float64, c)
+	for k := 0; k < c; k++ {
+		crow := nc.Centroids.RowView(k)
+		cn[k] = blas.Dot(crow, crow)
+	}
+	g := mat.MulTB(emb, nc.Centroids)
+	for i := 0; i < emb.Rows; i++ {
+		grow := g.RowView(i)
+		best, bestD := -1, math.Inf(1)
+		for k := 0; k < c; k++ {
+			if d := cn[k] - 2*grow[k]; d < bestD {
+				best, bestD = k, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
 // PredictVec classifies a single embedded point.
 func (nc *NearestCentroid) PredictVec(v []float64) int {
 	best, bestD := -1, math.Inf(1)

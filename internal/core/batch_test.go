@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"srda/internal/mat"
+	"srda/internal/sparse"
+)
+
+// fitBlobModel trains a centroided model on separable blobs, returning the
+// model plus a held-out batch from the same distribution.
+func fitBlobModel(t *testing.T, m, n, c int, seed int64) (*Model, *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x, labels := gaussianBlobs(rng, m, n, c, 6)
+	model, err := FitDense(x, labels, c, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SetCentroids(model.TransformDense(x), labels); err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := gaussianBlobs(rng, 64, n, c, 6)
+	return model, batch
+}
+
+func toCSR(x *mat.Dense) *sparse.CSR {
+	b := sparse.NewBuilder(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.RowView(i) {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestProjectBatchMatchesTransformDense(t *testing.T) {
+	model, batch := fitBlobModel(t, 150, 40, 5, 21)
+	want := model.TransformDense(batch)
+	got := model.ProjectBatch(batch, nil)
+	if !mat.Equalish(want, got, 1e-12) {
+		t.Fatalf("ProjectBatch diverges from TransformDense by %g", mat.MaxAbsDiff(want, got))
+	}
+	// Reusing a destination buffer must not change the result.
+	dst := mat.NewDense(batch.Rows, model.Dim())
+	for i := range dst.Data {
+		dst.Data[i] = 999 // stale garbage that must be overwritten
+	}
+	got2 := model.ProjectBatch(batch, dst)
+	if got2 != dst {
+		t.Fatal("ProjectBatch did not reuse the provided destination")
+	}
+	if !mat.Equalish(want, got2, 1e-12) {
+		t.Fatalf("ProjectBatch with reused dst diverges by %g", mat.MaxAbsDiff(want, got2))
+	}
+}
+
+func TestProjectBatchCSRMatchesTransformSparse(t *testing.T) {
+	model, batch := fitBlobModel(t, 150, 40, 5, 22)
+	sp := toCSR(batch)
+	want := model.TransformSparse(sp)
+	got := model.ProjectBatchCSR(sp, nil)
+	if !mat.Equalish(want, got, 1e-12) {
+		t.Fatalf("ProjectBatchCSR diverges from TransformSparse by %g", mat.MaxAbsDiff(want, got))
+	}
+	dst := mat.NewDense(sp.Rows, model.Dim())
+	for i := range dst.Data {
+		dst.Data[i] = -123
+	}
+	got2 := model.ProjectBatchCSR(sp, dst)
+	if got2 != dst || !mat.Equalish(want, got2, 1e-12) {
+		t.Fatal("ProjectBatchCSR with reused dst diverges")
+	}
+}
+
+func TestPredictBatchMatchesPredictDense(t *testing.T) {
+	for _, c := range []int{2, 5} { // c=2 exercises the 1-dimensional embedding
+		model, batch := fitBlobModel(t, 120, 30, c, int64(30+c))
+		want := model.PredictDense(batch)
+		got := model.PredictBatch(batch)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("c=%d: PredictBatch[%d]=%d, PredictDense=%d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPredictBatchCSRMatchesPredictSparse(t *testing.T) {
+	for _, c := range []int{2, 6} {
+		model, batch := fitBlobModel(t, 120, 30, c, int64(40+c))
+		sp := toCSR(batch)
+		want := model.PredictSparse(sp)
+		got := model.PredictBatchCSR(sp)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("c=%d: PredictBatchCSR[%d]=%d, PredictSparse=%d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPredictBatchEmptyAndPanics(t *testing.T) {
+	model, _ := fitBlobModel(t, 100, 20, 3, 50)
+	if got := model.PredictBatch(mat.NewDense(0, 20)); len(got) != 0 {
+		t.Fatalf("empty batch produced %d predictions", len(got))
+	}
+	model.Centroids = nil
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictBatch without centroids did not panic")
+		}
+	}()
+	model.PredictBatch(mat.NewDense(1, 20))
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	model, batch := fitBlobModel(t, 100, 20, 4, 60)
+	path := filepath.Join(t.TempDir(), "sub", "..", "m.bin") // normal dir path
+	path = filepath.Clean(path)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(model.W, loaded.W, 0) || !mat.Equalish(model.Centroids, loaded.Centroids, 0) {
+		t.Fatal("round trip changed the model")
+	}
+	want := model.PredictBatch(batch)
+	got := loaded.PredictBatch(batch)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("round-tripped model predicts differently")
+		}
+	}
+	// Overwriting an existing file must also succeed (rename over target).
+	if err := loaded.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("LoadFile on a missing path succeeded")
+	}
+}

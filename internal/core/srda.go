@@ -5,7 +5,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 
+	"srda/internal/blas"
+	"srda/internal/classify"
 	"srda/internal/mat"
 	"srda/internal/regress"
 	"srda/internal/solver"
@@ -49,7 +54,37 @@ type Model struct {
 	// data (c×(c−1)), set by SetCentroids; with them the model is a
 	// self-contained nearest-centroid classifier (see Predict).
 	Centroids *mat.Dense
+
+	// wt lazily caches Wᵀ for the batched projection path (safe for
+	// concurrent readers).  Code that mutates W in place after the first
+	// batch call must invalidate it via InvalidateCache.
+	wt atomic.Pointer[mat.Dense]
 }
+
+// projT returns a cached transposed copy of W, building it on first use.
+// The transposed layout is what lets ProjectBatch run through the
+// unit-stride dot-product GEMM kernel.
+func (m *Model) projT() *mat.Dense {
+	if wt := m.wt.Load(); wt != nil && wt.Rows == m.W.Cols && wt.Cols == m.W.Rows {
+		return wt
+	}
+	wt := mat.NewDense(m.W.Cols, m.W.Rows)
+	// j-outer order: reads walk W nearly sequentially, writes are
+	// unit-stride — much kinder to the cache than a row-outer transpose.
+	for j := 0; j < m.W.Cols; j++ {
+		row := wt.RowView(j)
+		for i := 0; i < m.W.Rows; i++ {
+			row[i] = m.W.Data[i*m.W.Stride+j]
+		}
+	}
+	m.wt.Store(wt)
+	return wt
+}
+
+// InvalidateCache drops derived caches; call it after mutating W in
+// place.  (Replacing the whole Model, the serving layer's hot-reload
+// unit, never needs this.)
+func (m *Model) InvalidateCache() { m.wt.Store(nil) }
 
 // SetCentroids computes and stores the embedded class means from a
 // training embedding, turning the model into a standalone classifier.
@@ -120,6 +155,32 @@ func (m *Model) PredictSparse(x *sparse.CSR) []int {
 		out[i] = m.nearest(emb.RowView(i))
 	}
 	return out
+}
+
+// PredictBatch classifies every row of x in one shot: the projection is a
+// single GEMM (ProjectBatch) and the nearest-centroid assignment is a
+// second GEMM against the centroid matrix, so per-sample dispatch overhead
+// is fully amortized.  It matches PredictDense up to floating-point
+// tie-breaking and is the path the serving layer's micro-batcher runs.
+func (m *Model) PredictBatch(x *mat.Dense) []int {
+	if m.Centroids == nil {
+		panic("core: PredictBatch requires SetCentroids")
+	}
+	return m.classifyBatch(m.ProjectBatch(x, nil))
+}
+
+// PredictBatchCSR classifies every CSR row with the batched
+// nearest-centroid assignment; the projection stays O(nnz).
+func (m *Model) PredictBatchCSR(x *sparse.CSR) []int {
+	if m.Centroids == nil {
+		panic("core: PredictBatchCSR requires SetCentroids")
+	}
+	return m.classifyBatch(m.ProjectBatchCSR(x, nil))
+}
+
+func (m *Model) classifyBatch(emb *mat.Dense) []int {
+	nc := classify.NearestCentroid{Centroids: m.Centroids}
+	return nc.PredictBatch(emb)
 }
 
 func (m *Model) nearest(v []float64) int {
@@ -239,6 +300,54 @@ func (m *Model) TransformSparse(x *sparse.CSR) *mat.Dense {
 	return out
 }
 
+// ProjectBatch embeds the rows of x with one GEMM into dst, which is
+// allocated (or reallocated on shape mismatch) when unsuitable and
+// returned.  Passing a dst lets hot loops — the serving dispatcher in
+// particular — reuse one output buffer across batches instead of
+// allocating per call.
+//
+// W is tall and skinny (n×(c−1) with c−1 small), so the product is
+// computed as X·(Wᵀ)ᵀ through the dot-product GEMM kernel: the c−1 rows
+// of Wᵀ stay cache-resident across the whole batch and every inner loop
+// is a unit-stride length-n dot, where the per-row GemvT path re-streams
+// all of W per sample through (c−1)-wide strided updates.  That is the
+// lowering that makes batching ≥2× faster than per-row prediction.
+func (m *Model) ProjectBatch(x *mat.Dense, dst *mat.Dense) *mat.Dense {
+	if x.Cols != m.W.Rows {
+		panic(fmt.Sprintf("core: ProjectBatch feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
+	}
+	dst = m.batchDst(x.Rows, dst)
+	wt := m.projT()
+	blas.GemmTB(x.Rows, m.Dim(), x.Cols, 1, x.Data, x.Stride, wt.Data, wt.Stride, 0, dst.Data, dst.Stride)
+	m.addBias(dst)
+	return dst
+}
+
+// ProjectBatchCSR embeds CSR rows into dst (reused like ProjectBatch)
+// without densifying them; cost stays O(nnz · (c−1)).
+func (m *Model) ProjectBatchCSR(x *sparse.CSR, dst *mat.Dense) *mat.Dense {
+	if x.Cols != m.W.Rows {
+		panic(fmt.Sprintf("core: ProjectBatchCSR feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
+	}
+	dst = m.batchDst(x.Rows, dst)
+	for i := 0; i < x.Rows; i++ {
+		row := dst.RowView(i)
+		copy(row, m.B)
+		cols, vals := x.Row(i)
+		for t, j := range cols {
+			blas.Axpy(vals[t], m.W.RowView(j), row)
+		}
+	}
+	return dst
+}
+
+func (m *Model) batchDst(rows int, dst *mat.Dense) *mat.Dense {
+	if dst == nil || dst.Rows != rows || dst.Cols != m.Dim() {
+		return mat.NewDense(rows, m.Dim())
+	}
+	return dst
+}
+
 // TransformVec embeds a single dense sample.
 func (m *Model) TransformVec(x []float64, dst []float64) []float64 {
 	if dst == nil {
@@ -281,6 +390,51 @@ func (m *Model) Save(w io.Writer) error {
 		wire.Centroids = m.Centroids.Clone().Data
 	}
 	return gob.NewEncoder(w).Encode(wire)
+}
+
+// SaveFile atomically persists the model to path: the bytes are written
+// to a temporary file in the same directory, synced, and renamed into
+// place.  A crash mid-save therefore never leaves a truncated model where
+// a reader — in particular srdaserve's hot-reload watcher — could pick it
+// up.
+func (m *Model) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	if err := m.Save(tmp); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads a model previously written by SaveFile (or Save).
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // Load deserializes a model written by Save.

@@ -45,6 +45,7 @@ func (m *Model) WhitenWithin(emb *mat.Dense, labels []int) error {
 		bNew[j] = s
 	}
 	m.B = bNew
+	m.InvalidateCache() // W changed shape-preservingly; drop the stale Wᵀ
 	return nil
 }
 

@@ -1,0 +1,254 @@
+package serve
+
+// This file is the micro-batching dispatcher: HTTP handlers enqueue
+// individual samples onto a channel; a batcher goroutine coalesces up to
+// MaxBatch samples or MaxWait of wall clock (whichever comes first) into
+// one inference batch; a worker pool assembles each batch into a matrix
+// and runs the model's GEMM-lowered batch predict.  Samples from different
+// HTTP requests share batches, which is what amortizes per-request
+// dispatch overhead under concurrent load.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srda/internal/classify"
+	"srda/internal/mat"
+	"srda/internal/sparse"
+)
+
+var (
+	errQueueFull    = errors.New("prediction queue full")
+	errShuttingDown = errors.New("server shutting down")
+	errModelShape   = errors.New("sample dimensionality no longer matches the live model (reloaded mid-flight)")
+)
+
+// pending tracks one HTTP request's samples across however many inference
+// batches they land in.  done closes when every sample is resolved (or
+// failed); results are safe to read only after done.
+type pending struct {
+	classes    []int
+	embeddings [][]float64 // nil unless the request asked for embeddings
+	modelSeq   atomic.Uint64
+	remaining  atomic.Int32
+	mu         sync.Mutex
+	err        error
+	done       chan struct{}
+}
+
+func newPending(n int, embed bool) *pending {
+	p := &pending{classes: make([]int, n), done: make(chan struct{})}
+	if embed {
+		p.embeddings = make([][]float64, n)
+	}
+	p.remaining.Store(int32(n))
+	return p
+}
+
+func (p *pending) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *pending) failure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// settle resolves k samples; the last one closes done.
+func (p *pending) settle(k int) {
+	if k > 0 && p.remaining.Add(-int32(k)) == 0 {
+		close(p.done)
+	}
+}
+
+// item is one sample in flight: either a dense vector or a sparse
+// (cols, vals) pair, plus the slot it resolves into.
+type item struct {
+	p     *pending
+	idx   int
+	dense []float64
+	cols  []int
+	vals  []float64
+	width int // len(dense), or max sparse index + 1
+}
+
+func (it *item) sparse() bool { return it.dense == nil }
+
+// batcher coalesces queued items into batches for the worker pool.  It
+// owns the flush timer: a batch is dispatched when it reaches MaxBatch
+// samples or when MaxWait has elapsed since its first sample arrived.
+func (s *Server) batcher() {
+	defer close(s.workCh)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []*item
+	flush := func() {
+		if len(batch) > 0 {
+			s.workCh <- batch
+			batch = nil
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			select {
+			case it := <-s.queue:
+				batch = append(batch, it)
+				if len(batch) >= s.opts.MaxBatch {
+					flush()
+					continue
+				}
+				timer.Reset(s.opts.MaxWait)
+			case <-s.stop:
+				s.drain(flush, &batch)
+				return
+			}
+			continue
+		}
+		select {
+		case it := <-s.queue:
+			batch = append(batch, it)
+			if len(batch) >= s.opts.MaxBatch {
+				stopTimer(timer)
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		case <-s.stop:
+			stopTimer(timer)
+			s.drain(flush, &batch)
+			return
+		}
+	}
+}
+
+// drain empties whatever is still queued at shutdown and flushes it, so
+// samples enqueued before the stop signal are answered rather than leaked.
+func (s *Server) drain(flush func(), batch *[]*item) {
+	for {
+		select {
+		case it := <-s.queue:
+			*batch = append(*batch, it)
+			if len(*batch) >= s.opts.MaxBatch {
+				flush()
+			}
+		default:
+			flush()
+			return
+		}
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for batch := range s.workCh {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch assembles one batch into a matrix, runs the batched projection
+// and nearest-centroid assignment on the model pointer loaded once for the
+// whole batch (hot reloads therefore never tear a batch), and writes the
+// per-sample results back.
+func (s *Server) runBatch(batch []*item) {
+	st := s.model.Load()
+	m := st.m
+	n := m.W.Rows
+
+	// A reload may have changed the feature count since enqueue-time
+	// validation; fail the now-incompatible samples instead of panicking.
+	valid := batch[:0]
+	for _, it := range batch {
+		ok := it.width <= n
+		if !it.sparse() {
+			ok = it.width == n
+		}
+		if !ok {
+			it.p.fail(errModelShape)
+			it.p.settle(1)
+			continue
+		}
+		valid = append(valid, it)
+	}
+	if len(valid) == 0 {
+		return
+	}
+	s.metrics.batches.Add(1)
+	s.metrics.samples.Add(int64(len(valid)))
+	s.metrics.batchSize.observe(float64(len(valid)))
+
+	allSparse := true
+	for _, it := range valid {
+		if !it.sparse() {
+			allSparse = false
+			break
+		}
+	}
+	var emb *mat.Dense
+	if allSparse {
+		b := sparse.NewBuilder(len(valid), n)
+		for r, it := range valid {
+			for t, j := range it.cols {
+				b.Add(r, j, it.vals[t])
+			}
+		}
+		emb = m.ProjectBatchCSR(b.Build(), nil)
+	} else {
+		x := mat.NewDense(len(valid), n)
+		for r, it := range valid {
+			row := x.RowView(r)
+			if it.sparse() {
+				for t, j := range it.cols {
+					row[j] = it.vals[t]
+				}
+			} else {
+				copy(row, it.dense)
+			}
+		}
+		emb = m.ProjectBatch(x, nil)
+	}
+	nc := classify.NearestCentroid{Centroids: m.Centroids}
+	classes := nc.PredictBatch(emb)
+	for r, it := range valid {
+		it.p.classes[it.idx] = classes[r]
+		if it.p.embeddings != nil {
+			it.p.embeddings[it.idx] = append([]float64(nil), emb.RowView(r)...)
+		}
+		it.p.modelSeq.Store(st.seq)
+		it.p.settle(1)
+	}
+}
+
+// enqueue submits one request's samples to the dispatcher.  It never
+// blocks: when the queue is full the remaining samples are rejected and
+// the pending is failed with errQueueFull (already-queued samples still
+// resolve, so done always closes).
+func (s *Server) enqueue(p *pending, items []*item) {
+	for i, it := range items {
+		select {
+		case s.queue <- it:
+		default:
+			s.metrics.queueRejects.Add(int64(len(items) - i))
+			p.fail(errQueueFull)
+			p.settle(len(items) - i)
+			return
+		}
+	}
+}

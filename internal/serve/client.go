@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a typed HTTP client for a srdaserve instance.  The zero value
+// is unusable; construct with NewClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// DenseSample wraps a dense feature vector as a request sample.
+func DenseSample(x []float64) Sample { return Sample{Dense: x} }
+
+// SparseSample wraps index→value features as a request sample.
+func SparseSample(features map[int]float64) Sample { return Sample{Sparse: features} }
+
+// Predict classifies the samples and returns one class per sample.
+func (c *Client) Predict(ctx context.Context, samples ...Sample) ([]int, error) {
+	resp, err := c.do(ctx, PredictRequest{Samples: samples})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Classes, nil
+}
+
+// PredictEmbed classifies the samples and also returns their
+// (c−1)-dimensional embeddings.
+func (c *Client) PredictEmbed(ctx context.Context, samples ...Sample) ([]int, [][]float64, error) {
+	resp, err := c.do(ctx, PredictRequest{Samples: samples, Embed: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Classes, resp.Embeddings, nil
+}
+
+// PredictOne classifies a single sample.
+func (c *Client) PredictOne(ctx context.Context, s Sample) (int, error) {
+	classes, err := c.Predict(ctx, s)
+	if err != nil {
+		return 0, err
+	}
+	if len(classes) != 1 {
+		return 0, fmt.Errorf("serve: server returned %d classes for one sample", len(classes))
+	}
+	return classes[0], nil
+}
+
+func (c *Client) do(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var out PredictResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding predict response: %w", err)
+	}
+	if len(out.Classes) != len(req.Samples) {
+		return nil, fmt.Errorf("serve: server returned %d classes for %d samples", len(out.Classes), len(req.Samples))
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("serve: decoding health response: %w", err)
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return "", decodeError(hresp)
+	}
+	b, err := io.ReadAll(hresp.Body)
+	return string(b), err
+}
+
+// decodeError turns a non-200 reply into an error carrying the server's
+// message and status code.
+func decodeError(resp *http.Response) error {
+	var er errorReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
+		return fmt.Errorf("serve: http %d: %s", resp.StatusCode, er.Error)
+	}
+	return fmt.Errorf("serve: http %d", resp.StatusCode)
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"srda/internal/core"
+)
+
+// ReloadFromFile loads a model file and swaps it live.  Combined with the
+// atomic temp-file + rename in Model.SaveFile, a reader can never observe
+// a half-written model.  In-flight batches finish on the old model.
+func (s *Server) ReloadFromFile(path string) (uint64, error) {
+	m, err := core.LoadFile(path)
+	if err != nil {
+		s.metrics.reloadErrors.Add(1)
+		return 0, fmt.Errorf("serve: reloading %s: %w", path, err)
+	}
+	seq, err := s.Swap(m)
+	if err != nil {
+		s.metrics.reloadErrors.Add(1)
+		return 0, fmt.Errorf("serve: reloading %s: %w", path, err)
+	}
+	return seq, nil
+}
+
+// WatchFile polls path every interval and hot-reloads the model when its
+// mtime or size changes.  A failed reload keeps the current model and is
+// retried on later changes.  The watcher stops when the server closes or
+// when the returned stop function is called; logger may be nil.
+func (s *Server) WatchFile(path string, interval time.Duration, logger *log.Logger) (stopWatch func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stopCh := make(chan struct{})
+	var last os.FileInfo
+	if fi, err := os.Stat(path); err == nil {
+		last = fi
+	}
+	s.watchWG.Add(1)
+	go func() {
+		defer s.watchWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fi, err := os.Stat(path)
+				if err != nil {
+					continue // transient (e.g. mid-rename); keep serving
+				}
+				if last != nil && fi.ModTime().Equal(last.ModTime()) && fi.Size() == last.Size() {
+					continue
+				}
+				seq, err := s.ReloadFromFile(path)
+				if err != nil {
+					if logger != nil {
+						logger.Printf("watch: %v", err)
+					}
+					continue
+				}
+				last = fi
+				if logger != nil {
+					logger.Printf("watch: reloaded %s (model seq %d)", path, seq)
+				}
+			case <-stopCh:
+				return
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stopCh) }) }
+}

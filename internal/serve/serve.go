@@ -1,0 +1,359 @@
+// Package serve is the online prediction subsystem: a JSON-over-HTTP
+// server that turns a trained SRDA model into a service.  Incoming
+// samples — dense vectors or sparse {index: value} maps, one or many per
+// request — are micro-batched across concurrent requests and classified
+// through the model's GEMM-lowered batch path, the way a production
+// inference stack amortizes dispatch overhead.  The server supports
+// atomic hot reload of the model file (in-flight batches finish on the
+// model they started with), graceful drain on shutdown, and Prometheus
+// text-format metrics.
+//
+// Endpoints:
+//
+//	POST /v1/predict  classify samples (optionally returning embeddings)
+//	GET  /healthz     liveness plus live-model metadata
+//	GET  /metrics     Prometheus text exposition
+//
+// Use Client for typed access from Go.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srda/internal/core"
+)
+
+// Options tunes the server.  The zero value gets sensible defaults from
+// New.
+type Options struct {
+	// MaxBatch caps the samples coalesced into one inference batch
+	// (default 64).
+	MaxBatch int
+	// MaxWait bounds how long the batcher holds a non-full batch open
+	// waiting for more samples (default 2ms).
+	MaxWait time.Duration
+	// Workers is the inference worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps queued samples; past it requests get 503
+	// (default 4096).
+	QueueDepth int
+	// MaxRequestSamples caps samples per HTTP request (default 1024).
+	MaxRequestSamples int
+	// MaxBodyBytes caps the request body (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.MaxRequestSamples <= 0 {
+		o.MaxRequestSamples = 1024
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// modelState is the immutable unit the hot-reload path swaps atomically.
+type modelState struct {
+	m        *core.Model
+	seq      uint64
+	loadedAt time.Time
+}
+
+// Server serves predictions from an atomically swappable SRDA model.
+type Server struct {
+	opts    Options
+	model   atomic.Pointer[modelState]
+	seq     atomic.Uint64
+	queue   chan *item
+	workCh  chan []*item
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+	watchWG sync.WaitGroup
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New starts the dispatcher (batcher + worker pool) around an initial
+// model, which must carry class centroids (i.e. come from Fit/FitCSR or a
+// file they saved).
+func New(m *core.Model, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if m.Centroids == nil {
+		return nil, fmt.Errorf("serve: model carries no class centroids; retrain with srda.Fit/FitCSR or srdatrain")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		queue:   make(chan *item, opts.QueueDepth),
+		workCh:  make(chan []*item, opts.Workers),
+		stop:    make(chan struct{}),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.model.Store(&modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()})
+	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.batcher()
+	}()
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler exposing all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Model returns the live model.
+func (s *Server) Model() *core.Model { return s.model.Load().m }
+
+// ModelSeq returns the live model's monotonic sequence number (1 for the
+// model the server started with; each successful Swap increments it).
+func (s *Server) ModelSeq() uint64 { return s.model.Load().seq }
+
+// Swap atomically replaces the live model and returns its sequence
+// number.  Batches already dispatched keep the model pointer they loaded,
+// so in-flight requests finish on the old model.
+func (s *Server) Swap(m *core.Model) (uint64, error) {
+	if m == nil || m.Centroids == nil {
+		return 0, fmt.Errorf("serve: refusing to swap in a model without centroids")
+	}
+	st := &modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()}
+	s.model.Store(st)
+	s.metrics.reloads.Add(1)
+	return st.seq, nil
+}
+
+// Close stops the dispatcher, draining already-queued samples first.  Call
+// it after the HTTP listener has stopped accepting requests (e.g. after
+// http.Server.Shutdown) so no handler is still enqueueing; handlers caught
+// mid-wait are released with a 503.  The context bounds the drain.
+func (s *Server) Close(ctx context.Context) error {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	s.watchWG.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// instrument wraps a handler with request/error counting and, for the
+// predict endpoint, latency observation.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		code := h(w, r)
+		s.metrics.requests.inc(fmt.Sprintf("%s|%d", endpoint, code))
+		if code >= 400 {
+			s.metrics.errors.inc(endpoint)
+		}
+		if endpoint == "/v1/predict" {
+			s.metrics.latency.observe(time.Since(begin).Seconds())
+		}
+	}
+}
+
+// Sample is one input vector: exactly one of Dense or Sparse must be set.
+// Sparse maps feature index → value (JSON object keys are strings on the
+// wire; encoding/json converts).
+type Sample struct {
+	Dense  []float64       `json:"dense,omitempty"`
+	Sparse map[int]float64 `json:"sparse,omitempty"`
+}
+
+// PredictRequest is the POST /v1/predict payload.  A single sample may
+// also be sent shorthand as a bare Sample object.
+type PredictRequest struct {
+	Samples []Sample `json:"samples"`
+	// Embed asks for the (c−1)-dimensional embeddings alongside classes.
+	Embed bool `json:"embed,omitempty"`
+	Sample
+}
+
+// PredictResponse is the predict reply: Classes[i] answers Samples[i].
+type PredictResponse struct {
+	Classes    []int       `json:"classes"`
+	Embeddings [][]float64 `json:"embeddings,omitempty"`
+	// ModelSeq identifies which loaded model produced the answer.
+	ModelSeq uint64 `json:"model_seq"`
+}
+
+// Health is the /healthz reply.
+type Health struct {
+	Status        string  `json:"status"`
+	Features      int     `json:"features"`
+	Classes       int     `json:"classes"`
+	Dim           int     `json:"dim"`
+	ModelSeq      uint64  `json:"model_seq"`
+	ModelLoadedAt string  `json:"model_loaded_at"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+	return code
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) int {
+	return writeJSON(w, code, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeErr(w, http.StatusMethodNotAllowed, "POST required")
+	}
+	if s.stopped.Load() {
+		return writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		return writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	}
+	if len(req.Samples) == 0 && (len(req.Dense) > 0 || len(req.Sparse) > 0) {
+		req.Samples = []Sample{req.Sample}
+	}
+	if len(req.Samples) == 0 {
+		return writeErr(w, http.StatusBadRequest, "no samples")
+	}
+	if len(req.Samples) > s.opts.MaxRequestSamples {
+		return writeErr(w, http.StatusBadRequest, "%d samples exceeds the per-request cap of %d", len(req.Samples), s.opts.MaxRequestSamples)
+	}
+	n := s.Model().W.Rows
+	p := newPending(len(req.Samples), req.Embed)
+	items := make([]*item, len(req.Samples))
+	for i, smp := range req.Samples {
+		it, err := buildItem(p, i, smp, n)
+		if err != nil {
+			return writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
+		}
+		items[i] = it
+	}
+	s.enqueue(p, items)
+	select {
+	case <-p.done:
+	case <-r.Context().Done():
+		return http.StatusServiceUnavailable // client gone; nothing to write
+	case <-s.stop:
+		return writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+	if err := p.failure(); err != nil {
+		code := http.StatusServiceUnavailable
+		if err == errModelShape {
+			code = http.StatusConflict
+		}
+		return writeErr(w, code, "%v", err)
+	}
+	return writeJSON(w, http.StatusOK, PredictResponse{
+		Classes:    p.classes,
+		Embeddings: p.embeddings,
+		ModelSeq:   p.modelSeq.Load(),
+	})
+}
+
+// buildItem validates one sample against the live feature count n and
+// converts it to dispatcher form.
+func buildItem(p *pending, idx int, smp Sample, n int) (*item, error) {
+	hasDense, hasSparse := len(smp.Dense) > 0, len(smp.Sparse) > 0
+	if hasDense == hasSparse {
+		return nil, fmt.Errorf("need exactly one of dense or sparse")
+	}
+	if hasDense {
+		if len(smp.Dense) != n {
+			return nil, fmt.Errorf("dense sample has %d features, model expects %d", len(smp.Dense), n)
+		}
+		return &item{p: p, idx: idx, dense: smp.Dense, width: len(smp.Dense)}, nil
+	}
+	cols := make([]int, 0, len(smp.Sparse))
+	for j := range smp.Sparse {
+		if j < 0 {
+			return nil, fmt.Errorf("negative feature index %d", j)
+		}
+		if j >= n {
+			return nil, fmt.Errorf("feature index %d out of range for a %d-feature model", j, n)
+		}
+		cols = append(cols, j)
+	}
+	it := &item{p: p, idx: idx, cols: cols, vals: make([]float64, len(cols))}
+	for t, j := range cols {
+		it.vals[t] = smp.Sparse[j]
+		if j+1 > it.width {
+			it.width = j + 1
+		}
+	}
+	return it, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "GET required")
+	}
+	st := s.model.Load()
+	return writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		Features:      st.m.W.Rows,
+		Classes:       st.m.NumClasses,
+		Dim:           st.m.Dim(),
+		ModelSeq:      st.seq,
+		ModelLoadedAt: st.loadedAt.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.queue),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "GET required")
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.writeProm(w, len(s.queue), s.ModelSeq())
+	return http.StatusOK
+}

@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"srda/internal/core"
+	"srda/internal/mat"
+)
+
+// trainBlobs fits a centroided model on well-separated Gaussian blobs and
+// returns it with one held-out sample per class.
+func trainBlobs(t *testing.T, n, c int, seed int64) (*core.Model, *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := 60 * c
+	x := mat.NewDense(m, n)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		labels[i] = i % c
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[0] += 8 * float64(labels[i])
+	}
+	model, err := core.FitDense(x, labels, c, core.Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SetCentroids(model.TransformDense(x), labels); err != nil {
+		t.Fatal(err)
+	}
+	probes := mat.NewDense(c, n)
+	for k := 0; k < c; k++ {
+		row := probes.RowView(k)
+		for j := range row {
+			row[j] = 0.1 * rng.NormFloat64()
+		}
+		row[0] += 8 * float64(k)
+	}
+	return model, probes
+}
+
+func newTestServer(t *testing.T, model *core.Model, opts Options) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := New(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts, NewClient(ts.URL)
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestNewRejectsBadModels(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	model, _ := trainBlobs(t, 8, 3, 1)
+	model.Centroids = nil
+	if _, err := New(model, Options{}); err == nil {
+		t.Fatal("centroid-less model accepted")
+	}
+}
+
+func TestEndToEndPredict(t *testing.T) {
+	model, probes := trainBlobs(t, 12, 4, 2)
+	_, _, client := newTestServer(t, model, Options{})
+	ctx := ctxT(t)
+
+	// Dense, one sample per class.
+	for k := 0; k < probes.Rows; k++ {
+		got, err := client.PredictOne(ctx, DenseSample(probes.RowView(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := model.PredictVec(probes.RowView(k)); got != want {
+			t.Fatalf("class %d: got %d, model says %d", k, got, want)
+		}
+	}
+
+	// Multi-sample mixed dense + sparse in one request.
+	sp := map[int]float64{}
+	for j, v := range probes.RowView(1) {
+		if v != 0 {
+			sp[j] = v
+		}
+	}
+	classes, embs, err := client.PredictEmbed(ctx, DenseSample(probes.RowView(0)), SparseSample(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || len(embs) != 2 {
+		t.Fatalf("got %d classes, %d embeddings", len(classes), len(embs))
+	}
+	if classes[0] != model.PredictVec(probes.RowView(0)) || classes[1] != model.PredictVec(probes.RowView(1)) {
+		t.Fatalf("mixed batch misclassified: %v", classes)
+	}
+	wantEmb := model.TransformVec(probes.RowView(1), nil)
+	for d := range wantEmb {
+		if diff := embs[1][d] - wantEmb[d]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("embedding differs at dim %d: %g vs %g", d, embs[1][d], wantEmb[d])
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	model, _ := trainBlobs(t, 10, 3, 3)
+	_, _, client := newTestServer(t, model, Options{})
+	h, err := client.Health(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Features != 10 || h.Classes != 3 || h.Dim != 2 || h.ModelSeq != 1 {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	model, probes := trainBlobs(t, 10, 3, 4)
+	_, ts, _ := newTestServer(t, model, Options{MaxRequestSamples: 2})
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"no samples", "{}", http.StatusBadRequest},
+		{"wrong dense width", `{"dense":[1,2,3]}`, http.StatusBadRequest},
+		{"sparse index out of range", `{"sparse":{"99":1}}`, http.StatusBadRequest},
+		{"negative sparse index", `{"sparse":{"-1":1}}`, http.StatusBadRequest},
+		{"both dense and sparse", `{"samples":[{"dense":[1,1,1,1,1,1,1,1,1,1],"sparse":{"0":1}}]}`, http.StatusBadRequest},
+		{"too many samples", `{"samples":[{"sparse":{"0":1}},{"sparse":{"0":1}},{"sparse":{"0":1}}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := post(tc.body); got != tc.want {
+			t.Errorf("%s: got http %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Shorthand single-sample form works.
+	body, err := json.Marshal(map[string]any{"dense": probes.RowView(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := post(string(body)); got != http.StatusOK {
+		t.Fatalf("shorthand form: http %d", got)
+	}
+	// Wrong methods.
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: http %d", resp.StatusCode)
+	}
+}
+
+// TestMicroBatchCoalescing pins the batcher's size trigger: with MaxWait
+// effectively infinite and MaxBatch=4, four concurrent single-sample
+// requests must be answered by exactly one inference batch.
+func TestMicroBatchCoalescing(t *testing.T) {
+	model, probes := trainBlobs(t, 10, 4, 5)
+	s, _, client := newTestServer(t, model, Options{MaxBatch: 4, MaxWait: time.Hour})
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	got := make([]int, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			got[k], errs[k] = client.PredictOne(ctx, DenseSample(probes.RowView(k)))
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", k, err)
+		}
+		if want := model.PredictVec(probes.RowView(k)); got[k] != want {
+			t.Fatalf("request %d: got class %d, want %d", k, got[k], want)
+		}
+	}
+	if b := s.metrics.batches.Load(); b != 1 {
+		t.Fatalf("expected exactly 1 inference batch, dispatcher ran %d", b)
+	}
+	if n := s.metrics.samples.Load(); n != 4 {
+		t.Fatalf("expected 4 samples predicted, got %d", n)
+	}
+}
+
+func TestHotReloadSwapAndWatch(t *testing.T) {
+	modelA, probes := trainBlobs(t, 10, 3, 6)
+	// Model B: same shapes, but classes relabeled so predictions flip.
+	rng := rand.New(rand.NewSource(7))
+	m := 180
+	x := mat.NewDense(m, 10)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		labels[i] = (i%3 + 1) % 3 // rotated labels relative to blob position
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[0] += 8 * float64(i%3)
+	}
+	modelB, err := core.FitDense(x, labels, 3, core.Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := modelB.SetCentroids(modelB.TransformDense(x), labels); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := modelA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, _, client := newTestServer(t, modelA, Options{})
+	ctx := ctxT(t)
+
+	if _, err := s.Swap(nil); err == nil {
+		t.Fatal("Swap(nil) accepted")
+	}
+
+	// Direct swap.
+	seq, err := s.Swap(modelB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || s.ModelSeq() != 2 {
+		t.Fatalf("seq after swap = %d", seq)
+	}
+	if got, _ := client.PredictOne(ctx, DenseSample(probes.RowView(0))); got != modelB.PredictVec(probes.RowView(0)) {
+		t.Fatal("predictions not served from swapped model")
+	}
+
+	// File watch: overwrite the model file, expect an automatic reload.
+	stopWatch := s.WatchFile(path, 5*time.Millisecond, nil)
+	defer stopWatch()
+	time.Sleep(20 * time.Millisecond) // ensure a fresh mtime on coarse filesystems
+	if err := modelA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := client.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.ModelSeq >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never reloaded the rewritten model file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got, _ := client.PredictOne(ctx, DenseSample(probes.RowView(1))); got != modelA.PredictVec(probes.RowView(1)) {
+		t.Fatal("predictions not served from watched-in model")
+	}
+	if s.metrics.reloads.Load() < 2 {
+		t.Fatalf("reloads counter = %d", s.metrics.reloads.Load())
+	}
+}
+
+func TestReloadFromFileErrors(t *testing.T) {
+	model, _ := trainBlobs(t, 10, 3, 8)
+	s, _, _ := newTestServer(t, model, Options{})
+	if _, err := s.ReloadFromFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("reload from missing file succeeded")
+	}
+	if s.metrics.reloadErrors.Load() != 1 {
+		t.Fatalf("reloadErrors = %d", s.metrics.reloadErrors.Load())
+	}
+	if s.ModelSeq() != 1 {
+		t.Fatal("failed reload bumped the model seq")
+	}
+}
+
+// TestQueueFullRejects drives enqueue directly (no dispatcher attached) so
+// the overflow path is deterministic.
+func TestQueueFullRejects(t *testing.T) {
+	s := &Server{opts: Options{}.withDefaults(), queue: make(chan *item, 1), metrics: newMetrics()}
+	p := newPending(3, false)
+	items := make([]*item, 3)
+	for i := range items {
+		items[i] = &item{p: p, idx: i, dense: []float64{1}, width: 1}
+	}
+	s.enqueue(p, items)
+	if err := p.failure(); err != errQueueFull {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	if got := s.metrics.queueRejects.Load(); got != 2 {
+		t.Fatalf("queueRejects = %d, want 2", got)
+	}
+	if len(s.queue) != 1 {
+		t.Fatalf("queued %d items, want 1", len(s.queue))
+	}
+}
+
+// TestModelShapeConflict exercises the mid-flight reload guard: items
+// validated against one model must fail cleanly if a swapped model has a
+// different feature count by the time their batch runs.
+func TestModelShapeConflict(t *testing.T) {
+	modelA, _ := trainBlobs(t, 10, 3, 9)
+	s, _, _ := newTestServer(t, modelA, Options{MaxWait: time.Hour})
+	modelB, _ := trainBlobs(t, 6, 3, 10) // different feature count
+	if _, err := s.Swap(modelB); err != nil {
+		t.Fatal(err)
+	}
+	p := newPending(1, false)
+	it := &item{p: p, idx: 0, dense: make([]float64, 10), width: 10}
+	s.runBatch([]*item{it})
+	select {
+	case <-p.done:
+	case <-time.After(time.Second):
+		t.Fatal("pending never settled")
+	}
+	if err := p.failure(); err != errModelShape {
+		t.Fatalf("err = %v, want errModelShape", err)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	model, probes := trainBlobs(t, 10, 3, 11)
+	_, _, client := newTestServer(t, model, Options{})
+	ctx := ctxT(t)
+	if _, err := client.Predict(ctx, DenseSample(probes.RowView(0)), DenseSample(probes.RowView(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`srdaserve_requests_total{endpoint="/v1/predict",code="200"} 1`,
+		`srdaserve_requests_total{endpoint="/healthz",code="200"} 1`,
+		`srdaserve_samples_total 2`,
+		`srdaserve_batches_total`,
+		`srdaserve_batch_size_bucket{le="2"}`,
+		`srdaserve_request_duration_seconds_count 1`,
+		`srdaserve_model_seq 1`,
+		`srdaserve_queue_depth 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, text)
+		}
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	model, probes := trainBlobs(t, 10, 3, 12)
+	s, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	ctx := ctxT(t)
+	if _, err := client.PredictOne(ctx, DenseSample(probes.RowView(0))); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(cctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(cctx); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+	if _, err := client.PredictOne(ctx, DenseSample(probes.RowView(0))); err == nil {
+		t.Fatal("predict after Close succeeded")
+	}
+}

@@ -72,7 +72,11 @@ type Options struct {
 }
 
 // Model is a trained SRDA transformer mapping samples to the
-// (c−1)-dimensional discriminant subspace.
+// (c−1)-dimensional discriminant subspace.  Beyond the per-sample
+// Predict*/Transform* methods it exposes the batched serving path —
+// ProjectBatch / ProjectBatchCSR / PredictBatch / PredictBatchCSR — which
+// lowers per-row matrix-vector loops into single GEMM calls; srdaserve's
+// micro-batcher and the BenchmarkPredictBatch trajectory ride on it.
 type Model = core.Model
 
 func (o Options) toCore() core.Options {
@@ -139,6 +143,17 @@ func FitOperator(op Operator, labels []int, numClasses int, opt Options) (*Model
 
 // LoadModel reads a model previously written with Model.Save.
 func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
+
+// SaveModelFile persists a model to path atomically: the bytes go to a
+// temporary file in the same directory, are synced, and renamed into
+// place, so a crash mid-save never leaves a truncated model behind — a
+// concurrent reader (srdaserve's hot-reload watcher in particular) sees
+// either the old file or the complete new one.
+func SaveModelFile(m *Model, path string) error { return m.SaveFile(path) }
+
+// LoadModelFile reads a model previously written with SaveModelFile (or
+// any Model.Save output on disk).
+func LoadModelFile(path string) (*Model, error) { return core.LoadFile(path) }
 
 // Responses exposes the paper's responses-generation step (eq. 15–16):
 // the c−1 orthonormal, zero-sum target vectors that SRDA regresses on.
