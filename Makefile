@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race cover bench repro repro-paper examples clean
+.PHONY: all check build test vet race cover bench fuzz repro repro-paper examples clean
 
 all: check
 
@@ -27,6 +27,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Active fuzzing of the kernel oracles (the same targets run as plain
+# regression tests from the checked-in corpus during `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzGemmShapes -fuzztime=30s ./internal/blas
+	$(GO) test -fuzz=FuzzCSRMulVec -fuzztime=30s ./internal/sparse
 
 # Regenerate every table and figure at laptop scale (minutes).
 repro:

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -80,8 +81,9 @@ func main() {
 		scale  = flag.String("scale", "small", "dataset scale: small or paper")
 		splits = flag.Int("splits", 5, "random train/test splits per cell (paper uses 20)")
 		seed   = flag.Int64("seed", 2008, "RNG seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		algos  = flag.String("algos", "", "comma-separated algorithm subset for the table/figure grids (e.g. \"SRDA,IDR/QR\"); empty = all four")
+		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		algos   = flag.String("algos", "", "comma-separated algorithm subset for the table/figure grids (e.g. \"SRDA,IDR/QR\"); empty = all four")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism for SRDA fits (kernels + per-response solves); results are bitwise identical at any setting")
 	)
 	flag.Parse()
 
@@ -90,7 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scale)
 		os.Exit(2)
 	}
-	b := bench{spec: spec, splits: *splits, seed: *seed, csv: *csv, scale: *scale}
+	b := bench{spec: spec, splits: *splits, seed: *seed, csv: *csv, scale: *scale, workers: *workers}
 	if *algos != "" {
 		for _, name := range strings.Split(*algos, ",") {
 			b.algos = append(b.algos, srda.Algorithm(strings.TrimSpace(name)))
@@ -154,13 +156,14 @@ func main() {
 }
 
 type bench struct {
-	spec   scaleSpec
-	splits int
-	seed   int64
-	csv    bool
-	scale  string
-	algos  []srda.Algorithm
-	cache  map[string]*srda.Dataset
+	spec    scaleSpec
+	splits  int
+	seed    int64
+	csv     bool
+	scale   string
+	workers int
+	algos   []srda.Algorithm
+	cache   map[string]*srda.Dataset
 }
 
 // algorithms returns the grid's algorithm set (the paper's four unless
@@ -197,7 +200,7 @@ func (b *bench) dataset(name string) *srda.Dataset {
 }
 
 func (b *bench) runner() srda.Runner {
-	return srda.Runner{Splits: b.splits, Seed: b.seed, Alpha: 1, LSQRIter: 15}
+	return srda.Runner{Splits: b.splits, Seed: b.seed, Alpha: 1, LSQRIter: 15, Workers: b.workers}
 }
 
 // table1 prints the complexity model for every dataset shape.
@@ -371,7 +374,7 @@ func (b *bench) ablationSolver() error {
 		for i, solver := range []srda.Solver{srda.SolverPrimal, srda.SolverDual, srda.SolverLSQR} {
 			start := time.Now()
 			if _, err := srda.Fit(x, labels, ds.NumClasses, srda.Options{
-				Alpha: 1, Solver: solver, LSQRIter: 30,
+				Alpha: 1, Solver: solver, LSQRIter: 30, Workers: b.workers,
 			}); err != nil {
 				return err
 			}
@@ -467,7 +470,7 @@ func (b *bench) ablationIncremental() error {
 		for upTo := 20; upTo <= m; upTo += 20 {
 			sub := x.Slice(0, upTo, 0, n)
 			if _, err := srda.Fit(sub.Clone(), labels[:upTo], ds.NumClasses,
-				srda.Options{Alpha: 1, Solver: srda.SolverPrimal}); err != nil {
+				srda.Options{Alpha: 1, Solver: srda.SolverPrimal, Workers: b.workers}); err != nil {
 				return err
 			}
 		}
@@ -502,7 +505,7 @@ func (b *bench) ablationOutOfCore() error {
 	}
 	defer d.Close()
 
-	opt := srda.Options{Alpha: 1, LSQRIter: 15}
+	opt := srda.Options{Alpha: 1, LSQRIter: 15, Workers: b.workers}
 	start := time.Now()
 	ooc, err := srda.FitDiskCSR(d, ds.Labels, ds.NumClasses, opt)
 	if err != nil {
@@ -548,7 +551,7 @@ func (b *bench) ablationScaling() error {
 		})
 		start := time.Now()
 		if _, err := srda.FitCSR(ds.Sparse, ds.Labels, ds.NumClasses,
-			srda.Options{Alpha: 1, LSQRIter: 15, Workers: 1}); err != nil {
+			srda.Options{Alpha: 1, LSQRIter: 15, Workers: b.workers}); err != nil {
 			return err
 		}
 		sec := time.Since(start).Seconds()
@@ -644,7 +647,7 @@ func (b *bench) extendedComparison() error {
 			func() error {
 				start := time.Now()
 				model, err := srda.Fit(train.Dense, train.Labels, train.NumClasses,
-					srda.Options{Alpha: 1, Whiten: true})
+					srda.Options{Alpha: 1, Whiten: true, Workers: b.workers})
 				sec := time.Since(start).Seconds()
 				if err != nil {
 					return err
@@ -739,7 +742,7 @@ func (b *bench) ablationLabelNoise() error {
 		var errs [2]float64
 		for i, alpha := range []float64{0.01, 10} {
 			model, err := srda.Fit(noisy.Dense, noisy.Labels, noisy.NumClasses,
-				srda.Options{Alpha: alpha, Whiten: true})
+				srda.Options{Alpha: alpha, Whiten: true, Workers: b.workers})
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"srda"
@@ -36,15 +37,16 @@ func main() {
 		features  = flag.Int("features", 0, "dimensionality (0 = infer from data)")
 		disk      = flag.Bool("disk", false, "train out of core: spool the training matrix to a temp file and stream it")
 		report    = flag.Bool("report", false, "print per-class precision/recall/F1 for evaluated sets")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "training parallelism (kernel sharding + per-response solves); the fitted model is bitwise identical at any setting")
 	)
 	flag.Parse()
-	if err := run(*trainPath, *testPath, *predict, *modelPath, *alpha, *solver, *iters, *knn, *features, *disk, *report); err != nil {
+	if err := run(*trainPath, *testPath, *predict, *modelPath, *alpha, *solver, *iters, *knn, *features, *workers, *disk, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "srdatrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solverName string, iters, knn, features int, disk, report bool) error {
+func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solverName string, iters, knn, features, workers int, disk, report bool) error {
 	if predictPath != "" {
 		return runPredict(predictPath, modelPath, features)
 	}
@@ -73,7 +75,7 @@ func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solv
 	fmt.Printf("train: %d samples, %d features, %d classes, %.1f avg nnz\n",
 		train.NumSamples(), train.NumFeatures(), train.NumClasses, train.AvgNNZ())
 
-	opt := srda.Options{Alpha: alpha, Solver: sv, LSQRIter: iters, Whiten: true}
+	opt := srda.Options{Alpha: alpha, Solver: sv, LSQRIter: iters, Workers: workers, Whiten: true}
 	start := time.Now()
 	var model *srda.Model
 	if disk {

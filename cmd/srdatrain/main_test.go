@@ -45,44 +45,44 @@ func rangeInts(lo, hi int) []int {
 func TestTrainEvaluateAndPredict(t *testing.T) {
 	train, test := writeCorpus(t)
 	model := filepath.Join(t.TempDir(), "m.srda")
-	if err := run(train, test, "", model, 1, "lsqr", 30, 0, 0, false, true); err != nil {
+	if err := run(train, test, "", model, 1, "lsqr", 30, 0, 0, 0, false, true); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
 		t.Fatalf("model not written: %v", err)
 	}
 	// predict path
-	if err := run("", "", test, model, 1, "auto", 30, 0, 0, false, false); err != nil {
+	if err := run("", "", test, model, 1, "auto", 30, 0, 0, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTrainWithKNNClassifier(t *testing.T) {
 	train, test := writeCorpus(t)
-	if err := run(train, test, "", "", 1, "auto", 30, 3, 0, false, false); err != nil {
+	if err := run(train, test, "", "", 1, "auto", 30, 3, 0, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTrainErrors(t *testing.T) {
 	train, _ := writeCorpus(t)
-	if err := run("", "", "", "", 1, "auto", 30, 0, 0, false, false); err == nil {
+	if err := run("", "", "", "", 1, "auto", 30, 0, 0, 0, false, false); err == nil {
 		t.Fatal("missing -train accepted")
 	}
-	if err := run(train, "", "", "", 1, "warp", 30, 0, 0, false, false); err == nil {
+	if err := run(train, "", "", "", 1, "warp", 30, 0, 0, 0, false, false); err == nil {
 		t.Fatal("unknown solver accepted")
 	}
-	if err := run("/definitely/missing.svm", "", "", "", 1, "auto", 30, 0, 0, false, false); err == nil {
+	if err := run("/definitely/missing.svm", "", "", "", 1, "auto", 30, 0, 0, 0, false, false); err == nil {
 		t.Fatal("missing train file accepted")
 	}
-	if err := run("", "", "/some/data.svm", "", 1, "auto", 30, 0, 0, false, false); err == nil {
+	if err := run("", "", "/some/data.svm", "", 1, "auto", 30, 0, 0, 0, false, false); err == nil {
 		t.Fatal("-predict without -model accepted")
 	}
 }
 
 func TestTrainOutOfCore(t *testing.T) {
 	train, test := writeCorpus(t)
-	if err := run(train, test, "", "", 1, "lsqr", 20, 0, 0, true, false); err != nil {
+	if err := run(train, test, "", "", 1, "lsqr", 20, 0, 0, 0, true, false); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,62 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzGemmShapes drives Gemm and ParGemm over fuzzer-chosen shapes, data
+// seeds, scaling factors, and worker counts, cross-checking both against
+// the naive triple-loop oracle and asserting the parallel kernel is
+// bitwise identical to the sequential one.  The checked-in corpus in
+// testdata/fuzz/FuzzGemmShapes seeds the unroll and tile boundaries.
+func FuzzGemmShapes(f *testing.F) {
+	f.Add(1, 1, 1, int64(1), 1.0, 0.0, 4)
+	f.Add(3, 5, 2, int64(2), -0.5, 1.0, 7)
+	f.Add(4, 4, 4, int64(3), 1.0, 0.5, 2)
+	f.Add(8, 1, 9, int64(4), 2.0, 0.0, 3)
+	f.Add(17, 33, 65, int64(5), 1.0, 1.0, 5)
+	f.Add(96, 2, 97, int64(6), 0.25, 0.0, 6)
+	f.Fuzz(func(t *testing.T, m, n, k int, seed int64, alpha, beta float64, workers int) {
+		const maxDim = 48
+		if m < 0 || n < 0 || k < 0 || m > maxDim || n > maxDim || k > maxDim {
+			t.Skip()
+		}
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
+			t.Skip()
+		}
+		if workers < 0 || workers > 16 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVec(rng, m*k), randVec(rng, k*n)
+		c0 := randVec(rng, m*n)
+
+		// Oracle: naive triple loop plus explicit alpha/beta handling.
+		want := make([]float64, m*n)
+		prod := naiveGemm(m, n, k, a, b)
+		for i := range want {
+			want[i] = alpha*prod[i] + beta*c0[i]
+		}
+
+		got := append([]float64(nil), c0...)
+		Gemm(m, n, k, alpha, a, k, b, n, beta, got, n)
+		scale := 1.0 + math.Abs(alpha)*float64(k) + math.Abs(beta)
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-9*scale {
+				t.Fatalf("Gemm m=%d n=%d k=%d alpha=%v beta=%v: element %d = %v, oracle %v",
+					m, n, k, alpha, beta, i, got[i], want[i])
+			}
+		}
+
+		par := append([]float64(nil), c0...)
+		ParGemm(workers, m, n, k, alpha, a, k, b, n, beta, par, n)
+		for i := range got {
+			if math.Float64bits(par[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("ParGemm(workers=%d) m=%d n=%d k=%d: element %d = %v, sequential %v",
+					workers, m, n, k, i, par[i], got[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package blas
+
+// This file adds parallel twins of the level-2/3 kernels.  Each Par*
+// kernel shards only over independent output rows (or, for the transposed
+// products, output columns) and runs the unmodified sequential kernel on
+// each shard, so every output element is produced by exactly the same
+// sequence of floating-point operations as the sequential call.  Results
+// are therefore bitwise identical to the sequential kernels for every
+// worker count — the property the equivalence suite in par_test.go
+// asserts — which is what lets the rest of the system turn parallelism on
+// and off freely without perturbing a single bit of any model.
+//
+// The sharding argument `workers` bounds the number of spans: <= 0 means
+// GOMAXPROCS, 1 forces the sequential kernel.  Spans execute on the
+// process-wide pool in internal/pool; calls whose arithmetic volume is
+// below parMinFlops stay sequential because the handoff would cost more
+// than it saves.
+
+import "srda/internal/pool"
+
+// parMinFlops is the approximate multiply-add count below which the Par*
+// wrappers run sequentially.  A shard handoff costs on the order of a
+// microsecond; 32Ki flops is roughly the volume that amortizes it.
+const parMinFlops = 1 << 15
+
+// ParGemm computes C = alpha*A*B + beta*C exactly like Gemm, sharding
+// rows of C (and A) across the worker pool.  Row i of C depends only on
+// row i of A and all of B, so per-row arithmetic is untouched by the
+// sharding and the result is bitwise identical to Gemm for any workers.
+func ParGemm(workers, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if lda < k || ldb < n || ldc < n {
+		panic("blas: bad leading dimension in ParGemm")
+	}
+	if workers == 1 || m < 2 || m*n*k < parMinFlops {
+		Gemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	pool.Do(workers, m, func(lo, hi int) {
+		Gemm(hi-lo, n, k, alpha, a[lo*lda:], lda, b, ldb, beta, c[lo*ldc:], ldc)
+	})
+}
+
+// ParGemmTA computes C = alpha*Aᵀ*B + beta*C exactly like GemmTA,
+// sharding rows of C — which are columns of the k×m matrix A, reached by
+// offsetting A's row base — across the worker pool.  For a fixed output
+// row, GemmTA's (p-block, j-block, p) update order is independent of how
+// the i range is tiled, so shard boundaries cannot reorder any output
+// element's accumulation and the result is bitwise identical to GemmTA.
+func ParGemmTA(workers, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if lda < m || ldb < n || ldc < n {
+		panic("blas: bad leading dimension in ParGemmTA")
+	}
+	if workers == 1 || m < 2 || m*n*k < parMinFlops {
+		GemmTA(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	pool.Do(workers, m, func(lo, hi int) {
+		GemmTA(hi-lo, n, k, alpha, a[lo:], lda, b, ldb, beta, c[lo*ldc:], ldc)
+	})
+}
+
+// ParGemmTB computes C = alpha*A*Bᵀ + beta*C exactly like GemmTB,
+// sharding rows of C (and A); each output row is a set of row-row dot
+// products untouched by the sharding, so the result is bitwise identical
+// to GemmTB.
+func ParGemmTB(workers, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if lda < k || ldb < k || ldc < n {
+		panic("blas: bad leading dimension in ParGemmTB")
+	}
+	if workers == 1 || m < 2 || m*n*k < parMinFlops {
+		GemmTB(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	pool.Do(workers, m, func(lo, hi int) {
+		GemmTB(hi-lo, n, k, alpha, a[lo*lda:], lda, b, ldb, beta, c[lo*ldc:], ldc)
+	})
+}
+
+// ParGemv computes y = alpha*A*x + beta*y exactly like Gemv, sharding
+// output rows; each y[i] is one row dot product, so the result is bitwise
+// identical to Gemv.
+func ParGemv(workers, m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	if len(x) < n || len(y) < m {
+		panic("blas: vector too short in ParGemv")
+	}
+	if lda < n {
+		panic("blas: lda < n in ParGemv")
+	}
+	if workers == 1 || m < 2 || m*n < parMinFlops {
+		Gemv(m, n, alpha, a, lda, x, beta, y)
+		return
+	}
+	pool.Do(workers, m, func(lo, hi int) {
+		Gemv(hi-lo, n, alpha, a[lo*lda:], lda, x, beta, y[lo:])
+	})
+}
+
+// ParGemvT computes y = alpha*Aᵀ*x + beta*y exactly like GemvT, sharding
+// the output columns: each span runs GemvT on the column window [lo, hi)
+// of A (reached by offsetting the row base) and the matching window of y.
+// For a fixed output element y[j] the accumulation still walks rows of A
+// in ascending order with identical per-element arithmetic, so the result
+// is bitwise identical to GemvT.
+func ParGemvT(workers, m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	if len(x) < m || len(y) < n {
+		panic("blas: vector too short in ParGemvT")
+	}
+	if lda < n {
+		panic("blas: lda < n in ParGemvT")
+	}
+	if workers == 1 || n < 2 || m*n < parMinFlops {
+		GemvT(m, n, alpha, a, lda, x, beta, y)
+		return
+	}
+	pool.Do(workers, n, func(lo, hi int) {
+		GemvT(m, hi-lo, alpha, a[lo:], lda, x, beta, y[lo:])
+	})
+}

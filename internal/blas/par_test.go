@@ -1,0 +1,212 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// eqWorkers are the shard counts the determinism contract is enforced at:
+// sequential, even splits, and a prime that never divides the test shapes
+// evenly.  Worker counts above GOMAXPROCS are deliberate — sharding is
+// independent of true concurrency.
+var eqWorkers = []int{1, 2, 4, 7}
+
+// eqShapes draws (m, n, k) triples from the contract set {0, 1, 3, 64,
+// 65, 1000}: the full cross product of the small values plus ragged
+// triples that put 1000 in each position (capped so the race-detector run
+// stays fast).  64 and 65 straddle the Axpy/Dot unroll width; 65 and 1000
+// are not multiples of the 96-wide cache tile.
+func eqShapes() [][3]int {
+	small := []int{0, 1, 3, 64, 65}
+	var shapes [][3]int
+	for _, m := range small {
+		for _, n := range small {
+			for _, k := range small {
+				shapes = append(shapes, [3]int{m, n, k})
+			}
+		}
+	}
+	shapes = append(shapes,
+		[3]int{1000, 3, 65}, [3]int{3, 1000, 65}, [3]int{65, 3, 1000},
+		[3]int{1000, 1000, 1}, [3]int{1000, 1, 1000}, [3]int{1, 1000, 1000},
+		[3]int{1000, 64, 64}, [3]int{64, 1000, 64}, [3]int{64, 64, 1000},
+	)
+	return shapes
+}
+
+// bitsEqual reports exact bit-level equality, the contract the Par*
+// kernels promise (tolerances would hide reassociated accumulations).
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// betaFor cycles the beta values so every kernel is exercised with
+// overwrite (0), accumulate (1), and scale-accumulate semantics.
+func betaFor(idx int) float64 { return []float64{0, 1, 0.5}[idx%3] }
+
+func TestParGemmBitwiseEqualsGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for si, d := range eqShapes() {
+		m, n, k := d[0], d[1], d[2]
+		a, b := randVec(rng, m*k), randVec(rng, k*n)
+		c0 := randVec(rng, m*n)
+		beta := betaFor(si)
+		want := append([]float64(nil), c0...)
+		Gemm(m, n, k, 1.25, a, k, b, n, beta, want, n)
+		for _, w := range eqWorkers {
+			got := append([]float64(nil), c0...)
+			ParGemm(w, m, n, k, 1.25, a, k, b, n, beta, got, n)
+			if i, ok := bitsEqual(got, want); !ok {
+				t.Fatalf("ParGemm(workers=%d) m=%d n=%d k=%d beta=%v: element %d = %v, sequential %v",
+					w, m, n, k, beta, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParGemmTABitwiseEqualsGemmTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for si, d := range eqShapes() {
+		m, n, k := d[0], d[1], d[2]
+		a, b := randVec(rng, k*m), randVec(rng, k*n) // A is k×m
+		c0 := randVec(rng, m*n)
+		beta := betaFor(si)
+		want := append([]float64(nil), c0...)
+		GemmTA(m, n, k, 0.75, a, m, b, n, beta, want, n)
+		for _, w := range eqWorkers {
+			got := append([]float64(nil), c0...)
+			ParGemmTA(w, m, n, k, 0.75, a, m, b, n, beta, got, n)
+			if i, ok := bitsEqual(got, want); !ok {
+				t.Fatalf("ParGemmTA(workers=%d) m=%d n=%d k=%d beta=%v: element %d = %v, sequential %v",
+					w, m, n, k, beta, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParGemmTBBitwiseEqualsGemmTB(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for si, d := range eqShapes() {
+		m, n, k := d[0], d[1], d[2]
+		a, b := randVec(rng, m*k), randVec(rng, n*k) // B is n×k
+		c0 := randVec(rng, m*n)
+		beta := betaFor(si)
+		want := append([]float64(nil), c0...)
+		GemmTB(m, n, k, -1.5, a, k, b, k, beta, want, n)
+		for _, w := range eqWorkers {
+			got := append([]float64(nil), c0...)
+			ParGemmTB(w, m, n, k, -1.5, a, k, b, k, beta, got, n)
+			if i, ok := bitsEqual(got, want); !ok {
+				t.Fatalf("ParGemmTB(workers=%d) m=%d n=%d k=%d beta=%v: element %d = %v, sequential %v",
+					w, m, n, k, beta, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParGemvBitwiseEqualsGemv(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for si, d := range eqShapes() {
+		m, n := d[0], d[1]
+		a, x := randVec(rng, m*n), randVec(rng, n)
+		y0 := randVec(rng, m)
+		beta := betaFor(si)
+		want := append([]float64(nil), y0...)
+		Gemv(m, n, 2.5, a, n, x, beta, want)
+		for _, w := range eqWorkers {
+			got := append([]float64(nil), y0...)
+			ParGemv(w, m, n, 2.5, a, n, x, beta, got)
+			if i, ok := bitsEqual(got, want); !ok {
+				t.Fatalf("ParGemv(workers=%d) m=%d n=%d beta=%v: element %d = %v, sequential %v",
+					w, m, n, beta, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParGemvTBitwiseEqualsGemvT(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for si, d := range eqShapes() {
+		m, n := d[0], d[1]
+		a, x := randVec(rng, m*n), randVec(rng, m)
+		y0 := randVec(rng, n)
+		beta := betaFor(si)
+		want := append([]float64(nil), y0...)
+		GemvT(m, n, -0.5, a, n, x, beta, want)
+		for _, w := range eqWorkers {
+			got := append([]float64(nil), y0...)
+			ParGemvT(w, m, n, -0.5, a, n, x, beta, got)
+			if i, ok := bitsEqual(got, want); !ok {
+				t.Fatalf("ParGemvT(workers=%d) m=%d n=%d beta=%v: element %d = %v, sequential %v",
+					w, m, n, beta, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParGemmStridedViews repeats the sequential strided-view test through
+// the parallel wrapper: sub-matrix views (lda > n) must shard correctly.
+func TestParGemmStridedViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	m, n, k, pad := 130, 70, 50, 5
+	a := randVec(rng, m*(k+pad))
+	b := randVec(rng, k*(n+pad))
+	want := make([]float64, m*(n+pad))
+	got := append([]float64(nil), want...)
+	Gemm(m, n, k, 1, a, k+pad, b, n+pad, 0, want, n+pad)
+	ParGemm(7, m, n, k, 1, a, k+pad, b, n+pad, 0, got, n+pad)
+	if i, ok := bitsEqual(got, want); !ok {
+		t.Fatalf("strided ParGemm differs at %d: %v vs %v", i, got[i], want[i])
+	}
+}
+
+func TestParGemmPanicsOnBadLda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lda < k")
+		}
+	}()
+	ParGemm(2, 4, 4, 4, 1, make([]float64, 16), 2, make([]float64, 16), 4, 0, make([]float64, 16), 4)
+}
+
+// BenchmarkParGemm measures the 1000×1000×1000 product across worker
+// counts; at GOMAXPROCS >= 4 the 4-worker case should be >= 2x the
+// 1-worker case (and bitwise identical, per the tests above).
+func BenchmarkParGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	const dim = 1000
+	a, bb := randVec(rng, dim*dim), randVec(rng, dim*dim)
+	c := make([]float64, dim*dim)
+	for _, w := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(3 * 8 * dim * dim)
+			for i := 0; i < b.N; i++ {
+				ParGemm(w, dim, dim, dim, 1, a, dim, bb, dim, 0, c, dim)
+			}
+		})
+	}
+}
+
+// BenchmarkParGemvT measures the transposed mat-vec (the LSQR ApplyT hot
+// path) across worker counts.
+func BenchmarkParGemvT(b *testing.B) {
+	rng := rand.New(rand.NewSource(48))
+	m, n := 2000, 2000
+	a, x := randVec(rng, m*n), randVec(rng, m)
+	y := make([]float64, n)
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParGemvT(w, m, n, 1, a, n, x, 0, y)
+			}
+		})
+	}
+}

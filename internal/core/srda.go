@@ -12,6 +12,7 @@ import (
 	"srda/internal/blas"
 	"srda/internal/classify"
 	"srda/internal/mat"
+	"srda/internal/pool"
 	"srda/internal/regress"
 	"srda/internal/solver"
 	"srda/internal/sparse"
@@ -30,8 +31,11 @@ type Options struct {
 	// LSQRIter caps LSQR iterations per response (default 30; the paper
 	// sets 15 for 20Newsgroups).
 	LSQRIter int
-	// Workers bounds the goroutines used for the independent per-response
-	// solves on the LSQR path (0 = GOMAXPROCS, 1 = sequential).
+	// Workers bounds all parallelism in the fit: the independent
+	// per-response solves on the LSQR path and the worker-pool sharding
+	// inside every dense/sparse kernel (0 = GOMAXPROCS, 1 = sequential).
+	// Every setting produces a bitwise-identical model; the trained
+	// Model inherits the value for its batch-projection kernels.
 	Workers int
 }
 
@@ -54,6 +58,12 @@ type Model struct {
 	// data (c×(c−1)), set by SetCentroids; with them the model is a
 	// self-contained nearest-centroid classifier (see Predict).
 	Centroids *mat.Dense
+
+	// Workers bounds the worker-pool sharding of the batch projection
+	// kernels (0 = GOMAXPROCS, 1 = sequential).  Purely a runtime knob —
+	// outputs are bitwise identical at every setting — so it is not
+	// serialized; loaded models default to 0.
+	Workers int
 
 	// wt lazily caches Wᵀ for the batched projection path (safe for
 	// concurrent readers).  Code that mutates W in place after the first
@@ -220,13 +230,13 @@ func FitDense(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, 
 	if err != nil {
 		return nil, err
 	}
-	return fromRegress(rm, numClasses, opt.Alpha), nil
+	return fromRegress(rm, numClasses, opt), nil
 }
 
 // FitSparse trains SRDA on a CSR design matrix using the linear-time LSQR
 // path with the intercept-absorption trick, never densifying the data.
 func FitSparse(x *sparse.CSR, labels []int, numClasses int, opt Options) (*Model, error) {
-	return FitOperator(solver.SparseOp{A: x}, labels, numClasses, opt)
+	return FitOperator(solver.SparseOp{A: x, Workers: opt.Workers}, labels, numClasses, opt)
 }
 
 // FitOperator trains SRDA through an abstract operator (LSQR only); this
@@ -250,17 +260,18 @@ func FitOperator(op solver.Operator, labels []int, numClasses int, opt Options) 
 	if err != nil {
 		return nil, err
 	}
-	return fromRegress(rm, numClasses, opt.Alpha), nil
+	return fromRegress(rm, numClasses, opt), nil
 }
 
-func fromRegress(rm *regress.Model, numClasses int, alpha float64) *Model {
+func fromRegress(rm *regress.Model, numClasses int, opt Options) *Model {
 	return &Model{
 		W:          rm.W,
 		B:          rm.B,
 		NumClasses: numClasses,
-		Alpha:      alpha,
+		Alpha:      opt.Alpha,
 		Iters:      rm.Iters,
 		Strategy:   rm.Strategy,
+		Workers:    opt.Workers,
 	}
 }
 
@@ -272,32 +283,50 @@ func (m *Model) TransformDense(x *mat.Dense) *mat.Dense {
 	if x.Cols != m.W.Rows {
 		panic(fmt.Sprintf("core: TransformDense feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
 	}
-	out := mat.Mul(x, m.W)
+	out := mat.ParMul(m.Workers, x, m.W)
 	m.addBias(out)
 	return out
 }
 
-// TransformSparse embeds CSR rows without densifying them.
+// TransformSparse embeds CSR rows without densifying them.  Output rows
+// are independent, so they are sharded across the worker pool with the
+// usual bitwise-identity guarantee.
 func (m *Model) TransformSparse(x *sparse.CSR) *mat.Dense {
 	if x.Cols != m.W.Rows {
 		panic(fmt.Sprintf("core: TransformSparse feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
 	}
 	out := mat.NewDense(x.Rows, m.Dim())
-	for i := 0; i < x.Rows; i++ {
-		row := out.RowView(i)
-		cols, vals := x.Row(i)
-		for t, j := range cols {
-			wrow := m.W.RowView(j)
-			v := vals[t]
+	m.shardRows(x, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.RowView(i)
+			cols, vals := x.Row(i)
+			for t, j := range cols {
+				wrow := m.W.RowView(j)
+				v := vals[t]
+				for d := range row {
+					row[d] += v * wrow[d]
+				}
+			}
 			for d := range row {
-				row[d] += v * wrow[d]
+				row[d] += m.B[d]
 			}
 		}
-		for d := range row {
-			row[d] += m.B[d]
-		}
-	}
+	})
 	return out
+}
+
+// projMinWork is the nnz·(c−1) volume below which the sparse projection
+// paths skip the worker pool, matching the kernel thresholds elsewhere.
+const projMinWork = 1 << 14
+
+// shardRows runs fn over the row range of x, parallel when the volume
+// justifies it.
+func (m *Model) shardRows(x *sparse.CSR, fn func(lo, hi int)) {
+	if m.Workers == 1 || x.Rows < 2 || x.NNZ()*m.Dim() < projMinWork {
+		fn(0, x.Rows)
+		return
+	}
+	pool.Do(m.Workers, x.Rows, fn)
 }
 
 // ProjectBatch embeds the rows of x with one GEMM into dst, which is
@@ -318,7 +347,7 @@ func (m *Model) ProjectBatch(x *mat.Dense, dst *mat.Dense) *mat.Dense {
 	}
 	dst = m.batchDst(x.Rows, dst)
 	wt := m.projT()
-	blas.GemmTB(x.Rows, m.Dim(), x.Cols, 1, x.Data, x.Stride, wt.Data, wt.Stride, 0, dst.Data, dst.Stride)
+	blas.ParGemmTB(m.Workers, x.Rows, m.Dim(), x.Cols, 1, x.Data, x.Stride, wt.Data, wt.Stride, 0, dst.Data, dst.Stride)
 	m.addBias(dst)
 	return dst
 }
@@ -330,14 +359,16 @@ func (m *Model) ProjectBatchCSR(x *sparse.CSR, dst *mat.Dense) *mat.Dense {
 		panic(fmt.Sprintf("core: ProjectBatchCSR feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
 	}
 	dst = m.batchDst(x.Rows, dst)
-	for i := 0; i < x.Rows; i++ {
-		row := dst.RowView(i)
-		copy(row, m.B)
-		cols, vals := x.Row(i)
-		for t, j := range cols {
-			blas.Axpy(vals[t], m.W.RowView(j), row)
+	m.shardRows(x, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dst.RowView(i)
+			copy(row, m.B)
+			cols, vals := x.Row(i)
+			for t, j := range cols {
+				blas.Axpy(vals[t], m.W.RowView(j), row)
+			}
 		}
-	}
+	})
 	return dst
 }
 

@@ -60,6 +60,11 @@ type Runner struct {
 	LSQRIter int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds kernel and per-response parallelism in the SRDA
+	// fits (0 = GOMAXPROCS, 1 = sequential).  Results are bitwise
+	// identical at every setting, so timing columns are the only thing
+	// it changes.
+	Workers int
 	// MemoryLimitBytes models the paper's 2 GB machine; algorithms whose
 	// modeled footprint exceeds it are reported infeasible.  Zero means
 	// 2 GB.
@@ -300,7 +305,7 @@ func (r Runner) runOnce(algo Algorithm, train, test *dataset.Dataset) (float64, 
 		if train.IsSparse() {
 			start := time.Now()
 			model, err := core.FitSparseWhitened(train.Sparse, train.Labels, train.NumClasses,
-				core.Options{Alpha: r.Alpha, LSQRIter: r.LSQRIter})
+				core.Options{Alpha: r.Alpha, LSQRIter: r.LSQRIter, Workers: r.Workers})
 			seconds = time.Since(start).Seconds()
 			if err != nil {
 				return 0, 0, err
@@ -309,7 +314,7 @@ func (r Runner) runOnce(algo Algorithm, train, test *dataset.Dataset) (float64, 
 		} else {
 			start := time.Now()
 			model, err := core.FitDenseWhitened(train.Dense, train.Labels, train.NumClasses,
-				core.Options{Alpha: r.Alpha})
+				core.Options{Alpha: r.Alpha, Workers: r.Workers})
 			seconds = time.Since(start).Seconds()
 			if err != nil {
 				return 0, 0, err

@@ -109,7 +109,7 @@ func (r Runner) AlphaSweep(ds *dataset.Dataset, perClass int, fraction float64, 
 
 // srdaError trains SRDA with a specific alpha and returns the test error.
 func (r Runner) srdaError(train, test *dataset.Dataset, alpha float64) (float64, error) {
-	opt := core.Options{Alpha: alpha, LSQRIter: r.LSQRIter}
+	opt := core.Options{Alpha: alpha, LSQRIter: r.LSQRIter, Workers: r.Workers}
 	var (
 		embTrain, embTest *mat.Dense
 	)

@@ -217,41 +217,23 @@ func MulTB(a, b *Dense) *Dense {
 }
 
 // Gram computes the n×n Gram matrix AᵀA of an m×n matrix A, exploiting
-// symmetry (only the upper triangle is computed, then mirrored).
+// symmetry (only the upper triangle is computed, then mirrored).  It is a
+// full-range call of the same helpers ParGram shards, so the two are
+// bitwise twins by construction.
 func Gram(a *Dense) *Dense {
 	n := a.Cols
 	g := NewDense(n, n)
-	// Accumulate row-by-row rank-one contributions into the upper triangle.
-	for p := 0; p < a.Rows; p++ {
-		row := a.RowView(p)
-		for i := 0; i < n; i++ {
-			v := row[i]
-			if v == 0 {
-				continue
-			}
-			blas.Axpy(v, row[i:], g.Data[i*g.Stride+i:i*g.Stride+n])
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			g.Data[j*g.Stride+i] = g.Data[i*g.Stride+j]
-		}
-	}
+	gramUpperRange(a, g, 0, n)
+	gramMirrorRange(g, 0, n)
 	return g
 }
 
-// GramT computes the m×m outer Gram matrix AAᵀ of an m×n matrix A.
+// GramT computes the m×m outer Gram matrix AAᵀ of an m×n matrix A.  Like
+// Gram it is a full-range call of the helper ParGramT shards.
 func GramT(a *Dense) *Dense {
 	m := a.Rows
 	g := NewDense(m, m)
-	for i := 0; i < m; i++ {
-		ri := a.RowView(i)
-		for j := i; j < m; j++ {
-			v := blas.Dot(ri, a.RowView(j))
-			g.Data[i*g.Stride+j] = v
-			g.Data[j*g.Stride+i] = v
-		}
-	}
+	gramTRange(a, g, 0, m)
 	return g
 }
 

@@ -1,0 +1,82 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"srda/internal/mat"
+)
+
+// TestFitDenseBitwiseIdenticalAcrossWorkers extends the per-response LSQR
+// determinism guarantee to the direct solvers: with the parallel Gram and
+// product kernels wired in, every strategy must produce a bitwise
+// identical model at every worker count.
+func TestFitDenseBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	x := randDense(rng, 90, 40)
+	y := randDense(rng, 90, 6)
+	for _, strat := range []Strategy{Primal, Dual, IterLSQR} {
+		base, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: strat, Intercept: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{0, 2, 4, 7} {
+			m, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: strat, Intercept: true, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range m.W.Data {
+				if math.Float64bits(m.W.Data[i]) != math.Float64bits(base.W.Data[i]) {
+					t.Fatalf("%v workers=%d: W[%d] = %v, sequential %v", strat, w, i, m.W.Data[i], base.W.Data[i])
+				}
+			}
+			for j := range m.B {
+				if math.Float64bits(m.B[j]) != math.Float64bits(base.B[j]) {
+					t.Fatalf("%v workers=%d: B[%d] = %v, sequential %v", strat, w, j, m.B[j], base.B[j])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFitDenseParallel measures a full Primal fit — Gram build,
+// Cholesky, XᵀY, back-solve — on a 1000-sample problem across worker
+// counts.  The Gram accumulation dominates, so at GOMAXPROCS >= 4 the
+// 4-worker case should be >= 2x workers=1, with the model bitwise
+// identical (TestFitDenseBitwiseIdenticalAcrossWorkers).
+func BenchmarkFitDenseParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	x := randDense(rng, 1000, 800)
+	y := randDense(rng, 1000, 20)
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FitDense(x, y, Options{Alpha: 1, Strategy: Primal, Intercept: true, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFitLSQRParallel measures the iterative path, where Workers
+// fans out both the per-response solves and the operator mat-vecs.
+func BenchmarkFitLSQRParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	x := randDense(rng, 600, 400)
+	wTrue := randDense(rng, 400, 8)
+	y := mat.Mul(x, wTrue)
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{Alpha: 1, Strategy: IterLSQR, LSQRIter: 15, Workers: w}
+				if _, err := FitDense(x, y, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -74,9 +74,11 @@ type Options struct {
 	// LSQRIter caps LSQR iterations per response (default 30; the paper
 	// uses 15–20).
 	LSQRIter int
-	// Workers bounds the goroutines solving independent responses in the
-	// LSQR path (the c−1 systems share nothing but the read-only
-	// operator).  0 means GOMAXPROCS; 1 forces sequential solves.
+	// Workers bounds the parallelism of the whole fit: the goroutines
+	// solving independent responses in the LSQR path, and the worker-pool
+	// sharding inside the Gram/product kernels of the direct paths.  All
+	// settings produce bitwise-identical models (see internal/pool).
+	// 0 means GOMAXPROCS; 1 forces fully sequential work.
 	Workers int
 }
 
@@ -115,7 +117,7 @@ func FitDense(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	case Dual:
 		return fitDual(x, y, opt)
 	case IterLSQR:
-		return FitOperator(solver.DenseOp{A: x}, y, opt)
+		return FitOperator(solver.DenseOp{A: x, Workers: opt.Workers}, y, opt)
 	default:
 		return nil, fmt.Errorf("regress: unknown strategy %v", strat)
 	}
@@ -188,7 +190,7 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	xa := augment(x, opt.Intercept)
 	n := xa.Cols
-	g := mat.Gram(xa)
+	g := mat.ParGram(opt.Workers, xa)
 	for i := 0; i < n; i++ {
 		g.Set(i, i, g.At(i, i)+opt.Alpha)
 	}
@@ -196,7 +198,7 @@ func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("regress: normal equations not positive definite (alpha=%v): %w", opt.Alpha, err)
 	}
-	xty := mat.MulTA(xa, y)
+	xty := mat.ParMulTA(opt.Workers, xa, y)
 	w := ch.Solve(xty)
 	return splitIntercept(w, opt.Intercept, Primal), nil
 }
@@ -207,7 +209,7 @@ func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	xa := augment(x, opt.Intercept)
 	m := xa.Rows
-	g := mat.GramT(xa)
+	g := mat.ParGramT(opt.Workers, xa)
 	alpha := opt.Alpha
 	if alpha == 0 {
 		// A tiny ridge keeps the factorization defined when rows are
@@ -222,7 +224,7 @@ func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 		return nil, fmt.Errorf("regress: dual system not positive definite (alpha=%v): %w", opt.Alpha, err)
 	}
 	z := ch.Solve(y)
-	w := mat.MulTA(xa, z)
+	w := mat.ParMulTA(opt.Workers, xa, z)
 	return splitIntercept(w, opt.Intercept, Dual), nil
 }
 

@@ -40,6 +40,10 @@ type Options struct {
 	// waiting for more samples (default 2ms).
 	MaxWait time.Duration
 	// Workers is the inference worker-pool size (default GOMAXPROCS).
+	// The same value bounds the kernel sharding inside the model's batch
+	// projection (bitwise-identical at any setting); the shared pool in
+	// internal/pool keeps total kernel concurrency bounded even when all
+	// inference workers project at once.
 	Workers int
 	// QueueDepth caps queued samples; past it requests get 503
 	// (default 4096).
@@ -115,6 +119,7 @@ func New(m *core.Model, opts Options) (*Server, error) {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	m.Workers = opts.Workers
 	s.model.Store(&modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()})
 	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
@@ -148,6 +153,7 @@ func (s *Server) Swap(m *core.Model) (uint64, error) {
 	if m == nil || m.Centroids == nil {
 		return 0, fmt.Errorf("serve: refusing to swap in a model without centroids")
 	}
+	m.Workers = s.opts.Workers
 	st := &modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()}
 	s.model.Store(st)
 	s.metrics.reloads.Add(1)

@@ -48,7 +48,7 @@ func TestLSQRConsistentSystem(t *testing.T) {
 	a := randDense(rng, m, n)
 	xTrue := randVec(rng, n)
 	b := a.MulVec(xTrue, nil)
-	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 200})
+	res := LSQR(DenseOp{A: a}, b, LSQRParams{MaxIter: 200})
 	for i := range xTrue {
 		if math.Abs(res.X[i]-xTrue[i]) > 1e-6 {
 			t.Fatalf("x[%d]=%v want %v (reason %q)", i, res.X[i], xTrue[i], res.Reason)
@@ -62,7 +62,7 @@ func TestLSQRMatchesNormalEquations(t *testing.T) {
 	a := randDense(rng, m, n)
 	b := randVec(rng, m)
 	want := ridgeDirect(t, a, b, 0)
-	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 300, ATol: 1e-12, BTol: 1e-12})
+	res := LSQR(DenseOp{A: a}, b, LSQRParams{MaxIter: 300, ATol: 1e-12, BTol: 1e-12})
 	for i := range want {
 		if math.Abs(res.X[i]-want[i]) > 1e-6 {
 			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
@@ -77,7 +77,7 @@ func TestLSQRDampedMatchesRidge(t *testing.T) {
 	b := randVec(rng, m)
 	alpha := 1.0
 	want := ridgeDirect(t, a, b, alpha)
-	res := LSQR(DenseOp{a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 300, ATol: 1e-12, BTol: 1e-12})
+	res := LSQR(DenseOp{A: a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 300, ATol: 1e-12, BTol: 1e-12})
 	for i := range want {
 		if math.Abs(res.X[i]-want[i]) > 1e-6 {
 			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
@@ -102,7 +102,7 @@ func TestLSQRUnderdeterminedDamped(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := a.MulTVec(ch.SolveVec(b, nil), nil)
-	res := LSQR(DenseOp{a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 400, ATol: 1e-13, BTol: 1e-13})
+	res := LSQR(DenseOp{A: a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 400, ATol: 1e-13, BTol: 1e-13})
 	for i := range want {
 		if math.Abs(res.X[i]-want[i]) > 1e-6 {
 			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
@@ -113,7 +113,7 @@ func TestLSQRUnderdeterminedDamped(t *testing.T) {
 func TestLSQRZeroRHS(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	a := randDense(rng, 5, 3)
-	res := LSQR(DenseOp{a}, make([]float64, 5), LSQRParams{})
+	res := LSQR(DenseOp{A: a}, make([]float64, 5), LSQRParams{})
 	for _, v := range res.X {
 		if v != 0 {
 			t.Fatal("x must be zero for zero rhs")
@@ -138,8 +138,8 @@ func TestLSQRSparseMatchesDense(t *testing.T) {
 	s := bld.Build()
 	b := randVec(rng, m)
 	p := LSQRParams{Damp: 0.3, MaxIter: 200, ATol: 1e-12, BTol: 1e-12}
-	xd := LSQR(DenseOp{d}, b, p).X
-	xs := LSQR(SparseOp{s}, b, p).X
+	xd := LSQR(DenseOp{A: d}, b, p).X
+	xs := LSQR(SparseOp{A: s}, b, p).X
 	for i := range xd {
 		if math.Abs(xd[i]-xs[i]) > 1e-8 {
 			t.Fatalf("sparse/dense divergence at %d: %v vs %v", i, xd[i], xs[i])
@@ -152,7 +152,7 @@ func TestLSQRConvergesFastOnWellConditioned(t *testing.T) {
 	m, n := 200, 20
 	a := randDense(rng, m, n)
 	b := randVec(rng, m)
-	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 100})
+	res := LSQR(DenseOp{A: a}, b, LSQRParams{MaxIter: 100})
 	if res.Iters > 60 {
 		t.Fatalf("LSQR took %d iterations on a well-conditioned system", res.Iters)
 	}
@@ -168,7 +168,7 @@ func TestAugmentedOpEquivalentToExplicitOnes(t *testing.T) {
 		aug.Set(i, n, 1)
 	}
 	x := randVec(rng, n+1)
-	got := AugmentedOp{DenseOp{a}}.Apply(x, nil)
+	got := AugmentedOp{DenseOp{A: a}}.Apply(x, nil)
 	want := aug.MulVec(x, nil)
 	for i := range got {
 		if math.Abs(got[i]-want[i]) > 1e-12 {
@@ -176,7 +176,7 @@ func TestAugmentedOpEquivalentToExplicitOnes(t *testing.T) {
 		}
 	}
 	y := randVec(rng, m)
-	gt := AugmentedOp{DenseOp{a}}.ApplyT(y, nil)
+	gt := AugmentedOp{DenseOp{A: a}}.ApplyT(y, nil)
 	wt := aug.MulTVec(y, nil)
 	for i := range gt {
 		if math.Abs(gt[i]-wt[i]) > 1e-12 {
@@ -191,7 +191,7 @@ func TestCenteredOpEquivalentToExplicitCentering(t *testing.T) {
 	a := randDense(rng, m, n)
 	centered := a.Clone()
 	mu := centered.CenterRows()
-	op := CenteredOp{Inner: DenseOp{a}, Mu: mu}
+	op := CenteredOp{Inner: DenseOp{A: a}, Mu: mu}
 	x := randVec(rng, n)
 	got := op.Apply(x, nil)
 	want := centered.MulVec(x, nil)
@@ -217,7 +217,7 @@ func TestCGNEMatchesRidgeDirect(t *testing.T) {
 	b := randVec(rng, m)
 	alpha := 0.7
 	want := ridgeDirect(t, a, b, alpha)
-	res := CGNE(DenseOp{a}, b, alpha, 500, 1e-12)
+	res := CGNE(DenseOp{A: a}, b, alpha, 500, 1e-12)
 	for i := range want {
 		if math.Abs(res.X[i]-want[i]) > 1e-6 {
 			t.Fatalf("x[%d]=%v want %v", i, res.X[i], want[i])
@@ -232,8 +232,8 @@ func TestLSQRAndCGNEAgreeProperty(t *testing.T) {
 		a := randDense(rng, m, n)
 		b := randVec(rng, m)
 		alpha := 0.1 + rng.Float64()
-		x1 := LSQR(DenseOp{a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 400, ATol: 1e-13, BTol: 1e-13}).X
-		x2 := CGNE(DenseOp{a}, b, alpha, 1000, 1e-13).X
+		x1 := LSQR(DenseOp{A: a}, b, LSQRParams{Damp: math.Sqrt(alpha), MaxIter: 400, ATol: 1e-13, BTol: 1e-13}).X
+		x2 := CGNE(DenseOp{A: a}, b, alpha, 1000, 1e-13).X
 		for i := range x1 {
 			if math.Abs(x1[i]-x2[i]) > 1e-5*(1+math.Abs(x1[i])) {
 				return false
@@ -250,7 +250,7 @@ func TestLSQRIterationLimitRespected(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	a := randDense(rng, 100, 50)
 	b := randVec(rng, 100)
-	res := LSQR(DenseOp{a}, b, LSQRParams{MaxIter: 3, ATol: 1e-16, BTol: 1e-16})
+	res := LSQR(DenseOp{A: a}, b, LSQRParams{MaxIter: 3, ATol: 1e-16, BTol: 1e-16})
 	if res.Iters > 3 {
 		t.Fatalf("Iters=%d exceeds MaxIter", res.Iters)
 	}
@@ -262,7 +262,7 @@ func TestLSQRPanicsOnBadRHS(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	LSQR(DenseOp{mat.NewDense(3, 2)}, make([]float64, 4), LSQRParams{})
+	LSQR(DenseOp{A: mat.NewDense(3, 2)}, make([]float64, 4), LSQRParams{})
 }
 
 func TestDiskOpStickyError(t *testing.T) {
@@ -316,10 +316,10 @@ func TestDiskOpStickyError(t *testing.T) {
 
 func TestOperatorDims(t *testing.T) {
 	a := mat.NewDense(3, 5)
-	if m, n := (SparseOp{sparse.FromDense(a, 0)}).Dims(); m != 3 || n != 5 {
+	if m, n := (SparseOp{A: sparse.FromDense(a, 0)}).Dims(); m != 3 || n != 5 {
 		t.Fatalf("SparseOp dims %d %d", m, n)
 	}
-	if m, n := (CenteredOp{Inner: DenseOp{a}, Mu: make([]float64, 5)}).Dims(); m != 3 || n != 5 {
+	if m, n := (CenteredOp{Inner: DenseOp{A: a}, Mu: make([]float64, 5)}).Dims(); m != 3 || n != 5 {
 		t.Fatalf("CenteredOp dims %d %d", m, n)
 	}
 }

@@ -25,29 +25,39 @@ type Operator interface {
 	ApplyT(x, dst []float64) []float64
 }
 
-// DenseOp adapts a *mat.Dense to the Operator interface.
-type DenseOp struct{ A *mat.Dense }
+// DenseOp adapts a *mat.Dense to the Operator interface.  Workers bounds
+// the kernel parallelism of each product (<= 0 means GOMAXPROCS, 1 forces
+// sequential); any setting produces bitwise-identical results, so solves
+// are reproducible across machines regardless of core count.
+type DenseOp struct {
+	A       *mat.Dense
+	Workers int
+}
 
 // Dims implements Operator.
 func (o DenseOp) Dims() (int, int) { return o.A.Rows, o.A.Cols }
 
 // Apply implements Operator.
-func (o DenseOp) Apply(x, dst []float64) []float64 { return o.A.MulVec(x, dst) }
+func (o DenseOp) Apply(x, dst []float64) []float64 { return o.A.ParMulVec(o.Workers, x, dst) }
 
 // ApplyT implements Operator.
-func (o DenseOp) ApplyT(x, dst []float64) []float64 { return o.A.MulTVec(x, dst) }
+func (o DenseOp) ApplyT(x, dst []float64) []float64 { return o.A.ParMulTVec(o.Workers, x, dst) }
 
-// SparseOp adapts a *sparse.CSR to the Operator interface.
-type SparseOp struct{ A *sparse.CSR }
+// SparseOp adapts a *sparse.CSR to the Operator interface.  Workers has
+// the same bitwise-safe semantics as on DenseOp.
+type SparseOp struct {
+	A       *sparse.CSR
+	Workers int
+}
 
 // Dims implements Operator.
 func (o SparseOp) Dims() (int, int) { return o.A.Rows, o.A.Cols }
 
 // Apply implements Operator.
-func (o SparseOp) Apply(x, dst []float64) []float64 { return o.A.MulVec(x, dst) }
+func (o SparseOp) Apply(x, dst []float64) []float64 { return o.A.ParMulVec(o.Workers, x, dst) }
 
 // ApplyT implements Operator.
-func (o SparseOp) ApplyT(x, dst []float64) []float64 { return o.A.MulTVec(x, dst) }
+func (o SparseOp) ApplyT(x, dst []float64) []float64 { return o.A.ParMulTVec(o.Workers, x, dst) }
 
 // AugmentedOp wraps an operator A as [A | 1]: every row gains a trailing
 // constant-1 feature.  This is the paper's intercept-absorption trick

@@ -75,7 +75,15 @@ func (a *CSR) MulVec(x, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, a.Rows)
 	}
-	for i := 0; i < a.Rows; i++ {
+	a.mulVecRange(0, a.Rows, x, dst)
+	return dst
+}
+
+// mulVecRange computes dst[i] = row(i)·x for i in [rlo, rhi).  MulVec is
+// mulVecRange over the full row range; ParMulVec shards the same helper
+// over disjoint row spans, which is what makes the two bitwise twins.
+func (a *CSR) mulVecRange(rlo, rhi int, x, dst []float64) {
+	for i := rlo; i < rhi; i++ {
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
 		var s float64
 		for k := lo; k < hi; k++ {
@@ -83,7 +91,6 @@ func (a *CSR) MulVec(x, dst []float64) []float64 {
 		}
 		dst[i] = s
 	}
-	return dst
 }
 
 // MulTVec computes y = Aᵀ*x, allocating y when dst is nil.

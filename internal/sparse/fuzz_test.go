@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzCSRMulVec builds a random CSR from fuzzer-chosen shape/density
+// parameters and cross-checks MulVec/MulTVec against the dense oracle
+// (mat.Dense products on the uncompressed matrix), plus the Par* twins
+// bitwise against the sequential kernels.  The checked-in corpus in
+// testdata/fuzz/FuzzCSRMulVec seeds empty, single-entry, dense-ish, and
+// ragged matrices.
+func FuzzCSRMulVec(f *testing.F) {
+	f.Add(0, 0, int64(1), 0.5, 4)
+	f.Add(1, 1, int64(2), 1.0, 2)
+	f.Add(5, 3, int64(3), 0.0, 7)
+	f.Add(7, 11, int64(4), 0.3, 3)
+	f.Add(32, 17, int64(5), 0.05, 5)
+	f.Add(13, 64, int64(6), 0.9, 1)
+	f.Fuzz(func(t *testing.T, r, c int, seed int64, fill float64, workers int) {
+		const maxDim = 64
+		if r < 0 || c < 0 || r > maxDim || c > maxDim {
+			t.Skip()
+		}
+		if math.IsNaN(fill) || fill < 0 || fill > 1 {
+			t.Skip()
+		}
+		if workers < 0 || workers > 16 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		d, a := randSparseDense(rng, r, c, fill)
+
+		x := make([]float64, c)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xt := make([]float64, r)
+		for i := range xt {
+			xt[i] = rng.NormFloat64()
+		}
+		if r > 0 {
+			xt[rng.Intn(r)] = 0 // exercise the xi == 0 skip
+		}
+
+		got := a.MulVec(x, nil)
+		want := d.MulVec(x, nil)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("MulVec %dx%d fill=%v: row %d = %v, dense oracle %v", r, c, fill, i, got[i], want[i])
+			}
+		}
+		gotT := a.MulTVec(xt, nil)
+		wantT := d.MulTVec(xt, nil)
+		for j := range wantT {
+			if math.Abs(gotT[j]-wantT[j]) > 1e-9 {
+				t.Fatalf("MulTVec %dx%d fill=%v: col %d = %v, dense oracle %v", r, c, fill, j, gotT[j], wantT[j])
+			}
+		}
+
+		par := a.ParMulVec(workers, x, nil)
+		for i := range got {
+			if math.Float64bits(par[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("ParMulVec(workers=%d): row %d = %v, sequential %v", workers, i, par[i], got[i])
+			}
+		}
+		parT := a.ParMulTVec(workers, xt, nil)
+		for j := range gotT {
+			if math.Float64bits(parT[j]) != math.Float64bits(gotT[j]) {
+				t.Fatalf("ParMulTVec(workers=%d): col %d = %v, sequential %v", workers, j, parT[j], gotT[j])
+			}
+		}
+	})
+}

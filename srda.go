@@ -58,9 +58,13 @@ type Options struct {
 	// LSQRIter caps LSQR iterations per response (default 30; the paper
 	// finds 15–20 sufficient).
 	LSQRIter int
-	// Workers bounds the goroutines used for the independent per-response
-	// LSQR solves (0 = all CPUs, 1 = sequential).  Direct solvers ignore
-	// it.
+	// Workers bounds all training parallelism: the independent
+	// per-response LSQR solves and the worker-pool sharding inside the
+	// dense/sparse kernels of every solver (0 = all CPUs, 1 = fully
+	// sequential).  Any setting yields a bitwise-identical model — the
+	// kernels shard only over independent output rows (see
+	// internal/pool) — so Workers is purely a speed knob.  The trained
+	// model reuses the value for its batch projection kernels.
 	Workers int
 	// Whiten post-scales the model so the training embedding's
 	// within-class scatter is (shrinkage-regularized) identity, making
