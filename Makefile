@@ -2,19 +2,26 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race cover bench fuzz repro repro-paper examples clean
+.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper examples clean
 
 all: check
 
-# The default gate: compile, static checks, unit tests, and the race
-# detector (internal/serve is concurrent; run it racy by default).
-check: build vet test race
+# The default gate: compile, static checks (vet + the project's own
+# determinism-contract analyzers), unit tests, and the race detector
+# (internal/serve is concurrent; run it racy by default).
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The srdalint suite (see doc/LINTING.md): goroutine discipline, float
+# comparisons, seeded randomness, parallel-twin coverage, hot-loop
+# allocations, wall-clock reads, and dropped errors.  Exit 1 = findings.
+lint:
+	$(GO) run ./cmd/srdalint ./...
 
 test:
 	$(GO) test ./...

@@ -77,10 +77,10 @@ func scales(seed int64) map[string]scaleSpec {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table1..table10, fig1..fig5, ablation-*, all)")
-		scale  = flag.String("scale", "small", "dataset scale: small or paper")
-		splits = flag.Int("splits", 5, "random train/test splits per cell (paper uses 20)")
-		seed   = flag.Int64("seed", 2008, "RNG seed")
+		exp     = flag.String("exp", "all", "experiment id (table1..table10, fig1..fig5, ablation-*, all)")
+		scale   = flag.String("scale", "small", "dataset scale: small or paper")
+		splits  = flag.Int("splits", 5, "random train/test splits per cell (paper uses 20)")
+		seed    = flag.Int64("seed", 2008, "RNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		algos   = flag.String("algos", "", "comma-separated algorithm subset for the table/figure grids (e.g. \"SRDA,IDR/QR\"); empty = all four")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism for SRDA fits (kernels + per-response solves); results are bitwise identical at any setting")
@@ -490,7 +490,7 @@ func (b *bench) ablationOutOfCore() error {
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	path := dir + "/corpus.csr"
 	if err := ds.Sparse.WriteFile(path); err != nil {
 		return err
@@ -503,7 +503,7 @@ func (b *bench) ablationOutOfCore() error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // read-only; nothing to flush
 
 	opt := srda.Options{Alpha: 1, LSQRIter: 15, Workers: b.workers}
 	start := time.Now()

@@ -56,12 +56,18 @@ func run(name, out string, seed int64, classes, perClass, docs, vocab int, split
 	s := ds.Describe()
 	fmt.Fprintf(log, "generated %s: m=%d n=%d c=%d avg-nnz=%.1f\n", s.Name, s.Size, s.Dim, s.Classes, s.AvgNNZ)
 
-	write := func(path string, d *srda.Dataset) error {
+	write := func(path string, d *srda.Dataset) (err error) {
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Close flushes; a full disk can surface only here, so the error
+		// must not be dropped or the written split is silently truncated.
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		if err := d.WriteLibSVM(f); err != nil {
 			return err
 		}

@@ -1,0 +1,168 @@
+// Command srdalint runs the project's determinism-contract analyzer suite
+// (internal/lint) over the module and reports findings.
+//
+// Usage:
+//
+//	srdalint [-C dir] [-json] [-list] [patterns...]
+//
+// Patterns select packages by directory relative to the module root:
+// "./..." (the default) means every package, "./internal/blas" exactly
+// one, and "./internal/..." a subtree.  The module root is found by
+// walking up from the working directory (or -C dir) to the nearest
+// go.mod.
+//
+// Exit codes form the CI contract — there is deliberately no -fix mode,
+// so a nonzero exit always means a human decision is needed:
+//
+//	0  no findings
+//	1  findings reported
+//	2  usage, load, or type-check error
+//
+// With -json the findings are printed as a single JSON object
+// {"count": N, "diagnostics": [...]} for machine consumption.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"srda/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("srdalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", "", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	start := *dir
+	if start == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintf(stderr, "srdalint: %v\n", err)
+			return 2
+		}
+		start = wd
+	}
+	root, err := findModuleRoot(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "srdalint: %v\n", err)
+		return 2
+	}
+	mod, err := lint.Load(root, "")
+	if err != nil {
+		fmt.Fprintf(stderr, "srdalint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(mod, lint.Analyzers)
+	diags = filterPatterns(mod, diags, fs.Args())
+
+	if *jsonOut {
+		// Report module-relative paths so output is stable across checkouts.
+		rel := make([]lint.Diagnostic, len(diags))
+		for i, d := range diags {
+			d.File = relPath(root, d.File)
+			rel[i] = d
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Count       int               `json:"count"`
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		}{len(rel), rel}); err != nil {
+			fmt.Fprintf(stderr, "srdalint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", relPath(root, d.File), d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest directory holding
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// filterPatterns keeps the diagnostics selected by the ./-style package
+// patterns; no patterns (or "./...") selects everything.
+func filterPatterns(mod *lint.Module, diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	type rule struct {
+		prefix  string
+		subtree bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		if p == "..." || p == "" {
+			return diags
+		}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			rules = append(rules, rule{prefix: rest, subtree: true})
+		} else {
+			rules = append(rules, rule{prefix: p})
+		}
+	}
+	keep := diags[:0]
+	for _, d := range diags {
+		rel := filepath.ToSlash(relPath(mod.Root, d.File))
+		dir := ""
+		if i := strings.LastIndex(rel, "/"); i >= 0 {
+			dir = rel[:i]
+		}
+		for _, r := range rules {
+			if dir == r.prefix || (r.subtree && strings.HasPrefix(dir, r.prefix+"/")) {
+				keep = append(keep, d)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+func relPath(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return file
+}

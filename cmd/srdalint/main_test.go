@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"srda/internal/lint"
+)
+
+// writeModule materializes a throwaway module for the driver to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const violatingLib = `package lib
+
+func Same(a, b float64) bool {
+	return a == b
+}
+`
+
+const cleanLib = `package lib
+
+func Twice(a float64) float64 { return 2 * a }
+`
+
+func TestRunFindingsExitOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module vmod\n\ngo 1.22\n",
+		"lib/lib.go": violatingLib,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, expected 1; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "lib/lib.go:4:") || !strings.Contains(got, "(floatcmp)") {
+		t.Errorf("finding not reported as file:line (analyzer):\n%s", got)
+	}
+}
+
+func TestRunCleanExitZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module vmod\n\ngo 1.22\n",
+		"lib/lib.go": cleanLib,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, expected 0; output: %s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module vmod\n\ngo 1.22\n",
+		"lib/lib.go": violatingLib,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "-json"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, expected 1; stderr: %s", code, errb.String())
+	}
+	var report struct {
+		Count       int               `json:"count"`
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Count != 1 || len(report.Diagnostics) != 1 {
+		t.Fatalf("count = %d, len = %d, expected 1 finding", report.Count, len(report.Diagnostics))
+	}
+	d := report.Diagnostics[0]
+	if d.Analyzer != "floatcmp" || filepath.ToSlash(d.File) != "lib/lib.go" || d.Line != 4 {
+		t.Errorf("diagnostic = %+v, expected floatcmp at lib/lib.go:4", d)
+	}
+}
+
+func TestRunPatternFilter(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       "module vmod\n\ngo 1.22\n",
+		"lib/lib.go":   violatingLib,
+		"other/oth.go": "package oth\n\nfunc Ok() {}\n",
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "./other"}, &out, &errb); code != 0 {
+		t.Errorf("pattern excluding the violation: exit = %d, expected 0\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-C", dir, "./lib/..."}, &out, &errb); code != 1 {
+		t.Errorf("pattern covering the violation: exit = %d, expected 1", code)
+	}
+}
+
+func TestRunSuppressedViolationExitZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vmod\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+func Guard(a float64) bool {
+	return a == 0 //srdalint:ignore floatcmp exact-zero guard exercised by the driver test
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, expected 0; output: %s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunListAndUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, expected 0", code)
+	}
+	for _, a := range lint.Analyzers {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, expected 2", code)
+	}
+}
+
+func TestRunLoadErrorExitTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module vmod\n\ngo 1.22\n",
+		"lib/lib.go": "package lib\n\nfunc Broken( {}\n",
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, expected 2 on a parse error", code)
+	}
+	if !strings.Contains(errb.String(), "srdalint:") {
+		t.Errorf("load error not reported on stderr: %s", errb.String())
+	}
+}

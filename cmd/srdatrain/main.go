@@ -169,7 +169,7 @@ func loadFile(path string, features int) (*srda.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
 	return srda.ReadLibSVM(f, features)
 }
 
@@ -182,7 +182,7 @@ func trainOutOfCore(train *srda.Dataset, opt srda.Options) (*srda.Model, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	path := dir + "/train.csr"
 	if err := train.Sparse.WriteFile(path); err != nil {
 		return nil, err
@@ -191,7 +191,7 @@ func trainOutOfCore(train *srda.Dataset, opt srda.Options) (*srda.Model, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // read-only; nothing to flush
 	model, err := srda.FitDiskCSR(d, train.Labels, train.NumClasses, opt)
 	if err != nil {
 		return nil, err

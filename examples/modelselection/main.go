@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	path := filepath.Join(dir, "best.srda")
 	if err := srda.SaveModelFile(model, path); err != nil {
 		log.Fatal(err)

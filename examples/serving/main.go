@@ -35,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	modelPath := filepath.Join(dir, "news.srda")
 	if err := srda.SaveModelFile(model, modelPath); err != nil {
 		log.Fatal(err)
@@ -113,7 +113,7 @@ func main() {
 	// 5. Graceful shutdown: stop accepting, drain in-flight work.
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
-	hs.Shutdown(sctx)
+	_ = hs.Shutdown(sctx) // best effort: srv.Close below reports drain failures
 	if err := srv.Close(sctx); err != nil {
 		log.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("blas: vector length mismatch in Axpy")
 	}
-	if alpha == 0 {
+	if alpha == 0 { //srdalint:ignore floatcmp exact zero alpha is the documented no-op fast path
 		return
 	}
 	i := 0
@@ -68,7 +68,7 @@ func Nrm2(x []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
 	for _, v := range x {
-		if v == 0 {
+		if v == 0 { //srdalint:ignore floatcmp exact zero skip keeps the scaled-ssq update well-defined
 			continue
 		}
 		a := math.Abs(v)
@@ -81,7 +81,7 @@ func Nrm2(x []float64) float64 {
 			ssq += r * r
 		}
 	}
-	if scale == 0 {
+	if scale == 0 { //srdalint:ignore floatcmp an all-zero vector has exact norm 0
 		return 0
 	}
 	return scale * math.Sqrt(ssq)
@@ -128,7 +128,7 @@ func Gemv(m, n int, alpha float64, a []float64, lda int, x []float64, beta float
 	for i := 0; i < m; i++ {
 		row := a[i*lda : i*lda+n]
 		s := Dot(row, x[:n])
-		if beta == 0 {
+		if beta == 0 { //srdalint:ignore floatcmp BLAS beta==0 means overwrite, not scale; bit-exact by contract
 			y[i] = alpha * s
 		} else {
 			y[i] = alpha*s + beta*y[i]
@@ -146,11 +146,11 @@ func GemvT(m, n int, alpha float64, a []float64, lda int, x []float64, beta floa
 	if lda < n {
 		panic("blas: lda < n in GemvT")
 	}
-	if beta == 0 {
+	if beta == 0 { //srdalint:ignore floatcmp BLAS beta==0 means overwrite, not scale; bit-exact by contract
 		for j := 0; j < n; j++ {
 			y[j] = 0
 		}
-	} else if beta != 1 {
+	} else if beta != 1 { //srdalint:ignore floatcmp exact beta==1 skips the scaling pass bit-exactly
 		Scal(beta, y[:n])
 	}
 	for i := 0; i < m; i++ {
@@ -181,19 +181,19 @@ func Gemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int
 	if lda < k || ldb < n || ldc < n {
 		panic("blas: bad leading dimension in Gemm")
 	}
-	if beta == 0 {
+	if beta == 0 { //srdalint:ignore floatcmp BLAS beta==0 means overwrite, not scale; bit-exact by contract
 		for i := 0; i < m; i++ {
 			row := c[i*ldc : i*ldc+n]
 			for j := range row {
 				row[j] = 0
 			}
 		}
-	} else if beta != 1 {
+	} else if beta != 1 { //srdalint:ignore floatcmp exact beta==1 skips the scaling pass bit-exactly
 		for i := 0; i < m; i++ {
 			Scal(beta, c[i*ldc:i*ldc+n])
 		}
 	}
-	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+	if alpha == 0 || m == 0 || n == 0 || k == 0 { //srdalint:ignore floatcmp exact zero alpha is the documented no-op fast path
 		return
 	}
 	for ii := 0; ii < m; ii += gemmBlock {
@@ -207,7 +207,7 @@ func Gemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int
 					arow := a[i*lda:]
 					for p := kk; p < kMax; p++ {
 						av := alpha * arow[p]
-						if av == 0 {
+						if av == 0 { //srdalint:ignore floatcmp exact-zero axpy skip; sequential and Par twins share this guard
 							continue
 						}
 						Axpy(av, b[p*ldb+jj:p*ldb+jMax], crow)
@@ -225,19 +225,19 @@ func GemmTA(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 	if lda < m || ldb < n || ldc < n {
 		panic("blas: bad leading dimension in GemmTA")
 	}
-	if beta == 0 {
+	if beta == 0 { //srdalint:ignore floatcmp BLAS beta==0 means overwrite, not scale; bit-exact by contract
 		for i := 0; i < m; i++ {
 			row := c[i*ldc : i*ldc+n]
 			for j := range row {
 				row[j] = 0
 			}
 		}
-	} else if beta != 1 {
+	} else if beta != 1 { //srdalint:ignore floatcmp exact beta==1 skips the scaling pass bit-exactly
 		for i := 0; i < m; i++ {
 			Scal(beta, c[i*ldc:i*ldc+n])
 		}
 	}
-	if alpha == 0 {
+	if alpha == 0 { //srdalint:ignore floatcmp exact zero alpha is the documented no-op fast path
 		return
 	}
 	// C[i][j] += alpha * sum_p A[p][i]*B[p][j]: iterate p outermost so both
@@ -254,7 +254,7 @@ func GemmTA(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 					brow := b[p*ldb+jj : p*ldb+jMax]
 					for i := ii; i < iMax; i++ {
 						av := alpha * arow[i]
-						if av == 0 {
+						if av == 0 { //srdalint:ignore floatcmp exact-zero axpy skip; sequential and Par twins share this guard
 							continue
 						}
 						Axpy(av, brow, c[i*ldc+jj:i*ldc+jMax])
@@ -283,7 +283,7 @@ func GemmTB(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 			s0, s1, s2, s3 := dot4(arow,
 				b[j*ldb:j*ldb+k], b[(j+1)*ldb:(j+1)*ldb+k],
 				b[(j+2)*ldb:(j+2)*ldb+k], b[(j+3)*ldb:(j+3)*ldb+k])
-			if beta == 0 {
+			if beta == 0 { //srdalint:ignore floatcmp BLAS beta==0 means overwrite, not scale; bit-exact by contract
 				crow[j] = alpha * s0
 				crow[j+1] = alpha * s1
 				crow[j+2] = alpha * s2
@@ -297,7 +297,7 @@ func GemmTB(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 		}
 		for ; j < n; j++ {
 			s := Dot(arow, b[j*ldb:j*ldb+k])
-			if beta == 0 {
+			if beta == 0 { //srdalint:ignore floatcmp BLAS beta==0 means overwrite, not scale; bit-exact by contract
 				crow[j] = alpha * s
 			} else {
 				crow[j] = alpha*s + beta*crow[j]

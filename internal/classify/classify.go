@@ -34,7 +34,7 @@ func FitNearestCentroid(emb *mat.Dense, labels []int, numClasses int) (*NearestC
 		blas.Axpy(1, emb.RowView(i), cent.RowView(y))
 	}
 	for k := 0; k < numClasses; k++ {
-		if counts[k] == 0 {
+		if counts[k] == 0 { //srdalint:ignore floatcmp counts hold exact integer increments; zero means an empty class
 			return nil, fmt.Errorf("classify: class %d has no samples", k)
 		}
 		blas.Scal(1/counts[k], cent.RowView(k))

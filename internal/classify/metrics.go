@@ -192,7 +192,7 @@ func MCC(pred, truth []int, numClasses int) (float64, error) {
 	sumTP = traceC
 	num := sumTP*n - dotRC
 	den := math.Sqrt(n*n-rr) * math.Sqrt(n*n-cc)
-	if den == 0 {
+	if den == 0 { //srdalint:ignore floatcmp exact zero denominator is the degenerate MCC case
 		return 0, nil
 	}
 	return num / den, nil

@@ -136,7 +136,7 @@ func kmeansOnce(x *mat.Dense, k, maxIter int, rng *rand.Rand) *KMeansResult {
 			blas.Axpy(1, x.RowView(i), centers.RowView(assign[i]))
 		}
 		for c := 0; c < k; c++ {
-			if counts[c] == 0 {
+			if counts[c] == 0 { //srdalint:ignore floatcmp counts hold exact integer increments; zero means an empty cluster
 				far, farD := 0, -1.0
 				for i := 0; i < m; i++ {
 					if dd := sqDist(x.RowView(i), centers.RowView(assign[i])); dd > farD {

@@ -113,7 +113,7 @@ func ResponsesFromCounts(counts []int) (*ResponseTable, error) {
 		for pass := 0; pass < 2; pass++ {
 			for _, q := range cols {
 				d := dotW(q, u)
-				if d == 0 {
+				if d == 0 { //srdalint:ignore floatcmp exact zero projection contributes nothing; skip is bit-exact
 					continue
 				}
 				for k := 0; k < c; k++ {
@@ -122,7 +122,7 @@ func ResponsesFromCounts(counts []int) (*ResponseTable, error) {
 			}
 		}
 		nrm := math.Sqrt(dotW(u, u))
-		if orig == 0 || nrm <= 1e-10*orig {
+		if orig == 0 || nrm <= 1e-10*orig { //srdalint:ignore floatcmp exact zero norm marks the dependent indicator column
 			continue // dependent (exactly one indicator is, given 1)
 		}
 		inv := 1 / nrm

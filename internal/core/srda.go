@@ -119,7 +119,7 @@ func (m *Model) SetCentroids(emb *mat.Dense, labels []int) error {
 		}
 	}
 	for k := 0; k < m.NumClasses; k++ {
-		if counts[k] == 0 {
+		if counts[k] == 0 { //srdalint:ignore floatcmp counts hold exact integer increments; zero means an empty class
 			return fmt.Errorf("core: class %d has no samples", k)
 		}
 		crow := cent.RowView(k)
@@ -436,8 +436,9 @@ func (m *Model) SaveFile(path string) error {
 	}
 	tmpPath := tmp.Name()
 	cleanup := func() {
-		tmp.Close()
-		os.Remove(tmpPath)
+		// Failure path: the write error is the one to report.
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
 	}
 	if err := m.Save(tmp); err != nil {
 		cleanup()
@@ -448,11 +449,11 @@ func (m *Model) SaveFile(path string) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		_ = os.Remove(tmpPath) // failure path: the close error is the one to report
 		return err
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
-		os.Remove(tmpPath)
+		_ = os.Remove(tmpPath) // failure path: the rename error is the one to report
 		return err
 	}
 	return nil
@@ -464,7 +465,7 @@ func LoadFile(path string) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
 	return Load(f)
 }
 

@@ -74,7 +74,7 @@ func WhiteningTransform(emb *mat.Dense, labels []int, numClasses int) (*mat.Dens
 		}
 	}
 	for k := 0; k < c; k++ {
-		if counts[k] == 0 {
+		if counts[k] == 0 { //srdalint:ignore floatcmp counts hold exact integer increments; zero means an empty class
 			return nil, fmt.Errorf("core: class %d has no samples", k)
 		}
 		mrow := means.RowView(k)
@@ -92,7 +92,7 @@ func WhiteningTransform(emb *mat.Dense, labels []int, numClasses int) (*mat.Dens
 			diff[j] = row[j] - mrow[j]
 		}
 		for a := 0; a < d; a++ {
-			if diff[a] == 0 {
+			if diff[a] == 0 { //srdalint:ignore floatcmp exact zero class-mean difference adds nothing to scatter
 				continue
 			}
 			swr := sw.RowView(a)
@@ -109,7 +109,7 @@ func WhiteningTransform(emb *mat.Dense, labels []int, numClasses int) (*mat.Dens
 	for j := 0; j < d; j++ {
 		trace += sw.At(j, j)
 	}
-	if trace == 0 {
+	if trace == 0 { //srdalint:ignore floatcmp exact zero trace is the collapsed-embedding degenerate case
 		// Exact collapse: embedding already separates classes perfectly on
 		// the training data; any whitening is a no-op for classification.
 		return nil, nil

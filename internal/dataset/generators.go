@@ -34,10 +34,10 @@ func (c PIEConfig) withDefaults() PIEConfig {
 	if c.PoseDim == 0 {
 		c.PoseDim = 12
 	}
-	if c.PoseScale == 0 {
+	if c.PoseScale == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.PoseScale = 0.35
 	}
-	if c.Noise == 0 {
+	if c.Noise == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.Noise = 0.08
 	}
 	return c
@@ -125,10 +125,10 @@ func (c IsoletConfig) withDefaults() IsoletConfig {
 	if c.SpeakerDim == 0 {
 		c.SpeakerDim = 10
 	}
-	if c.SpeakerScale == 0 {
+	if c.SpeakerScale == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.SpeakerScale = 0.3
 	}
-	if c.Noise == 0 {
+	if c.Noise == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.Noise = 0.05
 	}
 	return c
@@ -219,13 +219,13 @@ func (c MNISTConfig) withDefaults() MNISTConfig {
 	if c.DeformDim == 0 {
 		c.DeformDim = 8
 	}
-	if c.DeformScale == 0 {
+	if c.DeformScale == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.DeformScale = 0.9
 	}
-	if c.Noise == 0 {
+	if c.Noise == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.Noise = 0.3
 	}
-	if c.ProtoMix == 0 {
+	if c.ProtoMix == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.ProtoMix = 0.65
 	}
 	return c
@@ -320,7 +320,7 @@ func (c NewsConfig) withDefaults() NewsConfig {
 	if c.TopicWords == 0 {
 		c.TopicWords = c.Vocab / 10
 	}
-	if c.TopicBoost == 0 {
+	if c.TopicBoost == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this config field
 		c.TopicBoost = 10
 	}
 	return c

@@ -30,7 +30,7 @@ func (d *Dataset) WriteLibSVM(w io.Writer) error {
 		} else {
 			row := d.Dense.RowView(i)
 			for j, v := range row {
-				if v == 0 {
+				if v == 0 { //srdalint:ignore floatcmp exact zeros are the entries the sparse encoding omits
 					continue
 				}
 				if _, err := fmt.Fprintf(bw, " %d:%.9g", j+1, v); err != nil {

@@ -135,7 +135,7 @@ func (c *Cholesky) Update(v []float64) {
 	w := append([]float64(nil), v...)
 	for k := 0; k < n; k++ {
 		rk := c.R.RowView(k)
-		if w[k] == 0 {
+		if w[k] == 0 { //srdalint:ignore floatcmp exact zero weight contributes nothing to the update
 			continue
 		}
 		r := math.Hypot(rk[k], w[k])

@@ -63,7 +63,7 @@ func (p *PCA) Dim() int { return p.Components.Cols }
 // ExplainedRatio returns the fraction of total variance the retained
 // components carry.
 func (p *PCA) ExplainedRatio() float64 {
-	if p.TotalVariance == 0 {
+	if p.TotalVariance == 0 { //srdalint:ignore floatcmp exact zero total variance is the degenerate empty fit
 		return 0
 	}
 	var s float64

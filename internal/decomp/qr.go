@@ -30,7 +30,7 @@ func NewQR(a *mat.Dense) *QR {
 			v := f.qr.At(i, k)
 			colNorm = math.Hypot(colNorm, v)
 		}
-		if colNorm == 0 {
+		if colNorm == 0 { //srdalint:ignore floatcmp an exactly zero column norm has no reflector
 			f.tau[k] = 0
 			continue
 		}
@@ -101,7 +101,7 @@ func (f *QR) ThinQ() *mat.Dense {
 // where B has f.m rows.
 func (f *QR) applyReflector(j int, b *mat.Dense) {
 	tau := f.tau[j]
-	if tau == 0 {
+	if tau == 0 { //srdalint:ignore floatcmp tau is set to exactly 0 for skipped reflectors
 		return
 	}
 	w := make([]float64, b.Cols)
@@ -150,7 +150,7 @@ func (f *QR) SolveLS(b *mat.Dense) (*mat.Dense, error) {
 				s -= ri[k] * x.At(k, j)
 			}
 			d := ri[i]
-			if d == 0 {
+			if d == 0 { //srdalint:ignore floatcmp exact zero pivot marks structural rank deficiency
 				return nil, errors.New("decomp: rank-deficient matrix in SolveLS")
 			}
 			x.Set(i, j, s/d)
@@ -178,7 +178,7 @@ func GramSchmidt(a *mat.Dense, tol float64) int {
 				for i := 0; i < m; i++ {
 					dot += a.At(i, k) * col[i]
 				}
-				if dot == 0 {
+				if dot == 0 { //srdalint:ignore floatcmp exact zero dot contributes nothing to reorthogonalization
 					continue
 				}
 				for i := 0; i < m; i++ {
@@ -187,7 +187,7 @@ func GramSchmidt(a *mat.Dense, tol float64) int {
 			}
 		}
 		nrm := blas.Nrm2(col)
-		if orig == 0 || nrm <= tol*orig {
+		if orig == 0 || nrm <= tol*orig { //srdalint:ignore floatcmp exact zero original norm marks the dependent column
 			for i := 0; i < m; i++ {
 				col[i] = 0
 			}

@@ -160,7 +160,7 @@ func NormalizeColumns(a *mat.Dense) {
 	for j := 0; j < a.Cols; j++ {
 		a.ColCopy(j, col)
 		nrm := blas.Nrm2(col)
-		if nrm == 0 {
+		if nrm == 0 { //srdalint:ignore floatcmp exact zero column norm marks a null singular direction
 			continue
 		}
 		blas.Scal(1/nrm, col)

@@ -77,7 +77,7 @@ func tred2(v *mat.Dense, d, e []float64) {
 		for k := 0; k < i; k++ {
 			scale += math.Abs(d[k])
 		}
-		if scale == 0 {
+		if scale == 0 { //srdalint:ignore floatcmp exact zero scale means the row is already zero
 			e[i] = d[i-1]
 			for j := 0; j < i; j++ {
 				d[j] = v.At(i-1, j)
@@ -137,7 +137,7 @@ func tred2(v *mat.Dense, d, e []float64) {
 		v.Set(n-1, i, v.At(i, i))
 		v.Set(i, i, 1)
 		h := d[i+1]
-		if h != 0 {
+		if h != 0 { //srdalint:ignore floatcmp h is exactly zero only for deflated rotations
 			for k := 0; k <= i; k++ {
 				d[k] = v.At(k, i+1) / h
 			}

@@ -120,7 +120,7 @@ func (g *Grid) RenderFigure(times bool) string {
 	if math.IsInf(lo, 1) {
 		return "(no feasible data)\n"
 	}
-	if hi == lo {
+	if hi == lo { //srdalint:ignore floatcmp exactly equal axis bounds must be widened to render
 		hi = lo + 1
 	}
 	width := len(g.RowLabels)
@@ -187,7 +187,7 @@ func (s *Sweep) RenderSweep() string {
 	}
 	lo = math.Min(lo, s.IDRQRErr)
 	hi = math.Max(hi, s.IDRQRErr)
-	if hi == lo {
+	if hi == lo { //srdalint:ignore floatcmp exactly equal axis bounds must be widened to render
 		hi = lo + 1
 	}
 	width := len(s.Points)

@@ -76,13 +76,13 @@ func (r Runner) Defaults() Runner {
 	if r.Splits == 0 {
 		r.Splits = 20
 	}
-	if r.Alpha == 0 {
+	if r.Alpha == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this option
 		r.Alpha = 1
 	}
 	if r.LSQRIter == 0 {
 		r.LSQRIter = 15
 	}
-	if r.MemoryLimitBytes == 0 {
+	if r.MemoryLimitBytes == 0 { //srdalint:ignore floatcmp zero is the documented unset sentinel for this option
 		r.MemoryLimitBytes = 2 << 30
 	}
 	return r

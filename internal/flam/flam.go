@@ -107,7 +107,7 @@ func IDRQR(p Problem) Count {
 // ≈ 9 at m = n >> c).
 func Speedup(p Problem) float64 {
 	s := SRDANormal(p).Flam
-	if s == 0 {
+	if s == 0 { //srdalint:ignore floatcmp exact zero flam count is the degenerate empty problem
 		return 0
 	}
 	return LDA(p).Flam / s

@@ -173,7 +173,7 @@ func KNN(x *mat.Dense, opt KNNOptions) *Graph {
 	sigma := opt.Sigma
 	if sigma <= 0 {
 		sigma = sumD / float64(cntD)
-		if sigma == 0 {
+		if sigma == 0 { //srdalint:ignore floatcmp exact zero mean distance degenerates sigma; fall back to 1
 			sigma = 1
 		}
 	}
@@ -184,7 +184,7 @@ func KNN(x *mat.Dense, opt KNNOptions) *Graph {
 			return 1
 		case Cosine:
 			ni, nj := math.Sqrt(norms[i]), math.Sqrt(norms[j])
-			if ni == 0 || nj == 0 {
+			if ni == 0 || nj == 0 { //srdalint:ignore floatcmp exact zero norm is an all-zero row; cosine is undefined
 				return 0
 			}
 			cos := blas.Dot(x.RowView(i), x.RowView(j)) / (ni * nj)

@@ -133,7 +133,7 @@ func autoGamma(x *mat.Dense) float64 {
 		sum += d2
 		cnt++
 	}
-	if cnt == 0 || sum == 0 {
+	if cnt == 0 || sum == 0 { //srdalint:ignore floatcmp exact zero distance sum degenerates the bandwidth heuristic
 		return 1
 	}
 	return float64(cnt) / sum
@@ -226,7 +226,7 @@ func (m *Model) TransformVec(x []float64, dst []float64) []float64 {
 	mean /= float64(mm)
 	for i := 0; i < mm; i++ {
 		kc := kvals[i] - mean - m.rowMean[i] + m.grandMean
-		if kc == 0 {
+		if kc == 0 { //srdalint:ignore floatcmp exact zero centered value contributes nothing
 			continue
 		}
 		blas.Axpy(kc, m.Beta.RowView(i), dst)

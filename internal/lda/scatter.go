@@ -58,7 +58,7 @@ func Scatters(x *mat.Dense, labels []int, numClasses int) (sb, sw, st *mat.Dense
 func FisherRatio(sb, st *mat.Dense, a []float64) float64 {
 	num := blas.Dot(a, sb.MulVec(a, nil))
 	den := blas.Dot(a, st.MulVec(a, nil))
-	if den == 0 {
+	if den == 0 { //srdalint:ignore floatcmp exact zero denominator is the degenerate ratio case
 		return 0
 	}
 	return num / den

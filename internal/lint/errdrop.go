@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements (including deferred calls) whose returned
+// error is silently discarded.  A swallowed error in the training or
+// serving path turns an I/O failure into a silently wrong model.  Where
+// dropping really is the right call — best-effort cleanup on an already-
+// failing path — write `_ = f()` so the decision is visible in the diff.
+//
+// Allowlisted as never worth checking: the fmt print family (stdout is
+// best-effort everywhere in this repo) and writes to strings.Builder /
+// bytes.Buffer, which are documented never to fail.  Test files are not
+// checked.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no silently discarded error returns; use an explicit `_ =` where intentional",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	info := pass.Pkg.Info
+	check := func(call *ast.CallExpr, deferred bool) {
+		if tv, ok := info.Types[call.Fun]; !ok || tv.IsType() {
+			return // conversion, or something go/types gave up on
+		}
+		sig, ok := info.Types[call.Fun].Type.Underlying().(*types.Signature)
+		if !ok {
+			return // builtin
+		}
+		if !returnsError(sig) || errDropAllowed(info, call) {
+			return
+		}
+		kind := "call"
+		if deferred {
+			kind = "deferred call"
+		}
+		pass.Reportf(call.Pos(), "%s discards its error result; handle it or make the drop explicit with `_ =`", kind)
+	}
+	pass.inspectFiles(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				check(call, false)
+			}
+		case *ast.DeferStmt:
+			check(s.Call, true)
+		}
+		return true
+	})
+}
+
+// returnsError reports whether any result of sig is the error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errDropAllowed reports whether the callee is on the never-check
+// allowlist: fmt's print family, or methods of strings.Builder and
+// bytes.Buffer whose errors are documented to be always nil.
+func errDropAllowed(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != comparisons with floating-point operands.
+// After any arithmetic, exact float equality is almost never the intended
+// predicate — and in this codebase a drifting comparison silently changes
+// which fast path a kernel takes, breaking bitwise equivalence between
+// sequential and parallel twins.  The legitimate exceptions are exact
+// sparsity/fast-path guards (v == 0, beta == 1) whose bit-exactness is
+// part of the kernel contract; those must carry
+// //srdalint:ignore floatcmp <reason> so each one is a reviewed decision.
+// Test files are not checked.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= on floating-point operands outside annotated exact guards",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	pass.inspectFiles(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(be.X) || isFloat(be.Y) {
+			pass.Reportf(be.OpPos, "%s compares floating-point values exactly; use a tolerance, or annotate an exact guard with //srdalint:ignore floatcmp <reason>", be.Op)
+		}
+		return true
+	})
+}

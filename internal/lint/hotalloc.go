@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc bans allocation in the innermost loops of the kernel packages
+// (internal/blas, internal/mat, internal/sparse).  The linear-time claim
+// is an O(nnz)/O(mn) *arithmetic* bound; a make, append, new, composite
+// literal, or fmt call inside the innermost loop turns it into an
+// allocation bound and hands the hot path to the garbage collector.
+// Buffers must be hoisted to the kernel prologue or passed in by the
+// caller, which is how every existing kernel is written.
+//
+// "Innermost" means a for/range statement whose body contains no other
+// loop (closures are walked too: a loop inside a func literal is a loop).
+// Allocations in outer loops — per-shard scratch in a pool.Do callback,
+// say — are fine.  Deliberate exceptions (amortized builder appends, cold
+// String methods) carry //srdalint:ignore hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make/append/new/composite-literal/fmt allocations in innermost kernel loops",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if !isKernelPkg(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.inspectFiles(func(n ast.Node) bool {
+		body := loopBody(n)
+		if body == nil || containsLoop(body) {
+			return true
+		}
+		checkInnermost(pass, info, body)
+		return true
+	})
+}
+
+// loopBody returns the body of a for/range statement, or nil.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// containsLoop reports whether the block contains any nested loop.
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if loopBody(n) != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkInnermost reports every allocating construct inside the body of an
+// innermost loop.
+func checkInnermost(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "append", "new":
+						pass.Reportf(e.Pos(), "%s inside an innermost kernel loop allocates per iteration; hoist the buffer to the kernel prologue or take it from the caller", b.Name())
+					}
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					pass.Reportf(e.Pos(), "fmt.%s inside an innermost kernel loop allocates and formats per iteration; move it out of the hot path", fn.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			pass.Reportf(e.Pos(), "composite literal inside an innermost kernel loop allocates per iteration; hoist it out of the hot path")
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,188 @@
+// Package lint is srdalint: a from-scratch, stdlib-only static-analysis
+// suite (go/parser + go/ast + go/types + go/importer) that mechanically
+// enforces this repository's kernel determinism contract.
+//
+// The SRDA reproduction's claim to linear time only survives in practice
+// if the hot kernels stay allocation-disciplined, the parallel twins stay
+// bitwise-identical to their sequential versions, and every source of
+// nondeterminism (goroutines, clocks, unseeded randomness) is confined to
+// the few packages allowed to own it.  doc/PERFORMANCE.md states that
+// contract in prose; this package states it as seven analyzers that run
+// over the whole module on every `make check`:
+//
+//   - goroutine-discipline: no raw go statements outside internal/pool,
+//     internal/serve, and main packages — kernel fan-out goes through the
+//     shared pool so nesting can never deadlock and worker budgets hold.
+//   - floatcmp: no ==/!= with floating-point operands; exact-zero and
+//     exact-one guards that are part of a kernel's contract carry an
+//     explicit suppression with a reason.
+//   - seeded-rand: every math/rand source is built by
+//     rand.New(rand.NewSource(seed)) with the seed threaded from options
+//     or flags; the global generator is off-limits outside tests.
+//   - partwin: every exported Par* kernel in the kernel packages has a
+//     same-package sequential twin and a _test.go file pairing it with a
+//     math.Float64bits equivalence check.
+//   - hotalloc: no make/append/new/composite-literal or fmt allocations
+//     inside the innermost loops of kernel-package function bodies.
+//   - noclock: no wall-clock reads (time.Now and friends) inside numeric
+//     packages; timing belongs to the bench and experiment layers.
+//   - errdrop: no silently discarded error returns outside tests; an
+//     explicit `_ =` is required where dropping is intentional.
+//
+// Findings can be suppressed per line with
+//
+//	//srdalint:ignore <analyzer> <reason>
+//
+// either trailing the offending line or on its own line immediately
+// above.  The reason is mandatory; a malformed suppression is itself a
+// finding.  There is deliberately no -fix mode: every suppression is a
+// reviewed, explained decision in the diff.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one rule over one package at a time.
+type Analyzer struct {
+	// Name is the identifier used in output and suppression comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Module   *Module
+	Pkg      *Package
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, addressed by absolute file position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Analyzers is the full srdalint suite in reporting order.
+var Analyzers = []*Analyzer{
+	GoroutineDiscipline,
+	FloatCmp,
+	SeededRand,
+	PartWin,
+	HotAlloc,
+	NoClock,
+	ErrDrop,
+}
+
+// AnalyzerByName returns the analyzer with the given name, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the given analyzers over every package of mod, applies
+// //srdalint:ignore suppressions, and returns the surviving diagnostics
+// sorted by file, line, column, and analyzer.  Malformed suppression
+// comments are reported under the pseudo-analyzer "suppress".
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Module: mod, Pkg: pkg, analyzer: a, sink: &diags}
+			a.Run(pass)
+		}
+	}
+	sup, malformed := collectSuppressions(mod)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// ---- package-policy helpers shared by the analyzers ----
+
+// kernelDirs are the packages holding the hot numeric kernels whose
+// parallel twins and allocation discipline the contract is about.
+var kernelDirs = []string{"internal/blas", "internal/mat", "internal/sparse"}
+
+// numericDirs are all packages that compute on floats; wall-clock reads
+// are banned here so results never depend on timing.
+var numericDirs = []string{
+	"internal/blas", "internal/mat", "internal/sparse",
+	"internal/solver", "internal/decomp", "internal/regress",
+	"internal/lda", "internal/kernel", "internal/flam",
+	"internal/idrqr", "internal/graph", "internal/cluster",
+	"internal/core", "internal/classify",
+}
+
+// goroutineOwners are the only library packages allowed to start
+// goroutines directly: the worker pool itself and the serving layer that
+// owns the process's connection/dispatch lifecycle.
+var goroutineOwners = []string{"internal/pool", "internal/serve"}
+
+// underAny reports whether rel equals one of dirs or lies beneath one.
+func underAny(rel string, dirs []string) bool {
+	for _, d := range dirs {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isKernelPkg reports whether pkg is one of the kernel packages.
+func isKernelPkg(pkg *Package) bool { return underAny(pkg.RelDir, kernelDirs) }
+
+// isNumericPkg reports whether pkg computes on floats.
+func isNumericPkg(pkg *Package) bool { return underAny(pkg.RelDir, numericDirs) }
+
+// inspectFiles walks every non-test file of the pass's package.
+func (p *Pass) inspectFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

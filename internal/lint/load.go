@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module rooted at a single
+// directory.  The loader is deliberately stdlib-only (go/parser + go/types
+// + go/importer): the whole point of srdalint is that the determinism
+// contract is enforceable with nothing but the toolchain that builds the
+// repo.
+type Module struct {
+	// Root is the absolute directory holding go.mod (or the corpus root
+	// when a module path was supplied explicitly).
+	Root string
+	// Path is the module path ("srda" for this repo).
+	Path string
+	// Fset positions every file in every package.
+	Fset *token.FileSet
+	// Pkgs lists the packages in dependency (topological) order.
+	Pkgs []*Package
+	// Sources retains the raw lines of every parsed file, keyed by the
+	// absolute filename recorded in Fset.  Suppression comments and the
+	// corpus "// want" harness are resolved against these.
+	Sources map[string][]string
+}
+
+// Package is one directory's worth of Go code.  Only the non-test files
+// are type-checked; _test.go files (internal and external test packages
+// alike) are parsed for the analyzers that inspect test coverage but are
+// never fed to go/types, which keeps the loader simple and fast.
+type Package struct {
+	// Path is the module-qualified import path.
+	Path string
+	// RelDir is the directory relative to the module root, using forward
+	// slashes; "" for the root package.
+	RelDir string
+	// Name is the package clause name of the non-test files.
+	Name string
+	// Files are the parsed non-test files, in filename order.
+	Files []*ast.File
+	// TestFiles are the parsed _test.go files (not type-checked).
+	TestFiles []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+
+	dir     string   // absolute directory
+	imports []string // intra-module import paths
+}
+
+var moduleDirective = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// Load parses and type-checks every package under root.  modPath names the
+// module; when empty it is read from root/go.mod.  Directories named
+// testdata or vendor, and directories starting with "." or "_", are
+// skipped, matching the go tool's rules.
+func Load(root, modPath string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if modPath == "" {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+		}
+		m := moduleDirective.FindSubmatch(data)
+		if m == nil {
+			return nil, fmt.Errorf("lint: no module directive in %s/go.mod", abs)
+		}
+		modPath = string(m[1])
+	}
+	mod := &Module{
+		Root:    abs,
+		Path:    modPath,
+		Fset:    token.NewFileSet(),
+		Sources: make(map[string][]string),
+	}
+	if err := mod.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := mod.sortPackages(); err != nil {
+		return nil, err
+	}
+	if err := mod.typeCheck(); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// PackageAt returns the package whose RelDir equals rel, or nil.
+func (m *Module) PackageAt(rel string) *Package {
+	for _, p := range m.Pkgs {
+		if p.RelDir == rel {
+			return p
+		}
+	}
+	return nil
+}
+
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func (m *Module) parseTree() error {
+	return filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != m.Root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkg, err := m.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+		return nil
+	})
+}
+
+// parseDir parses one directory into a Package, or returns nil if it holds
+// no non-test Go files.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	pkg := &Package{RelDir: filepath.ToSlash(rel), dir: dir}
+	if pkg.RelDir == "" {
+		pkg.Path = m.Path
+	} else {
+		pkg.Path = m.Path + "/" + pkg.RelDir
+	}
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(m.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		m.Sources[full] = strings.Split(string(src), "\n")
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+			continue
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return nil, fmt.Errorf("lint: %s: mixed package names %s and %s", dir, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == m.Path || strings.HasPrefix(p, m.Path+"/") {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	for p := range importSet {
+		pkg.imports = append(pkg.imports, p)
+	}
+	sort.Strings(pkg.imports)
+	return pkg, nil
+}
+
+// sortPackages orders Pkgs so every package appears after its intra-module
+// imports, erroring on cycles.
+func (m *Module) sortPackages() error {
+	byPath := make(map[string]*Package, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		byPath[p.Path] = p
+	}
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[*Package]int)
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.Path)
+		}
+		state[p] = visiting
+		for _, dep := range p.imports {
+			if q, ok := byPath[dep]; ok {
+				if err := visit(q); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	// Iterate in the deterministic WalkDir order for stable output.
+	for _, p := range m.Pkgs {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	m.Pkgs = order
+	return nil
+}
+
+// chainImporter resolves intra-module imports to the packages this loader
+// already type-checked, and stdlib imports through the compiler's export
+// data, falling back to type-checking the standard library from source
+// when export data is unavailable (as on minimal CI toolchains).
+type chainImporter struct {
+	byPath map[string]*Package
+	fset   *token.FileSet
+	gc     types.Importer
+	src    types.Importer
+	cache  map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.byPath[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import of %s before it was checked", path)
+		}
+		return p.Types, nil
+	}
+	if tp, ok := c.cache[path]; ok {
+		return tp, nil
+	}
+	tp, err := c.gc.Import(path)
+	if err != nil {
+		if c.src == nil {
+			c.src = importer.ForCompiler(c.fset, "source", nil)
+		}
+		var srcErr error
+		if tp, srcErr = c.src.Import(path); srcErr != nil {
+			return nil, fmt.Errorf("lint: importing %s: %v (source fallback: %v)", path, err, srcErr)
+		}
+	}
+	c.cache[path] = tp
+	return tp, nil
+}
+
+func (m *Module) typeCheck() error {
+	byPath := make(map[string]*Package, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		byPath[p.Path] = p
+	}
+	imp := &chainImporter{
+		byPath: byPath,
+		fset:   m.Fset,
+		gc:     importer.Default(),
+		cache:  make(map[string]*types.Package),
+	}
+	for _, p := range m.Pkgs {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.Path, m.Fset, p.Files, info)
+		if err != nil {
+			return fmt.Errorf("lint: type-checking %s: %w", p.Path, err)
+		}
+		p.Types = tp
+		p.Info = info
+	}
+	return nil
+}

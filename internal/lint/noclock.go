@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoClock bans wall-clock reads in the numeric packages.  A kernel or
+// solver that consults time.Now — for an adaptive cutoff, a progress
+// heuristic, a "give up after N seconds" guard — produces results that
+// depend on machine load, which is exactly the nondeterminism the
+// equivalence suites cannot catch (both twins would wobble together).
+// Timing lives in the layers that report it: cmd/srdabench, the
+// experiment runner, the serving metrics.  Test files are not checked.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc:  "no time.Now/time.Since (or timers) inside numeric packages",
+	Run:  runNoClock,
+}
+
+// clockFuncs are the package time entry points that read or depend on the
+// wall clock or scheduler.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+func runNoClock(pass *Pass) {
+	if !isNumericPkg(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.inspectFiles(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "time.%s in numeric package %s makes results depend on wall-clock timing; measure in cmd/srdabench or the experiment layer instead", fn.Name(), pass.Pkg.Path)
+		return true
+	})
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// PartWin ("parallel twin") enforces the core of the determinism
+// contract: every exported Par* kernel in the kernel packages
+// (internal/blas, internal/mat, internal/sparse) must ship with
+//
+//  1. a same-package sequential twin — the function or method named by
+//     stripping the Par prefix — that defines the reference semantics, and
+//  2. a _test.go file in the package that exercises the Par kernel against
+//     math.Float64bits, i.e. a bitwise equivalence test, not an epsilon
+//     comparison.
+//
+// Bitwise (not approximate) equivalence is what lets callers flip worker
+// counts freely: doc/PERFORMANCE.md promises identical models at any
+// parallelism, and this analyzer is what keeps a new kernel from shipping
+// without that proof.
+var PartWin = &Analyzer{
+	Name: "partwin",
+	Doc:  "every exported Par* kernel needs a sequential twin and a Float64bits equivalence test",
+	Run:  runPartWin,
+}
+
+func runPartWin(pass *Pass) {
+	if !isKernelPkg(pass.Pkg) {
+		return
+	}
+	scope := pass.Pkg.Types.Scope()
+
+	// identsPerTestFile caches the identifier sets of the package's test
+	// files; a kernel is covered when one file mentions both the kernel
+	// and Float64bits.
+	var identsPerTestFile []map[string]bool
+	for _, f := range pass.Pkg.TestFiles {
+		ids := make(map[string]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				ids[id.Name] = true
+			}
+			return true
+		})
+		identsPerTestFile = append(identsPerTestFile, ids)
+	}
+	covered := func(name string) bool {
+		for _, ids := range identsPerTestFile {
+			if ids[name] && ids["Float64bits"] {
+				return true
+			}
+		}
+		return false
+	}
+
+	check := func(fn *types.Func, twinExists func(string) bool) {
+		name := fn.Name()
+		twin, ok := parTwinName(name)
+		if !ok {
+			return
+		}
+		if !twinExists(twin) {
+			pass.Reportf(fn.Pos(), "parallel kernel %s has no sequential twin %s in package %s; the twin defines the reference semantics the Par version must match bitwise", name, twin, pass.Pkg.Path)
+		}
+		if !covered(name) {
+			pass.Reportf(fn.Pos(), "parallel kernel %s has no Float64bits equivalence test in a %s _test.go file; add a workers×shapes table comparing it bitwise to %s", name, pass.Pkg.Name, twin)
+		}
+	}
+
+	for _, nm := range scope.Names() {
+		switch obj := scope.Lookup(nm).(type) {
+		case *types.Func:
+			check(obj, func(twin string) bool {
+				_, ok := scope.Lookup(twin).(*types.Func)
+				return ok
+			})
+		case *types.TypeName:
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			methods := make(map[string]bool, named.NumMethods())
+			for i := 0; i < named.NumMethods(); i++ {
+				methods[named.Method(i).Name()] = true
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				check(named.Method(i), func(twin string) bool { return methods[twin] })
+			}
+		}
+	}
+}
+
+// parTwinName returns the sequential-twin name for an exported Par*
+// kernel name, or ok=false when the name is not a Par kernel.
+func parTwinName(name string) (twin string, ok bool) {
+	if !strings.HasPrefix(name, "Par") || len(name) == len("Par") {
+		return "", false
+	}
+	rest := name[len("Par"):]
+	r, _ := utf8.DecodeRuneInString(rest)
+	if !unicode.IsUpper(r) {
+		return "", false // e.g. Parse, Partition
+	}
+	return rest, true
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestSelfLint is the repo's own gate: the full analyzer suite over the
+// whole module must come back clean.  Every intentional exception in the
+// tree carries a //srdalint:ignore with a reason, so any diagnostic here
+// is either a real regression or a new decision that needs annotating.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod, err := Load("../..", "")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if mod.Path != "srda" {
+		t.Fatalf("module path = %q, expected srda", mod.Path)
+	}
+	diags := Run(mod, Analyzers)
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s (%s)", relCorpus(mod, d.File), d.Line, d.Col, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("self-lint found %d findings; fix them or annotate with //srdalint:ignore <analyzer> <reason>", len(diags))
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoreMarker introduces a suppression comment:
+//
+//	//srdalint:ignore <analyzer> <reason...>
+//
+// A suppression trailing a line of code covers findings on that line; a
+// suppression on its own line covers the next line of code (runs of
+// stacked suppressions all cover the first code line below them).  The
+// reason is mandatory so every silenced finding explains itself in the
+// diff, and the analyzer name must be one of the suite's — both rules are
+// enforced by reporting malformed comments as "suppress" findings.
+const ignoreMarker = "//srdalint:ignore"
+
+// suppressionSet maps file -> line -> analyzer names suppressed there.
+type suppressionSet map[string]map[int]map[string]bool
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	lines, ok := s[d.File]
+	if !ok {
+		return false
+	}
+	return lines[d.Line][d.Analyzer]
+}
+
+func (s suppressionSet) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = make(map[int]map[string]bool)
+	}
+	if s[file][line] == nil {
+		s[file][line] = make(map[string]bool)
+	}
+	s[file][line][analyzer] = true
+}
+
+// ignoreComment is one well-formed or malformed suppression comment.
+type ignoreComment struct {
+	file       string
+	line, col  int
+	analyzer   string
+	err        string // non-empty when malformed
+	standalone bool   // nothing but the comment on its line
+}
+
+// collectSuppressions walks the parsed comments of every file (test files
+// included), returning the set of (file, line, analyzer) triples the
+// well-formed suppressions cover plus diagnostics for malformed ones.
+// Working from the ASTs rather than raw text means a marker inside a
+// string literal or quoted in documentation is never mistaken for a
+// suppression.
+func collectSuppressions(mod *Module) (suppressionSet, []Diagnostic) {
+	var comments []ignoreComment
+	// standaloneAt[file] records the lines occupied by standalone
+	// suppression comments, so stacked runs resolve below the whole run.
+	standaloneAt := make(map[string]map[int]bool)
+	for _, pkg := range mod.Pkgs {
+		files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+		files = append(files, pkg.Files...)
+		files = append(files, pkg.TestFiles...)
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignoreMarker) {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					ic := ignoreComment{file: pos.Filename, line: pos.Line, col: pos.Column}
+					if src := mod.Sources[pos.Filename]; pos.Line-1 < len(src) {
+						prefix := src[pos.Line-1][:pos.Column-1]
+						ic.standalone = strings.TrimSpace(prefix) == ""
+					}
+					fields := strings.Fields(c.Text[len(ignoreMarker):])
+					switch {
+					case len(fields) == 0:
+						ic.err = "srdalint:ignore needs an analyzer name and a reason"
+					case AnalyzerByName(fields[0]) == nil:
+						ic.err = "srdalint:ignore names unknown analyzer " + fields[0]
+					case len(fields) < 2:
+						ic.err = "srdalint:ignore " + fields[0] + " needs a reason"
+					default:
+						ic.analyzer = fields[0]
+					}
+					comments = append(comments, ic)
+					if ic.err == "" && ic.standalone {
+						if standaloneAt[ic.file] == nil {
+							standaloneAt[ic.file] = make(map[int]bool)
+						}
+						standaloneAt[ic.file][ic.line] = true
+					}
+				}
+			}
+		}
+	}
+	set := make(suppressionSet)
+	var malformed []Diagnostic
+	for _, ic := range comments {
+		if ic.err != "" {
+			malformed = append(malformed, Diagnostic{
+				Analyzer: "suppress", File: ic.file, Line: ic.line, Col: ic.col, Message: ic.err,
+			})
+			continue
+		}
+		eff := ic.line
+		if ic.standalone {
+			eff++
+			for standaloneAt[ic.file][eff] {
+				eff++
+			}
+		}
+		set.add(ic.file, eff, ic.analyzer)
+	}
+	return set, malformed
+}

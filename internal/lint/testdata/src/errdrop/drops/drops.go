@@ -1,0 +1,28 @@
+package drops
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Touch drops errors every way the analyzer distinguishes.
+func Touch(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Sync()        // want "call discards its error result"
+	defer f.Close() // want "deferred call discards its error result"
+
+	_ = f.Sync() // explicit drop: allowed
+
+	fmt.Println("ok") // fmt print family: allowlisted
+
+	var b strings.Builder
+	b.WriteString("fine") // strings.Builder writes never fail: allowlisted
+	_ = b.String()
+
+	n := len(path)
+	_ = float64(n) // conversion, not a call with an error result
+}

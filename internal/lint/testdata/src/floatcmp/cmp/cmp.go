@@ -1,0 +1,29 @@
+package cmp
+
+// Same compares floats exactly with no annotation.
+func Same(a, b float64) bool {
+	return a == b // want "compares floating-point values exactly"
+}
+
+// Guard mixes an annotated exact-zero fast path with an unannotated
+// inequality.
+func Guard(x float64) float64 {
+	if x == 0 { //srdalint:ignore floatcmp exact-zero fast path is part of the corpus contract
+		return 0
+	}
+	if x != 1 { // want "compares floating-point values exactly"
+		x *= 2
+	}
+	return x
+}
+
+//srdalint:ignore floatcmp a standalone suppression covers the next code line
+func Standalone(a float64) bool { return a == 2 }
+
+// Ints is a non-float comparison and must not be flagged.
+func Ints(a, b int) bool { return a == b }
+
+// Narrow covers the float32 operand path.
+func Narrow(a float32) bool {
+	return a == 0.5 // want "compares floating-point values exactly"
+}

@@ -1,0 +1,9 @@
+// Command tool shows that main packages own their process lifecycle and
+// may start goroutines directly.
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+}

@@ -1,0 +1,16 @@
+package pool
+
+// Do is the corpus stand-in for the real worker pool: this package is the
+// one place library goroutines are allowed to start.
+func Do(n int, fn func(int)) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,16 @@
+package work
+
+// Fan spawns raw goroutines in a library package, bypassing the pool's
+// deadlock-free handoff and worker budget.
+func Fan(n int, fn func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) { // want "raw go statement in library package"
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,54 @@
+package mat
+
+import "fmt"
+
+// Grow reallocates inside its innermost loop.
+func Grow(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // want "append inside an innermost kernel loop"
+	}
+	return out
+}
+
+// Scratch allocates per outer-loop iteration only, which is allowed:
+// that is the per-shard scratch pattern of a pool.Do callback.
+func Scratch(rows, cols int, dst []float64) {
+	for i := 0; i < rows; i++ {
+		buf := make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			buf[j] = float64(i * j)
+		}
+		dst[i] = buf[0]
+	}
+}
+
+// Render formats inside the hot loop.
+func Render(xs []float64) string {
+	s := ""
+	for _, x := range xs {
+		s += fmt.Sprintf("%g ", x) // want "fmt.Sprintf inside an innermost kernel loop"
+	}
+	return s
+}
+
+// Pairs both appends and builds a composite literal per iteration.
+func Pairs(n int) [][2]float64 {
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, [2]float64{float64(i), 0}) // want "append inside an innermost kernel loop" "composite literal inside an innermost kernel loop"
+	}
+	return out
+}
+
+// Fresh allocates with make and new inside the innermost loop.
+func Fresh(n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 4) // want "make inside an innermost kernel loop"
+		p := new(float64)         // want "new inside an innermost kernel loop"
+		buf[0] = float64(i)
+		s += buf[0] + *p
+	}
+	return s
+}

@@ -1,0 +1,7 @@
+package bench
+
+import "time"
+
+// Stamp is allowed: timing lives in the layers that report it, outside
+// the numeric packages.
+func Stamp() time.Time { return time.Now() }

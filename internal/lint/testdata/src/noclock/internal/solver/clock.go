@@ -1,0 +1,14 @@
+package solver
+
+import "time"
+
+// Budget cuts off iteration on wall-clock time — exactly the
+// load-dependent behavior the contract bans from numeric packages.
+func Budget(limit time.Duration) int {
+	start := time.Now() // want "time.Now in numeric package"
+	n := 0
+	for time.Since(start) < limit { // want "time.Since in numeric package"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package blas
+
+// ParFoo has neither a sequential twin nor an equivalence test.
+func ParFoo(x []float64) { // want "has no sequential twin Foo" "has no Float64bits equivalence test"
+	for i := range x {
+		x[i] *= 2
+	}
+}
+
+// ParBar has a twin but no bitwise test pairing it with Float64bits.
+func ParBar(x []float64) { // want "has no Float64bits equivalence test"
+	Bar(x)
+}
+
+// Bar is ParBar's sequential twin.
+func Bar(x []float64) {
+	for i := range x {
+		x[i]++
+	}
+}
+
+// ParOk is fully covered: twin below, bitwise test in kern_test.go.
+func ParOk(x []float64) { Ok(x) }
+
+// Ok is ParOk's sequential twin.
+func Ok(x []float64) {
+	for i := range x {
+		x[i]--
+	}
+}
+
+// Parse is not a parallel kernel despite the prefix; the next rune after
+// "Par" is lowercase.
+func Parse(s string) int { return len(s) }
+
+// Vec exercises the method path of the analyzer.
+type Vec []float64
+
+// Scale is ParScale's sequential twin.
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// ParScale is covered by kern_test.go.
+func (v Vec) ParScale(a float64) { v.Scale(a) }
+
+// ParShift has neither twin method nor test.
+func (v Vec) ParShift(b float64) { // want "has no sequential twin Shift" "has no Float64bits equivalence test"
+	for i := range v {
+		v[i] += b
+	}
+}

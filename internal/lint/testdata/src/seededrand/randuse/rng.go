@@ -1,0 +1,19 @@
+package randuse
+
+import "math/rand"
+
+// Shuffle contrasts a properly seeded source with global-stream calls.
+func Shuffle(seed int64, xs []int) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand call rand.Shuffle"
+	_ = rand.Intn(3)                                                      // want "global math/rand call rand.Intn"
+}
+
+// Zipf is allowed: rand.NewZipf takes the already-seeded *rand.Rand.
+func Zipf(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.5, 1, 100)
+	return z.Uint64()
+}

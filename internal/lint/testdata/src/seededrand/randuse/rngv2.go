@@ -1,0 +1,14 @@
+package randuse
+
+import randv2 "math/rand/v2"
+
+// PickV2 draws from the v2 global stream, which is just as unseeded.
+func PickV2(n int) int {
+	return randv2.IntN(n) // want "global math/rand call rand.IntN"
+}
+
+// SeededV2 builds an explicit PCG source and is allowed.
+func SeededV2(seed uint64, n int) int {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.IntN(n)
+}

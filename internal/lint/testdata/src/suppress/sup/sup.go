@@ -1,0 +1,28 @@
+package sup
+
+// Malformed suppressions: no analyzer, unknown analyzer, missing reason.
+// TestSuppressCorpus asserts the exact diagnostics these produce.
+
+//srdalint:ignore
+func NoAnalyzer(a float64) bool { return a == 0 }
+
+//srdalint:ignore nosuch because the analyzer name is checked
+func Unknown(a float64) bool { return a == 1 }
+
+//srdalint:ignore floatcmp
+func NoReason(a float64) bool { return a == 2 }
+
+// Stacked standalone suppressions both land on the first code line below
+// the run, silencing two analyzers at once.
+
+//srdalint:ignore floatcmp exact sentinel comparison checked by the corpus test
+//srdalint:ignore hotalloc not a kernel package, so this one is simply unused
+func Stacked(a float64) bool { return a == 3 }
+
+// Trailing reaches only its own line.
+func Trailing(a, b float64) bool {
+	if a == 0 { //srdalint:ignore floatcmp exact-zero guard for the corpus test
+		return true
+	}
+	return a == b
+}

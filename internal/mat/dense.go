@@ -290,7 +290,7 @@ func (m *Dense) Norm() float64 {
 	ssq = 1
 	for i := 0; i < m.Rows; i++ {
 		for _, v := range m.RowView(i) {
-			if v == 0 {
+			if v == 0 { //srdalint:ignore floatcmp exact zero skip keeps the scaled-ssq update well-defined
 				continue
 			}
 			a := math.Abs(v)
@@ -304,7 +304,7 @@ func (m *Dense) Norm() float64 {
 			}
 		}
 	}
-	if scale == 0 {
+	if scale == 0 { //srdalint:ignore floatcmp an all-zero matrix has exact norm 0
 		return 0
 	}
 	return scale * math.Sqrt(ssq)
@@ -343,6 +343,7 @@ func (m *Dense) String() string {
 	for i := 0; i < m.Rows; i++ {
 		s += "\n"
 		for j := 0; j < m.Cols; j++ {
+			//srdalint:ignore hotalloc cold debug rendering, capped at 8x8 by maxShow
 			s += fmt.Sprintf(" % .4g", m.At(i, j))
 		}
 	}

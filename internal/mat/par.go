@@ -83,7 +83,7 @@ func gramUpperRange(a, g *Dense, ilo, ihi int) {
 		row := a.RowView(p)
 		for i := ilo; i < ihi; i++ {
 			v := row[i]
-			if v == 0 {
+			if v == 0 { //srdalint:ignore floatcmp exact sparsity skip shared with the sequential Gram twin
 				continue
 			}
 			blas.Axpy(v, row[i:], g.Data[i*g.Stride+i:i*g.Stride+n])

@@ -19,12 +19,11 @@ package regress
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"srda/internal/decomp"
 	"srda/internal/mat"
+	"srda/internal/pool"
 	"srda/internal/solver"
 )
 
@@ -142,45 +141,27 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 	model := &Model{W: mat.NewDense(n, k), B: make([]float64, k), Strategy: IterLSQR}
 	params := solver.LSQRParams{Damp: math.Sqrt(opt.Alpha), MaxIter: opt.LSQRIter}
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > k {
-		workers = k
-	}
 	// The responses are independent ridge systems over one read-only
-	// operator; fan them out.  Each worker owns its RHS buffer; W columns
-	// and B entries are disjoint per response, so no further locking is
-	// needed beyond summing the iteration counts.
-	var (
-		wg    sync.WaitGroup
-		next  atomic.Int64
-		iters atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rhs := make([]float64, m)
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= k {
-					return
-				}
-				y.ColCopy(j, rhs)
-				res := solver.LSQR(work, rhs, params)
-				iters.Add(int64(res.Iters))
-				if opt.Intercept {
-					model.W.SetCol(j, res.X[:n])
-					model.B[j] = res.X[n]
-				} else {
-					model.W.SetCol(j, res.X)
-				}
+	// operator; fan the response range out on the shared pool so the whole
+	// fit (including the parallel mat-vecs inside each LSQR solve) stays on
+	// one GOMAXPROCS budget and nested fork-joins cannot deadlock.  Each
+	// span owns its RHS buffer; W columns and B entries are disjoint per
+	// response, so the only shared state is the iteration counter.
+	var iters atomic.Int64
+	pool.Do(opt.Workers, k, func(lo, hi int) {
+		rhs := make([]float64, m)
+		for j := lo; j < hi; j++ {
+			y.ColCopy(j, rhs)
+			res := solver.LSQR(work, rhs, params)
+			iters.Add(int64(res.Iters))
+			if opt.Intercept {
+				model.W.SetCol(j, res.X[:n])
+				model.B[j] = res.X[n]
+			} else {
+				model.W.SetCol(j, res.X)
 			}
-		}()
-	}
-	wg.Wait()
+		}
+	})
 	model.Iters = int(iters.Load())
 	return model, nil
 }
@@ -211,7 +192,7 @@ func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	m := xa.Rows
 	g := mat.ParGramT(opt.Workers, xa)
 	alpha := opt.Alpha
-	if alpha == 0 {
+	if alpha == 0 { //srdalint:ignore floatcmp exact zero alpha selects the pseudo-inverse route of eq. 21
 		// A tiny ridge keeps the factorization defined when rows are
 		// dependent; mirrors the α→0 limit of Theorem 2.
 		alpha = 1e-12 * (1 + g.Norm())

@@ -81,7 +81,7 @@ func (c *Client) do(ctx context.Context, req PredictRequest) (*PredictResponse, 
 	if err != nil {
 		return nil, err
 	}
-	defer hresp.Body.Close()
+	defer func() { _ = hresp.Body.Close() }() // best-effort; response already read or failed
 	if hresp.StatusCode != http.StatusOK {
 		return nil, decodeError(hresp)
 	}
@@ -105,7 +105,7 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer hresp.Body.Close()
+	defer func() { _ = hresp.Body.Close() }() // best-effort; response already read or failed
 	if hresp.StatusCode != http.StatusOK {
 		return nil, decodeError(hresp)
 	}
@@ -126,7 +126,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer hresp.Body.Close()
+	defer func() { _ = hresp.Body.Close() }() // best-effort; response already read or failed
 	if hresp.StatusCode != http.StatusOK {
 		return "", decodeError(hresp)
 	}

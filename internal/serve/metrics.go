@@ -59,8 +59,8 @@ func (c *counterVec) snapshot() ([]string, []int64) {
 // observation, matching the Prometheus exposition conventions (le-labeled
 // cumulative buckets plus _sum and _count).
 type histogram struct {
-	bounds []float64 // upper bucket bounds, ascending; +Inf is implicit
-	counts []atomic.Int64
+	bounds  []float64 // upper bucket bounds, ascending; +Inf is implicit
+	counts  []atomic.Int64
 	sumBits atomic.Uint64
 	count   atomic.Int64
 }

@@ -243,7 +243,8 @@ type errorReply struct {
 func writeJSON(w http.ResponseWriter, code int, v any) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	// A failed write means the client hung up; there is nobody to tell.
+	_ = json.NewEncoder(w).Encode(v)
 	return code
 }
 

@@ -67,13 +67,13 @@ func LSQR(op Operator, b []float64, params LSQRParams) LSQRResult {
 
 	copy(u, b)
 	beta := blas.Nrm2(u)
-	if beta == 0 {
+	if beta == 0 { //srdalint:ignore floatcmp an exactly zero rhs has the exact solution x = 0
 		return LSQRResult{X: x, Reason: "zero right-hand side"}
 	}
 	blas.Scal(1/beta, u)
 	op.ApplyT(u, v)
 	alpha := blas.Nrm2(v)
-	if alpha == 0 {
+	if alpha == 0 { //srdalint:ignore floatcmp exactly zero Atb makes x = 0 optimal
 		return LSQRResult{X: x, Reason: "Aᵀb = 0: x = 0 is optimal"}
 	}
 	blas.Scal(1/alpha, v)
@@ -193,7 +193,7 @@ func CGNE(op Operator, b []float64, alpha float64, maxIter int, tol float64) LSQ
 		iters = it + 1
 		op.Apply(pvec, tmpM)
 		op.ApplyT(tmpM, ap)
-		if alpha != 0 {
+		if alpha != 0 { //srdalint:ignore floatcmp alpha is exactly zero only at bidiagonalization breakdown
 			blas.Axpy(alpha, pvec, ap)
 		}
 		den := blas.Dot(pvec, ap)

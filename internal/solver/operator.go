@@ -78,7 +78,7 @@ func (o AugmentedOp) Apply(x, dst []float64) []float64 {
 	m, n := o.Inner.Dims()
 	dst = o.Inner.Apply(x[:n], dst)
 	b := x[n]
-	if b != 0 {
+	if b != 0 { //srdalint:ignore floatcmp exact zero bias term skips the broadcast add bit-exactly
 		for i := 0; i < m; i++ {
 			dst[i] += b
 		}

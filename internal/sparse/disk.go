@@ -37,12 +37,18 @@ type DiskCSR struct {
 const diskMagic = "SRDACSR1"
 
 // WriteFile serializes the matrix into the DiskCSR file format.
-func (a *CSR) WriteFile(path string) error {
+func (a *CSR) WriteFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A buffered write can look successful until Close flushes it to a
+	// full disk; surface that error instead of losing the matrix silently.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.WriteString(diskMagic); err != nil {
 		return err
@@ -80,31 +86,31 @@ func OpenDiskCSR(path string) (*DiskCSR, error) {
 	r := bufio.NewReader(f)
 	magic := make([]byte, len(diskMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the read failure is the error to report
 		return nil, fmt.Errorf("sparse: reading magic: %w", err)
 	}
 	if string(magic) != diskMagic {
-		f.Close()
+		_ = f.Close() // error path: the read failure is the error to report
 		return nil, fmt.Errorf("sparse: %s is not a DiskCSR file", path)
 	}
 	var rows, cols, nnz int64
 	for _, p := range []*int64{&rows, &cols, &nnz} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			f.Close()
+			_ = f.Close() // error path: the read failure is the error to report
 			return nil, err
 		}
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
-		f.Close()
+		_ = f.Close() // error path: the read failure is the error to report
 		return nil, fmt.Errorf("sparse: corrupt header (%d, %d, %d)", rows, cols, nnz)
 	}
 	rowPtr := make([]int64, rows+1)
 	if err := binary.Read(r, binary.LittleEndian, rowPtr); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the read failure is the error to report
 		return nil, fmt.Errorf("sparse: reading row pointers: %w", err)
 	}
 	if rowPtr[rows] != nnz {
-		f.Close()
+		_ = f.Close() // error path: the read failure is the error to report
 		return nil, fmt.Errorf("sparse: row pointers inconsistent with nnz")
 	}
 	headerLen := int64(len(diskMagic)) + 3*8 + (rows+1)*8
@@ -165,6 +171,7 @@ func (d *DiskCSR) MulVec(x, dst []float64) ([]float64, error) {
 		for k := d.rowPtr[i]; k < d.rowPtr[i+1]; k++ {
 			col, val, err := st.next()
 			if err != nil {
+				//srdalint:ignore hotalloc error exit: runs at most once, then the kernel returns
 				return nil, fmt.Errorf("sparse: streaming row %d: %w", i, err)
 			}
 			s += val * x[col]
@@ -192,6 +199,7 @@ func (d *DiskCSR) MulTVec(x, dst []float64) ([]float64, error) {
 		for k := d.rowPtr[i]; k < d.rowPtr[i+1]; k++ {
 			col, val, err := st.next()
 			if err != nil {
+				//srdalint:ignore hotalloc error exit: runs at most once, then the kernel returns
 				return nil, fmt.Errorf("sparse: streaming row %d: %w", i, err)
 			}
 			dst[col] += val * xi

@@ -71,7 +71,7 @@ func (a *CSR) mulTVecRange(jlo, jhi int, x, dst []float64) {
 	}
 	for i := 0; i < a.Rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //srdalint:ignore floatcmp exact sparsity skip shared with the sequential twin
 			continue
 		}
 		s, e := a.colWindow(i, jlo, jhi)

@@ -216,7 +216,7 @@ func (v *Vectorizer) emit(bld *sparse.Builder, row int, counts map[int]float64) 
 		w := cnt * v.IDF[j]
 		ss += w * w
 	}
-	if ss == 0 {
+	if ss == 0 { //srdalint:ignore floatcmp exact zero norm is an empty document; leave it unnormalized
 		return
 	}
 	inv := 1 / math.Sqrt(ss)
