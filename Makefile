@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper examples clean
+.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke examples clean
 
 all: check
 
@@ -48,6 +48,16 @@ repro:
 # Full paper-sized datasets (slow; hours for the dense baselines).
 repro-paper:
 	$(GO) run ./cmd/srdabench -exp all -scale paper -splits 20
+
+# End-to-end observability smoke: generate a corpus, train with a JSON
+# run report, and hold the report to its schema with srdareport (see
+# doc/OBSERVABILITY.md).  Runs in CI on every push.
+report-smoke:
+	$(eval SMOKE := $(shell mktemp -d))
+	$(GO) run ./cmd/srdagen -dataset news -out $(SMOKE)/smoke -seed 7 -classes 3 -docs 240 -vocab 900 -split 0.7
+	$(GO) run ./cmd/srdatrain -train $(SMOKE)/smoke.train.svm -test $(SMOKE)/smoke.test.svm -solver lsqr -report $(SMOKE)/run.json
+	$(GO) run ./cmd/srdareport $(SMOKE)/run.json
+	rm -rf $(SMOKE)
 
 examples:
 	@for d in examples/*/ ; do echo "== $$d"; $(GO) run ./$$d || exit 1; done

@@ -20,6 +20,11 @@
 // shapes.  Error-rate and timing *shapes* (who wins, by what factor,
 // where LDA destabilizes or runs out of memory) are the reproduction
 // targets; see EXPERIMENTS.md for the recorded side-by-side.
+//
+// Observability: -report out.json writes a structured run report with one
+// phase per experiment (validate or summarize it with srdareport);
+// -profile p writes p.cpu.pprof and p.heap.pprof; -trace t.out writes a
+// runtime/trace.  See doc/OBSERVABILITY.md.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"srda"
+	"srda/internal/obs"
 )
 
 type scaleSpec struct {
@@ -77,13 +83,16 @@ func scales(seed int64) map[string]scaleSpec {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table10, fig1..fig5, ablation-*, all)")
-		scale   = flag.String("scale", "small", "dataset scale: small or paper")
-		splits  = flag.Int("splits", 5, "random train/test splits per cell (paper uses 20)")
-		seed    = flag.Int64("seed", 2008, "RNG seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		algos   = flag.String("algos", "", "comma-separated algorithm subset for the table/figure grids (e.g. \"SRDA,IDR/QR\"); empty = all four")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism for SRDA fits (kernels + per-response solves); results are bitwise identical at any setting")
+		exp       = flag.String("exp", "all", "experiment id (table1..table10, fig1..fig5, ablation-*, all)")
+		scale     = flag.String("scale", "small", "dataset scale: small or paper")
+		splits    = flag.Int("splits", 5, "random train/test splits per cell (paper uses 20)")
+		seed      = flag.Int64("seed", 2008, "RNG seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		algos     = flag.String("algos", "", "comma-separated algorithm subset for the table/figure grids (e.g. \"SRDA,IDR/QR\"); empty = all four")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism for SRDA fits (kernels + per-response solves); results are bitwise identical at any setting")
+		report    = flag.String("report", "", "write a structured JSON run report (one phase per experiment) to this path")
+		profile   = flag.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+		tracePath = flag.String("trace", "", "write a runtime/trace to this path")
 	)
 	flag.Parse()
 
@@ -139,20 +148,76 @@ func main() {
 	if *exp == "all" {
 		ids = order
 	}
+	// Validate every id up front so we never exit mid-run with profiling
+	// still active and an unflushed trace.
 	for _, id := range ids {
-		f, ok := run[id]
-		if !ok {
+		if _, ok := run[id]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
-		fmt.Printf("==== %s (scale=%s, splits=%d) ====\n", id, *scale, *splits)
-		start := time.Now()
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("---- %s done in %s ----\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if err := runExperiments(ids, run, benchObs{
+		scale: *scale, splits: *splits, seed: *seed,
+		report: *report, profile: *profile, trace: *tracePath,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// benchObs bundles the observability flags plus the run parameters echoed
+// into the report's data map.
+type benchObs struct {
+	scale           string
+	splits          int
+	seed            int64
+	report, profile string
+	trace           string
+}
+
+// runExperiments executes the selected experiments in order, timing each
+// as one report phase, with profiling/tracing active across the whole run.
+func runExperiments(ids []string, run map[string]func() error, o benchObs) (err error) {
+	stopProfiles, err := obs.StartProfiles(o.profile, o.trace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	begin := time.Now()
+	phases := make([]obs.Phase, 0, len(ids))
+	for _, id := range ids {
+		fmt.Printf("==== %s (scale=%s, splits=%d) ====\n", id, o.scale, o.splits)
+		start := time.Now()
+		if err := run[id](); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		elapsed := time.Since(start)
+		phases = append(phases, obs.Phase{Name: id, Seconds: elapsed.Seconds()})
+		fmt.Printf("---- %s done in %s ----\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if o.report == "" {
+		return nil
+	}
+	rep := obs.Report{
+		Tool:         "srdabench",
+		Phases:       phases,
+		TotalSeconds: time.Since(begin).Seconds(),
+		Data: map[string]float64{
+			"experiments": float64(len(ids)),
+			"splits":      float64(o.splits),
+			"seed":        float64(o.seed),
+		},
+	}
+	if err := rep.WriteFile(o.report); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", o.report)
+	return nil
 }
 
 type bench struct {

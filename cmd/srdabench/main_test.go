@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"srda"
+	"srda/internal/obs"
 )
 
 // pieTiny shrinks the PIE generator for fast tests.
@@ -132,6 +136,59 @@ func TestBenchFig5Path(t *testing.T) {
 	b := tinyBench(t)
 	if err := b.fig5(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunExperimentsReportAndProfiles drives the bench observability
+// flags: one report phase per experiment, validating against the shared
+// schema, with non-empty profile/trace artifacts.
+func TestRunExperimentsReportAndProfiles(t *testing.T) {
+	b := tinyBench(t)
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "bench.json")
+	profile := filepath.Join(dir, "prof")
+	tracePath := filepath.Join(dir, "bench.trace")
+	run := map[string]func() error{
+		"table1": b.table1,
+		"table2": b.table2,
+	}
+	err := runExperiments([]string{"table1", "table2"}, run, benchObs{
+		scale: "tiny", splits: 1, seed: 77,
+		report: reportPath, profile: profile, trace: tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ValidateReport(raw)
+	if err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	if rep.Tool != "srdabench" {
+		t.Fatalf("tool = %q", rep.Tool)
+	}
+	if len(rep.Phases) != 2 || rep.Phases[0].Name != "table1" || rep.Phases[1].Name != "table2" {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if rep.Data["experiments"] != 2 || rep.Data["seed"] != 77 {
+		t.Fatalf("data = %v", rep.Data)
+	}
+	for _, p := range []string{profile + ".cpu.pprof", profile + ".heap.pprof", tracePath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestRunExperimentsPropagatesFailure(t *testing.T) {
+	boom := errors.New("boom")
+	run := map[string]func() error{"bad": func() error { return boom }}
+	err := runExperiments([]string{"bad"}, run, benchObs{scale: "tiny", splits: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
 	}
 }
 

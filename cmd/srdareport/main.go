@@ -1,0 +1,78 @@
+// Command srdareport validates and summarizes the structured JSON run
+// reports written by srdatrain -report and srdabench -report.  It exits
+// non-zero when a file fails schema validation, which is how CI holds the
+// reporting pipeline to its contract without external JSON tooling.
+//
+//	srdareport run.json [more.json ...]
+//
+// -q suppresses the summary and only validates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"srda/internal/obs"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "validate only; print nothing on success")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "srdareport: need at least one report file; see -h")
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		if err := check(os.Stdout, path, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "srdareport: %s: %v\n", path, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// check validates one report file and, unless quiet, prints its summary.
+func check(w io.Writer, path string, quiet bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := obs.ValidateReport(data)
+	if err != nil {
+		return err
+	}
+	if quiet {
+		return nil
+	}
+	summarize(w, path, rep)
+	return nil
+}
+
+func summarize(w io.Writer, path string, rep *obs.Report) {
+	fmt.Fprintf(w, "%s: %s, %d phases, %.3fs total\n", path, rep.Tool, len(rep.Phases), rep.TotalSeconds)
+	for _, p := range rep.Phases {
+		fmt.Fprintf(w, "  phase %-12s %10.6fs\n", p.Name, p.Seconds)
+	}
+	if s := rep.Solver; s != nil {
+		fmt.Fprintf(w, "  solver %s: %d total iterations over %d responses\n",
+			s.Strategy, s.TotalIters, len(s.IterCounts))
+		for j := range s.IterCounts {
+			fmt.Fprintf(w, "    response %d: %d iters, final residual %.6g\n",
+				j, s.IterCounts[j], s.Residuals[j])
+		}
+	}
+	keys := make([]string, 0, len(rep.Data))
+	for k := range rep.Data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  data %-14s %g\n", k, rep.Data[k])
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"srda/internal/obs"
+)
+
+func writeReport(t *testing.T, rep *obs.Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckValidReport(t *testing.T) {
+	path := writeReport(t, &obs.Report{
+		Tool:         "srdatrain",
+		Phases:       []obs.Phase{{Name: "lsqr", Seconds: 0.2}},
+		TotalSeconds: 0.25,
+		Solver:       &obs.SolverStats{Strategy: "lsqr", TotalIters: 12, IterCounts: []int{5, 7}, Residuals: []float64{0.1, 0.2}},
+		Data:         map[string]float64{"samples": 80, "classes": 3},
+	})
+	var sb strings.Builder
+	if err := check(&sb, path, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"srdatrain", "phase lsqr", "12 total iterations", "response 1: 7 iters", "data classes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Quiet mode validates silently.
+	sb.Reset()
+	if err := check(&sb, path, true); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("quiet mode printed %q", sb.String())
+	}
+}
+
+func TestCheckRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	// iter_counts sum (9) disagrees with total_iters (99).
+	if err := os.WriteFile(bad, []byte(`{"tool":"x","phases":[{"name":"a","seconds":1}],"total_seconds":1,"solver":{"strategy":"lsqr","total_iters":99,"iter_counts":[4,5],"residuals":[0.1,0.2]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := check(&sb, bad, false); err == nil {
+		t.Fatal("inconsistent report accepted")
+	}
+	if err := check(&sb, filepath.Join(dir, "missing.json"), false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -15,28 +15,38 @@
 // poll the model file for changes.  In-flight requests finish on the model
 // they started with.  SIGINT/SIGTERM drain gracefully within
 // -drain-timeout.  See doc/SERVING.md for the payload schema.
+//
+// -debug-addr starts a second, operator-only listener exposing
+// /debug/pprof/ (net/http/pprof), /debug/vars (expvar), and /metrics
+// (the server's Prometheus registry plus the process-wide one with the
+// worker-pool gauges).  Keep it bound to localhost; it is never meant to
+// face prediction traffic.  See doc/OBSERVABILITY.md.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"srda"
+	"srda/internal/obs"
 	"srda/internal/serve"
 )
 
 type config struct {
 	modelPath    string
 	addr         string
+	debugAddr    string
 	maxBatch     int
 	maxWait      time.Duration
 	workers      int
@@ -49,6 +59,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.modelPath, "model", "", "trained model file to serve (required; written by srdatrain)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional operator listener with /debug/pprof/, /debug/vars, and the full obs /metrics (keep on localhost)")
 	flag.IntVar(&cfg.maxBatch, "max-batch", 64, "max samples coalesced into one inference batch")
 	flag.DurationVar(&cfg.maxWait, "max-wait", 2*time.Millisecond, "max time the batcher holds a non-full batch open")
 	flag.IntVar(&cfg.workers, "workers", 0, "inference worker goroutines (0 = GOMAXPROCS)")
@@ -60,7 +71,7 @@ func main() {
 	logger := log.New(os.Stderr, "srdaserve: ", log.LstdFlags)
 	shutdown := make(chan os.Signal, 1)
 	signal.Notify(shutdown, syscall.SIGINT, syscall.SIGTERM)
-	if err := run(cfg, logger, nil, shutdown); err != nil {
+	if err := run(cfg, logger, nil, nil, shutdown); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -68,8 +79,8 @@ func main() {
 // run loads the model, starts the server, and blocks until a shutdown
 // signal arrives, then drains.  When ready is non-nil the bound listener
 // address is sent on it once the server is accepting (used by tests and
-// for -addr :0).
-func run(cfg config, logger *log.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
+// for -addr :0); debugReady does the same for the -debug-addr listener.
+func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
 	if cfg.modelPath == "" {
 		return fmt.Errorf("need -model; see -h")
 	}
@@ -109,6 +120,24 @@ func run(cfg config, logger *log.Logger, ready chan<- net.Addr, shutdown <-chan 
 		defer stopWatch()
 	}
 
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugMux(s)}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+		logger.Printf("debug listener on %s (/debug/pprof/, /debug/vars, /metrics)", dln.Addr())
+		if debugReady != nil {
+			debugReady <- dln.Addr()
+		}
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -133,6 +162,11 @@ func run(cfg config, logger *log.Logger, ready chan<- net.Addr, shutdown <-chan 
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			logger.Printf("debug shutdown: %v", err)
+		}
+	}
 	if err := hs.Shutdown(ctx); err != nil {
 		logger.Printf("shutdown: %v", err)
 	}
@@ -144,4 +178,25 @@ func run(cfg config, logger *log.Logger, ready chan<- net.Addr, shutdown <-chan 
 	}
 	logger.Print("drained, bye")
 	return nil
+}
+
+// debugMux assembles the operator-only endpoint set: Go's pprof and expvar
+// handlers (registered explicitly on a private mux, so nothing leaks onto
+// http.DefaultServeMux or the prediction listener) plus the combined
+// Prometheus exposition — the process-wide registry first (worker-pool
+// instruments), then the server's own.
+func debugMux(s *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.Default().WritePrometheus(w)
+		s.Registry().WritePrometheus(w)
+	})
+	return mux
 }

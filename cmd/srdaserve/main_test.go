@@ -5,8 +5,10 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -31,19 +33,32 @@ func trainAndSave(t *testing.T, path string, seed int64) (*srda.Model, *srda.Dat
 }
 
 // startServer runs the binary's run() on a random port and returns the
-// base URL plus a stop function that triggers and awaits graceful drain.
-func startServer(t *testing.T, cfg config) (string, func()) {
+// base URL, the debug-listener base URL ("" unless cfg.debugAddr is set),
+// plus a stop function that triggers and awaits graceful drain.
+func startServer(t *testing.T, cfg config) (string, string, func()) {
 	t.Helper()
 	cfg.addr = "127.0.0.1:0"
 	if cfg.drainTimeout == 0 {
 		cfg.drainTimeout = 5 * time.Second
 	}
 	ready := make(chan net.Addr, 1)
+	debugReady := make(chan net.Addr, 1)
 	shutdown := make(chan os.Signal, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(cfg, log.New(io.Discard, "", 0), ready, shutdown)
+		errCh <- run(cfg, log.New(io.Discard, "", 0), ready, debugReady, shutdown)
 	}()
+	var debugBase string
+	if cfg.debugAddr != "" {
+		select {
+		case addr := <-debugReady:
+			debugBase = "http://" + addr.String()
+		case err := <-errCh:
+			t.Fatalf("server exited before debug listener ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("debug listener never became ready")
+		}
+	}
 	var addr net.Addr
 	select {
 	case addr = <-ready:
@@ -52,7 +67,7 @@ func startServer(t *testing.T, cfg config) (string, func()) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never became ready")
 	}
-	return "http://" + addr.String(), func() {
+	return "http://" + addr.String(), debugBase, func() {
 		shutdown <- syscall.SIGTERM
 		select {
 		case err := <-errCh:
@@ -84,7 +99,7 @@ func TestServeEndToEnd(t *testing.T) {
 	modelPath := filepath.Join(dir, "m.bin")
 	model, ds := trainAndSave(t, modelPath, 31)
 
-	base, stop := startServer(t, config{
+	base, _, stop := startServer(t, config{
 		modelPath: modelPath,
 		maxBatch:  8,
 		maxWait:   time.Millisecond,
@@ -133,7 +148,7 @@ func TestServeWatchReload(t *testing.T) {
 	modelPath := filepath.Join(dir, "m.bin")
 	_, ds := trainAndSave(t, modelPath, 32)
 
-	base, stop := startServer(t, config{
+	base, _, stop := startServer(t, config{
 		modelPath: modelPath,
 		watch:     5 * time.Millisecond,
 	})
@@ -170,10 +185,74 @@ func TestServeWatchReload(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
-	if err := run(config{}, logger, nil, nil); err == nil {
+	if err := run(config{}, logger, nil, nil, nil); err == nil {
 		t.Fatal("missing -model accepted")
 	}
-	if err := run(config{modelPath: filepath.Join(t.TempDir(), "nope.bin")}, logger, nil, nil); err == nil {
+	if err := run(config{modelPath: filepath.Join(t.TempDir(), "nope.bin")}, logger, nil, nil, nil); err == nil {
 		t.Fatal("missing model file accepted")
+	}
+}
+
+// TestServeDebugListener checks the -debug-addr acceptance criterion: the
+// operator listener must answer /debug/pprof/, /debug/vars, and a combined
+// /metrics carrying both the process-wide pool instruments and the
+// server's own registry — while the prediction listener stays free of
+// debug endpoints.
+func TestServeDebugListener(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	_, ds := trainAndSave(t, modelPath, 34)
+
+	base, debugBase, stop := startServer(t, config{
+		modelPath: modelPath,
+		debugAddr: "127.0.0.1:0",
+	})
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// One prediction so serve counters are non-zero; training above already
+	// exercised the worker pool, so srdapool_* counters are non-zero too.
+	client := serve.NewClient(base)
+	if _, err := client.Predict(ctx, sparseSampleOf(ds, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }() // test helper; status is the signal
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(debugBase + "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d, body %.80q", code, body)
+	}
+	if code, body := get(debugBase + "/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d, body %.80q", code, body)
+	}
+	code, body := get(debugBase + "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("debug /metrics = %d", code)
+	}
+	for _, want := range []string{"srdapool_spans_dispatched_total", "srdapool_workers", "srdaserve_requests_total", "srdaserve_queue_depth"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("debug /metrics missing %q", want)
+		}
+	}
+	// The prediction listener must not grow debug surface area.
+	if code, _ := get(base + "/debug/pprof/"); code == http.StatusOK {
+		t.Fatal("prediction listener serves /debug/pprof/")
 	}
 }

@@ -12,6 +12,11 @@
 // With only -train, the tool reports training error.  -solver selects
 // auto|primal|dual|lsqr (auto follows the paper's protocol), -knn K
 // switches the classifier from nearest-centroid to k-NN.
+//
+// Observability: -report out.json writes a structured run report with
+// per-phase wall times and per-response LSQR iteration counts and residual
+// norms (validate or summarize it with srdareport); -profile p writes
+// p.cpu.pprof and p.heap.pprof; -trace t.out writes a runtime/trace.
 package main
 
 import (
@@ -22,40 +27,73 @@ import (
 	"time"
 
 	"srda"
+	"srda/internal/obs"
 )
 
+// config carries every flag; run takes it whole so tests can drive the
+// tool without reparsing flags.
+type config struct {
+	trainPath  string
+	testPath   string
+	predict    string
+	modelPath  string
+	alpha      float64
+	solverName string
+	iters      int
+	knn        int
+	features   int
+	workers    int
+	disk       bool
+	perClass   bool
+	reportPath string
+	profile    string
+	tracePath  string
+}
+
 func main() {
-	var (
-		trainPath = flag.String("train", "", "libsvm-format training data")
-		testPath  = flag.String("test", "", "libsvm-format held-out data")
-		predict   = flag.String("predict", "", "libsvm-format data to classify with -model")
-		modelPath = flag.String("model", "", "model file to write (with -train) or read (with -predict)")
-		alpha     = flag.Float64("alpha", 1, "ridge regularizer α")
-		solver    = flag.String("solver", "auto", "solver: auto, primal, dual, lsqr")
-		iters     = flag.Int("lsqr-iters", 30, "LSQR iteration cap")
-		knn       = flag.Int("knn", 0, "classify with k-NN instead of nearest centroid (0 = centroid)")
-		features  = flag.Int("features", 0, "dimensionality (0 = infer from data)")
-		disk      = flag.Bool("disk", false, "train out of core: spool the training matrix to a temp file and stream it")
-		report    = flag.Bool("report", false, "print per-class precision/recall/F1 for evaluated sets")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "training parallelism (kernel sharding + per-response solves); the fitted model is bitwise identical at any setting")
-	)
+	var cfg config
+	flag.StringVar(&cfg.trainPath, "train", "", "libsvm-format training data")
+	flag.StringVar(&cfg.testPath, "test", "", "libsvm-format held-out data")
+	flag.StringVar(&cfg.predict, "predict", "", "libsvm-format data to classify with -model")
+	flag.StringVar(&cfg.modelPath, "model", "", "model file to write (with -train) or read (with -predict)")
+	flag.Float64Var(&cfg.alpha, "alpha", 1, "ridge regularizer α")
+	flag.StringVar(&cfg.solverName, "solver", "auto", "solver: auto, primal, dual, lsqr")
+	flag.IntVar(&cfg.iters, "lsqr-iters", 30, "LSQR iteration cap")
+	flag.IntVar(&cfg.knn, "knn", 0, "classify with k-NN instead of nearest centroid (0 = centroid)")
+	flag.IntVar(&cfg.features, "features", 0, "dimensionality (0 = infer from data)")
+	flag.BoolVar(&cfg.disk, "disk", false, "train out of core: spool the training matrix to a temp file and stream it")
+	flag.BoolVar(&cfg.perClass, "per-class", false, "print per-class precision/recall/F1 for evaluated sets")
+	flag.StringVar(&cfg.reportPath, "report", "", "write a structured JSON run report (phase timings, LSQR telemetry) to this path")
+	flag.StringVar(&cfg.profile, "profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a runtime/trace to this path")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "training parallelism (kernel sharding + per-response solves); the fitted model is bitwise identical at any setting")
 	flag.Parse()
-	if err := run(*trainPath, *testPath, *predict, *modelPath, *alpha, *solver, *iters, *knn, *features, *workers, *disk, *report); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "srdatrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solverName string, iters, knn, features, workers int, disk, report bool) error {
-	if predictPath != "" {
-		return runPredict(predictPath, modelPath, features)
+func run(cfg config) (err error) {
+	stopProfiles, err := obs.StartProfiles(cfg.profile, cfg.tracePath)
+	if err != nil {
+		return err
 	}
-	if trainPath == "" {
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	if cfg.predict != "" {
+		return runPredict(cfg.predict, cfg.modelPath, cfg.features)
+	}
+	if cfg.trainPath == "" {
 		return fmt.Errorf("need -train (or -predict with -model); see -h")
 	}
 
 	var sv srda.Solver
-	switch solverName {
+	switch cfg.solverName {
 	case "auto":
 		sv = srda.SolverAuto
 	case "primal":
@@ -65,20 +103,24 @@ func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solv
 	case "lsqr":
 		sv = srda.SolverLSQR
 	default:
-		return fmt.Errorf("unknown solver %q", solverName)
+		return fmt.Errorf("unknown solver %q", cfg.solverName)
 	}
 
-	train, err := loadFile(trainPath, features)
+	begin := time.Now()
+	tr := srda.NewTrace()
+	sp := tr.Start("load")
+	train, err := loadFile(cfg.trainPath, cfg.features)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("train: %d samples, %d features, %d classes, %.1f avg nnz\n",
 		train.NumSamples(), train.NumFeatures(), train.NumClasses, train.AvgNNZ())
 
-	opt := srda.Options{Alpha: alpha, Solver: sv, LSQRIter: iters, Workers: workers, Whiten: true}
+	opt := srda.Options{Alpha: cfg.alpha, Solver: sv, LSQRIter: cfg.iters, Workers: cfg.workers, Whiten: true, Trace: tr}
 	start := time.Now()
 	var model *srda.Model
-	if disk {
+	if cfg.disk {
 		model, err = trainOutOfCore(train, opt)
 	} else {
 		model, err = srda.FitCSR(train.Sparse, train.Labels, train.NumClasses, opt)
@@ -89,55 +131,90 @@ func run(trainPath, testPath, predictPath, modelPath string, alpha float64, solv
 	fmt.Printf("trained in %s (%d LSQR iterations, %d embedding dims)\n",
 		time.Since(start).Round(time.Millisecond), model.Iters, model.Dim())
 
+	data := map[string]float64{
+		"samples":  float64(train.NumSamples()),
+		"features": float64(train.NumFeatures()),
+		"classes":  float64(train.NumClasses),
+	}
+	evalSpan := tr.Start("eval")
 	embTrain := model.TransformSparse(train.Sparse)
-	evalSet := func(name string, ds *srda.Dataset) error {
+	evalSet := func(name string, ds *srda.Dataset) (float64, error) {
 		emb := model.TransformSparse(ds.Sparse)
 		var pred []int
-		if knn > 0 {
-			clf, err := srda.FitKNN(embTrain, train.Labels, train.NumClasses, knn)
+		if cfg.knn > 0 {
+			clf, err := srda.FitKNN(embTrain, train.Labels, train.NumClasses, cfg.knn)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			pred = clf.Predict(emb)
 		} else {
 			clf, err := srda.FitNearestCentroid(embTrain, train.Labels, train.NumClasses)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			pred = clf.Predict(emb)
 		}
-		fmt.Printf("%s error: %.2f%% (%d samples)\n", name, 100*srda.ErrorRate(pred, ds.Labels), ds.NumSamples())
-		if report {
+		rate := srda.ErrorRate(pred, ds.Labels)
+		fmt.Printf("%s error: %.2f%% (%d samples)\n", name, 100*rate, ds.NumSamples())
+		if cfg.perClass {
 			metrics, err := srda.ComputeMetrics(pred, ds.Labels, train.NumClasses)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			fmt.Print(metrics.String())
 		}
-		return nil
+		return rate, nil
 	}
-	if err := evalSet("training", train); err != nil {
+	rate, err := evalSet("training", train)
+	if err != nil {
+		evalSpan.End()
 		return err
 	}
-	if testPath != "" {
-		test, err := loadFile(testPath, 0)
+	data["train_error"] = rate
+	if cfg.testPath != "" {
+		test, err := loadFile(cfg.testPath, 0)
 		if err != nil {
+			evalSpan.End()
 			return err
 		}
-		if err := evalSet("test", test.AlignFeatures(train.NumFeatures())); err != nil {
+		rate, err := evalSet("test", test.AlignFeatures(train.NumFeatures()))
+		if err != nil {
+			evalSpan.End()
 			return err
 		}
+		data["test_error"] = rate
 	}
+	evalSpan.End()
 
-	if modelPath != "" {
+	if cfg.modelPath != "" {
 		// Atomic temp-file + rename: a crash mid-save can never leave a
 		// truncated model for srdaserve's hot reload to pick up.
-		if err := srda.SaveModelFile(model, modelPath); err != nil {
+		if err := srda.SaveModelFile(model, cfg.modelPath); err != nil {
 			return err
 		}
-		fmt.Printf("model written to %s\n", modelPath)
+		fmt.Printf("model written to %s\n", cfg.modelPath)
+	}
+	if cfg.reportPath != "" {
+		if err := writeReport(cfg.reportPath, tr, model, data, time.Since(begin).Seconds()); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", cfg.reportPath)
 	}
 	return nil
+}
+
+// writeReport assembles the structured run report: phase wall times from
+// the trace plus the model's solver telemetry.
+func writeReport(path string, tr *srda.Trace, model *srda.Model, data map[string]float64, total float64) error {
+	rep := obs.Report{Tool: "srdatrain", TotalSeconds: total, Data: data}
+	rep.AddTrace(tr)
+	rep.Solver = &obs.SolverStats{
+		Strategy:   model.Stats.Strategy.String(),
+		TotalIters: model.Stats.Iters,
+		IterCounts: model.Stats.IterCounts,
+		Residuals:  model.Stats.Residuals,
+	}
+	return rep.WriteFile(path)
 }
 
 func runPredict(predictPath, modelPath string, features int) error {

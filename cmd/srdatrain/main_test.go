@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"srda"
+	"srda/internal/obs"
 )
 
 // writeCorpus generates a small corpus split into train/test libsvm files
@@ -45,44 +46,98 @@ func rangeInts(lo, hi int) []int {
 func TestTrainEvaluateAndPredict(t *testing.T) {
 	train, test := writeCorpus(t)
 	model := filepath.Join(t.TempDir(), "m.srda")
-	if err := run(train, test, "", model, 1, "lsqr", 30, 0, 0, 0, false, true); err != nil {
+	if err := run(config{trainPath: train, testPath: test, modelPath: model,
+		alpha: 1, solverName: "lsqr", iters: 30, perClass: true}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
 		t.Fatalf("model not written: %v", err)
 	}
 	// predict path
-	if err := run("", "", test, model, 1, "auto", 30, 0, 0, 0, false, false); err != nil {
+	if err := run(config{predict: test, modelPath: model, alpha: 1, solverName: "auto", iters: 30}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTrainWithKNNClassifier(t *testing.T) {
 	train, test := writeCorpus(t)
-	if err := run(train, test, "", "", 1, "auto", 30, 3, 0, 0, false, false); err != nil {
+	if err := run(config{trainPath: train, testPath: test, alpha: 1, solverName: "auto", iters: 30, knn: 3}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTrainErrors(t *testing.T) {
 	train, _ := writeCorpus(t)
-	if err := run("", "", "", "", 1, "auto", 30, 0, 0, 0, false, false); err == nil {
+	if err := run(config{alpha: 1, solverName: "auto", iters: 30}); err == nil {
 		t.Fatal("missing -train accepted")
 	}
-	if err := run(train, "", "", "", 1, "warp", 30, 0, 0, 0, false, false); err == nil {
+	if err := run(config{trainPath: train, alpha: 1, solverName: "warp", iters: 30}); err == nil {
 		t.Fatal("unknown solver accepted")
 	}
-	if err := run("/definitely/missing.svm", "", "", "", 1, "auto", 30, 0, 0, 0, false, false); err == nil {
+	if err := run(config{trainPath: "/definitely/missing.svm", alpha: 1, solverName: "auto", iters: 30}); err == nil {
 		t.Fatal("missing train file accepted")
 	}
-	if err := run("", "", "/some/data.svm", "", 1, "auto", 30, 0, 0, 0, false, false); err == nil {
+	if err := run(config{predict: "/some/data.svm", alpha: 1, solverName: "auto", iters: 30}); err == nil {
 		t.Fatal("-predict without -model accepted")
 	}
 }
 
 func TestTrainOutOfCore(t *testing.T) {
 	train, test := writeCorpus(t)
-	if err := run(train, test, "", "", 1, "lsqr", 20, 0, 0, 0, true, false); err != nil {
+	if err := run(config{trainPath: train, testPath: test, alpha: 1, solverName: "lsqr", iters: 20, disk: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTrainReportAndProfiles drives the observability flags end to end:
+// the JSON report must validate against the schema and carry per-response
+// LSQR telemetry, and the pprof/trace artifacts must be non-empty.
+func TestTrainReportAndProfiles(t *testing.T) {
+	train, test := writeCorpus(t)
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	profile := filepath.Join(dir, "prof")
+	tracePath := filepath.Join(dir, "run.trace")
+	if err := run(config{trainPath: train, testPath: test, alpha: 1, solverName: "lsqr",
+		iters: 30, reportPath: reportPath, profile: profile, tracePath: tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ValidateReport(raw)
+	if err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	if rep.Tool != "srdatrain" {
+		t.Fatalf("tool = %q", rep.Tool)
+	}
+	phases := map[string]bool{}
+	for _, p := range rep.Phases {
+		phases[p.Name] = true
+	}
+	for _, want := range []string{"load", "responses", "lsqr", "whiten", "eval"} {
+		if !phases[want] {
+			t.Errorf("report missing phase %q (got %v)", want, rep.Phases)
+		}
+	}
+	if rep.Solver == nil || rep.Solver.Strategy != "lsqr" {
+		t.Fatalf("solver stats = %+v", rep.Solver)
+	}
+	// 3 classes → 2 responses, each solved by LSQR.
+	if len(rep.Solver.IterCounts) != 2 || len(rep.Solver.Residuals) != 2 {
+		t.Fatalf("per-response telemetry = %+v", rep.Solver)
+	}
+	if rep.Solver.TotalIters <= 0 {
+		t.Fatal("no LSQR iterations reported")
+	}
+	if _, ok := rep.Data["test_error"]; !ok {
+		t.Fatalf("report data missing test_error: %v", rep.Data)
+	}
+	for _, p := range []string{profile + ".cpu.pprof", profile + ".heap.pprof", tracePath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", p, err)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"srda/internal/blas"
 	"srda/internal/classify"
 	"srda/internal/mat"
+	"srda/internal/obs"
 	"srda/internal/pool"
 	"srda/internal/regress"
 	"srda/internal/solver"
@@ -37,6 +38,11 @@ type Options struct {
 	// Every setting produces a bitwise-identical model; the trained
 	// Model inherits the value for its batch-projection kernels.
 	Workers int
+	// Trace, when non-nil, receives per-phase timing spans for the fit:
+	// "responses" for response generation plus the regress-layer phases
+	// (see regress.Options.Trace).  Training itself never reads a clock;
+	// timing lives entirely in the caller-provided trace.
+	Trace *obs.Trace
 }
 
 // Model is a trained SRDA transformer: samples are embedded into the
@@ -64,6 +70,12 @@ type Model struct {
 	// outputs are bitwise identical at every setting — so it is not
 	// serialized; loaded models default to 0.
 	Workers int
+
+	// Stats carries the solver telemetry of the fit (per-response LSQR
+	// iteration counts and residual norms).  Advisory only: it never
+	// affects predictions and, like Workers, is not serialized — loaded
+	// models carry a zero Stats.
+	Stats regress.Stats
 
 	// wt lazily caches Wᵀ for the batched projection path (safe for
 	// concurrent readers).  Code that mutates W in place after the first
@@ -215,17 +227,21 @@ func FitDense(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, 
 	if x.Rows != len(labels) {
 		return nil, fmt.Errorf("core: %d samples but %d labels", x.Rows, len(labels))
 	}
+	sp := opt.Trace.Start("responses")
 	rt, err := GenerateResponses(labels, numClasses)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	y := rt.Materialize(labels)
+	sp.End()
 	rm, err := regress.FitDense(x, y, regress.Options{
 		Alpha:     opt.Alpha,
 		Strategy:  opt.Strategy,
 		Intercept: true,
 		LSQRIter:  opt.LSQRIter,
 		Workers:   opt.Workers,
+		Trace:     opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -246,16 +262,20 @@ func FitOperator(op solver.Operator, labels []int, numClasses int, opt Options) 
 	if m != len(labels) {
 		return nil, fmt.Errorf("core: %d samples but %d labels", m, len(labels))
 	}
+	sp := opt.Trace.Start("responses")
 	rt, err := GenerateResponses(labels, numClasses)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	y := rt.Materialize(labels)
+	sp.End()
 	rm, err := regress.FitOperator(op, y, regress.Options{
 		Alpha:     opt.Alpha,
 		Intercept: true,
 		LSQRIter:  opt.LSQRIter,
 		Workers:   opt.Workers,
+		Trace:     opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -272,6 +292,7 @@ func fromRegress(rm *regress.Model, numClasses int, opt Options) *Model {
 		Iters:      rm.Iters,
 		Strategy:   rm.Strategy,
 		Workers:    opt.Workers,
+		Stats:      rm.Stats,
 	}
 }
 

@@ -161,7 +161,10 @@ func FitDenseWhitened(x *mat.Dense, labels []int, numClasses int, opt Options) (
 	if err != nil {
 		return nil, err
 	}
-	if err := model.WhitenWithin(model.TransformDense(x), labels); err != nil {
+	sp := opt.Trace.Start("whiten")
+	err = model.WhitenWithin(model.TransformDense(x), labels)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return model, nil
@@ -173,7 +176,10 @@ func FitSparseWhitened(x *sparse.CSR, labels []int, numClasses int, opt Options)
 	if err != nil {
 		return nil, err
 	}
-	if err := model.WhitenWithin(model.TransformSparse(x), labels); err != nil {
+	sp := opt.Trace.Start("whiten")
+	err = model.WhitenWithin(model.TransformSparse(x), labels)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return model, nil

@@ -24,8 +24,11 @@
 //     math.Float64bits equivalence check.
 //   - hotalloc: no make/append/new/composite-literal or fmt allocations
 //     inside the innermost loops of kernel-package function bodies.
-//   - noclock: no wall-clock reads (time.Now and friends) inside numeric
-//     packages; timing belongs to the bench and experiment layers.
+//   - noclock: no wall-clock reads (time.Now and friends) inside the
+//     numeric packages or internal/pool; internal/obs is the single
+//     sanctioned clock owner, and instrumented code records through the
+//     obs.Trace/obs.Stamp handles it vends.  Other timing belongs to the
+//     bench and experiment layers.
 //   - errdrop: no silently discarded error returns outside tests; an
 //     explicit `_ =` is required where dropping is intentional.
 //

@@ -5,17 +5,42 @@ import (
 	"go/types"
 )
 
-// NoClock bans wall-clock reads in the numeric packages.  A kernel or
-// solver that consults time.Now — for an adaptive cutoff, a progress
-// heuristic, a "give up after N seconds" guard — produces results that
-// depend on machine load, which is exactly the nondeterminism the
-// equivalence suites cannot catch (both twins would wobble together).
-// Timing lives in the layers that report it: cmd/srdabench, the
+// NoClock bans wall-clock reads on the numeric side of the repo.  A
+// kernel or solver that consults time.Now — for an adaptive cutoff, a
+// progress heuristic, a "give up after N seconds" guard — produces
+// results that depend on machine load, which is exactly the
+// nondeterminism the equivalence suites cannot catch (both twins would
+// wobble together).
+//
+// internal/obs is the single sanctioned clock owner: it wraps the clock
+// behind injectable obs.Clock values and hands out obs.Trace spans and
+// obs.Stamp marks that instrumented code records into without ever
+// touching package time.  The scope of the ban is every numeric package
+// plus internal/pool (which times queue waits through obs.Stamp); other
+// timing lives in the layers that report it — cmd/srdabench, the
 // experiment runner, the serving metrics.  Test files are not checked.
 var NoClock = &Analyzer{
 	Name: "noclock",
-	Doc:  "no time.Now/time.Since (or timers) inside numeric packages",
+	Doc:  "no time.Now/time.Since (or timers) outside internal/obs on the numeric side",
 	Run:  runNoClock,
+}
+
+// clockOwners are the packages sanctioned to read the wall clock within
+// the noclock scope.  Keep this to internal/obs: adding a package here
+// means its outputs may legitimately depend on when they ran.
+var clockOwners = []string{"internal/obs"}
+
+// noClockExtraDirs extends the ban beyond the numeric packages to the
+// infrastructure on the numeric call path, which must route timing
+// through internal/obs instead of reading the clock itself.
+var noClockExtraDirs = []string{"internal/pool", "internal/obs"}
+
+// inNoClockScope reports whether pkg is subject to the wall-clock ban.
+func inNoClockScope(pkg *Package) bool {
+	if underAny(pkg.RelDir, clockOwners) {
+		return false
+	}
+	return isNumericPkg(pkg) || underAny(pkg.RelDir, noClockExtraDirs)
 }
 
 // clockFuncs are the package time entry points that read or depend on the
@@ -33,7 +58,7 @@ var clockFuncs = map[string]bool{
 }
 
 func runNoClock(pass *Pass) {
-	if !isNumericPkg(pass.Pkg) {
+	if !inNoClockScope(pass.Pkg) {
 		return
 	}
 	info := pass.Pkg.Info
@@ -46,7 +71,7 @@ func runNoClock(pass *Pass) {
 		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
 			return true
 		}
-		pass.Reportf(sel.Pos(), "time.%s in numeric package %s makes results depend on wall-clock timing; measure in cmd/srdabench or the experiment layer instead", fn.Name(), pass.Pkg.Path)
+		pass.Reportf(sel.Pos(), "time.%s in package %s makes results depend on wall-clock timing; internal/obs owns the clock — record through obs.Trace/obs.Stamp, or measure in cmd/srdabench or the experiment layer", fn.Name(), pass.Pkg.Path)
 		return true
 	})
 }

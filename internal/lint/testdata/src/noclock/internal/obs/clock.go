@@ -1,0 +1,10 @@
+package obs
+
+import "time"
+
+// Clock is allowed: internal/obs is the single sanctioned clock owner;
+// everything on the numeric side records through the handles it vends.
+type Clock func() time.Time
+
+// NowStamp reads the wall clock on behalf of its consumers.
+func NowStamp() time.Time { return time.Now() }

@@ -5,9 +5,9 @@ import "time"
 // Budget cuts off iteration on wall-clock time — exactly the
 // load-dependent behavior the contract bans from numeric packages.
 func Budget(limit time.Duration) int {
-	start := time.Now() // want "time.Now in numeric package"
+	start := time.Now() // want "time.Now in package"
 	n := 0
-	for time.Since(start) < limit { // want "time.Since in numeric package"
+	for time.Since(start) < limit { // want "time.Since in package"
 		n++
 	}
 	return n

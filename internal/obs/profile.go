@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles enables the requested diagnostics and returns a stop
+// function that must run before process exit (a deferred call in main).
+//
+// profilePrefix, when non-empty, starts CPU profiling into
+// <prefix>.cpu.pprof and, at stop time, snapshots the heap (after a GC,
+// so the profile shows live objects) into <prefix>.heap.pprof.
+// tracePath, when non-empty, streams a runtime/trace there — the
+// scheduler-level view that shows how kernel spans land on the worker
+// pool.  Either argument may be empty; with both empty the returned stop
+// is a cheap no-op.
+func StartProfiles(profilePrefix, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			_ = cpuFile.Close() // failure path: the original error is the one to report
+		}
+		if traceFile != nil {
+			trace.Stop()
+			_ = traceFile.Close() // failure path: the original error is the one to report
+		}
+	}
+	if profilePrefix != "" {
+		cpuFile, err = os.Create(profilePrefix + ".cpu.pprof")
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close() // failure path: the start error is the one to report
+			return nil, err
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	prefix := profilePrefix
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+			if err := writeHeapProfile(prefix + ".heap.pprof"); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeHeapProfile snapshots live heap objects to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // up-to-date live-object statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close() // failure path: the profile error is the one to report
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func validReport() *Report {
+	return &Report{
+		Tool:         "srdatrain",
+		Phases:       []Phase{{Name: "responses", Seconds: 0.01}, {Name: "lsqr", Seconds: 0.5}},
+		TotalSeconds: 0.6,
+		Solver: &SolverStats{
+			Strategy:   "lsqr",
+			TotalIters: 25,
+			IterCounts: []int{10, 15},
+			Residuals:  []float64{0.1, 0.2},
+		},
+		Data: map[string]float64{"samples": 100},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := validReport().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ValidateReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tool != "srdatrain" || len(r.Phases) != 2 || r.Solver.TotalIters != 25 {
+		t.Fatalf("round-trip mismatch: %+v", r)
+	}
+}
+
+func TestValidateReportRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		errSub string
+	}{
+		{"no tool", func(r *Report) { r.Tool = "" }, "missing tool"},
+		{"no phases", func(r *Report) { r.Phases = nil }, "no phases"},
+		{"unnamed phase", func(r *Report) { r.Phases[0].Name = "" }, "has no name"},
+		{"negative seconds", func(r *Report) { r.Phases[0].Seconds = -1 }, "invalid seconds"},
+		{"negative total", func(r *Report) { r.TotalSeconds = -1 }, "total_seconds"},
+		{"strategy missing", func(r *Report) { r.Solver.Strategy = "" }, "missing strategy"},
+		{"length mismatch", func(r *Report) { r.Solver.Residuals = r.Solver.Residuals[:1] }, "residuals"},
+		{"iters mismatch", func(r *Report) { r.Solver.TotalIters = 7 }, "sum to"},
+		{"negative iter", func(r *Report) { r.Solver.IterCounts[0] = -1; r.Solver.TotalIters = 14 }, "negative iteration"},
+		{"negative residual", func(r *Report) { r.Solver.Residuals[0] = -0.5 }, "invalid residual"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			tc.mutate(r)
+			data, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ValidateReport(data); err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("want error containing %q, got %v", tc.errSub, err)
+			}
+		})
+	}
+}
+
+func TestValidateReportRejectsUnknownFields(t *testing.T) {
+	if _, err := ValidateReport([]byte(`{"tool":"x","phases":[{"name":"a","seconds":1}],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ValidateReport([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}
+
+func TestWriteFileRefusesInvalidReport(t *testing.T) {
+	r := validReport()
+	r.Tool = ""
+	if err := r.WriteFile(filepath.Join(t.TempDir(), "r.json")); err == nil {
+		t.Fatal("invalid report written")
+	}
+}
+
+func TestAddTraceAggregates(t *testing.T) {
+	clk := struct {
+		mu  sync.Mutex
+		now time.Time
+	}{now: time.Unix(0, 0)}
+	tr := NewTraceClock(func() time.Time {
+		clk.mu.Lock()
+		defer clk.mu.Unlock()
+		clk.now = clk.now.Add(time.Second)
+		return clk.now
+	})
+	a := tr.Start("responses")
+	a.End()
+	for i := 0; i < 2; i++ {
+		sp := tr.Start("lsqr")
+		sp.End()
+	}
+	var r Report
+	r.AddTrace(tr)
+	if len(r.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (aggregated)", len(r.Phases))
+	}
+	if r.Phases[0].Name != "responses" || r.Phases[0].Seconds != 1 {
+		t.Fatalf("phase 0 = %+v", r.Phases[0])
+	}
+	if r.Phases[1].Name != "lsqr" || r.Phases[1].Seconds != 2 {
+		t.Fatalf("phase 1 = %+v (want two 1s spans summed)", r.Phases[1])
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "p")
+	tracePath := filepath.Join(dir, "t.trace")
+	stop, err := StartProfiles(prefix, tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles are non-trivial.
+	x := 0.0
+	for i := 0; i < 1000; i++ {
+		x += float64(i)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{prefix + ".cpu.pprof", prefix + ".heap.pprof", tracePath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile artifact %s missing or empty: %v", p, err)
+		}
+	}
+	// Both empty: stop is a no-op.
+	stop, err = StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

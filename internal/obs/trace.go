@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time to a Trace.  Injecting it keeps clock
+// reads out of the numeric packages (the noclock contract): the CLI or
+// test that owns a run constructs the Trace — with the real clock or a
+// fake — and the instrumented code only ever calls Trace methods.
+type Clock func() time.Time
+
+// Span is one completed, named interval of a traced operation.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Trace collects named spans for one logical operation (one Fit call, one
+// benchmark run).  A nil *Trace is a valid no-op receiver, so call-sites
+// in the numeric packages are unconditional — untraced runs pay one nil
+// check per phase, not per sample.  Safe for concurrent use: the LSQR
+// path closes spans from pool workers.
+type Trace struct {
+	clock Clock
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace creates a trace on the wall clock.
+func NewTrace() *Trace { return NewTraceClock(time.Now) }
+
+// NewTraceClock creates a trace on an injected clock; tests use a fake
+// clock to make span durations deterministic.
+func NewTraceClock(clock Clock) *Trace {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Trace{clock: clock}
+}
+
+// Scope is an open span; End closes it and records it on the trace.  The
+// zero/nil Scope (from a nil Trace) is a no-op.
+type Scope struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start opens a named span.  On a nil Trace it returns a nil Scope whose
+// End is a no-op, so instrumented code never branches on whether tracing
+// is enabled.
+func (t *Trace) Start(name string) *Scope {
+	if t == nil {
+		return nil
+	}
+	return &Scope{t: t, name: name, start: t.clock()}
+}
+
+// End closes the span and appends it to its trace.
+func (s *Scope) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	end := t.clock()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: s.name, Start: s.start, Duration: end.Sub(s.start)})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.  Nil
+// receiver returns nil.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Seconds returns the summed duration of every span with the given name
+// (phases that run once per response accumulate).
+func (t *Trace) Seconds(name string) float64 {
+	var total time.Duration
+	for _, sp := range t.Spans() {
+		if sp.Name == name {
+			total += sp.Duration
+		}
+	}
+	return total.Seconds()
+}
+
+// Stamp is an opaque start-time capture for code that may not read the
+// clock itself (internal/pool's queue-wait measurement).  The clock read
+// stays inside obs, the sanctioned owner.
+type Stamp struct{ t time.Time }
+
+// NowStamp captures the current time.
+func NowStamp() Stamp { return Stamp{t: time.Now()} }
+
+// Elapsed returns the time since the stamp was captured (monotonic).
+func (s Stamp) Elapsed() time.Duration { return time.Since(s.t) }
+
+// Seconds returns Elapsed as seconds.
+func (s Stamp) Seconds() float64 { return s.Elapsed().Seconds() }

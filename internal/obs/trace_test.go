@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Clock advancing a fixed step per read.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) read() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestTraceSpansDeterministicWithInjectedClock(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTraceClock(clk.read)
+	sp := tr.Start("gram") // reads clock once
+	sp.End()               // reads clock once more -> 1ms duration
+	inner := tr.Start("cholesky")
+	inner.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Duration != time.Millisecond {
+			t.Fatalf("span %q duration %v, want 1ms exactly (injected clock)", sp.Name, sp.Duration)
+		}
+	}
+	if spans[0].Name != "gram" || spans[1].Name != "cholesky" {
+		t.Fatalf("span order %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if got := tr.Seconds("gram"); got != 0.001 {
+		t.Fatalf("Seconds(gram) = %v, want 0.001", got)
+	}
+}
+
+func TestTraceSecondsAggregatesRepeatedNames(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTraceClock(clk.read)
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("lsqr")
+		sp.End()
+	}
+	if got := tr.Seconds("lsqr"); got != 0.003 {
+		t.Fatalf("Seconds(lsqr) = %v, want 0.003", got)
+	}
+}
+
+// TestNilTraceIsNoOp covers the nil-receiver contract the numeric
+// packages rely on: unconditional instrumentation with no trace attached.
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("anything")
+	sp.End()
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+	if tr.Seconds("anything") != 0 {
+		t.Fatal("nil trace returned nonzero seconds")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := tr.Start("worker")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}
+
+func TestStampElapsed(t *testing.T) {
+	st := NowStamp()
+	if st.Elapsed() < 0 {
+		t.Fatal("negative elapsed")
+	}
+	time.Sleep(time.Millisecond)
+	if st.Seconds() <= 0 {
+		t.Fatal("stamp did not advance")
+	}
+}

@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+
+	"srda/internal/obs"
+)
+
+// TestMetricsAccountForEverySubmittedSpan checks the utilization
+// accounting invariants delta-style (the counters are process-wide, so
+// absolute values depend on other tests): every submitted span is counted
+// exactly once as dispatched or inline, and the queue-wait histogram sees
+// exactly the dispatched ones.
+func TestMetricsAccountForEverySubmittedSpan(t *testing.T) {
+	d0, i0, q0 := spansDispatched.Value(), spansInline.Value(), queueWait.Count()
+	p := New(2)
+	const runs, shards = 50, 4
+	for r := 0; r < runs; r++ {
+		p.Run(shards, 400, func(lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			_ = s
+		})
+	}
+	dd := spansDispatched.Value() - d0
+	di := spansInline.Value() - i0
+	// shards-1 submitted spans per Run; the caller-run last span is never
+	// counted.
+	if dd+di != runs*(shards-1) {
+		t.Fatalf("dispatched %d + inline %d = %d submitted spans, want %d",
+			dd, di, dd+di, runs*(shards-1))
+	}
+	if got := queueWait.Count() - q0; got != dd {
+		t.Fatalf("queue-wait observations %d, want one per dispatched span (%d)", got, dd)
+	}
+}
+
+// TestMetricsInlineFallbackCounted pins the inline path deterministically:
+// with the only worker provably busy, a submitted span must fall back to
+// the caller and be counted as inline, with no queue-wait observation.
+func TestMetricsInlineFallbackCounted(t *testing.T) {
+	p := New(1)
+	p.startWorkers()
+	block := make(chan struct{})
+	// The task channel is unbuffered, so this send returning proves the
+	// worker has the blocking task in hand.
+	p.tasks <- func() { <-block }
+	defer close(block)
+	d0, i0, q0 := spansDispatched.Value(), spansInline.Value(), queueWait.Count()
+	p.Run(2, 2, func(lo, hi int) {})
+	if got := spansInline.Value() - i0; got != 1 {
+		t.Fatalf("inline spans = %d, want 1", got)
+	}
+	if got := spansDispatched.Value() - d0; got != 0 {
+		t.Fatalf("dispatched spans = %d, want 0 (worker was busy)", got)
+	}
+	if got := queueWait.Count() - q0; got != 0 {
+		t.Fatalf("queue-wait observations = %d, want 0 for an inline span", got)
+	}
+}
+
+// TestWorkersGaugeExposed checks the shared-pool size gauge is registered
+// on the process-wide registry.
+func TestWorkersGaugeExposed(t *testing.T) {
+	var sb strings.Builder
+	obs.Default().WritePrometheus(&sb)
+	for _, want := range []string{
+		"srdapool_workers",
+		"srdapool_spans_dispatched_total",
+		"srdapool_spans_inline_total",
+		"srdapool_queue_wait_seconds_bucket",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("default registry exposition missing %q", want)
+		}
+	}
+}

@@ -26,6 +26,8 @@ package pool
 import (
 	"runtime"
 	"sync"
+
+	"srda/internal/obs"
 )
 
 // Pool is a fixed-size set of long-lived worker goroutines.  The zero
@@ -104,16 +106,22 @@ func (p *Pool) Run(shards, n int, fn func(lo, hi int)) {
 		}
 		spanLo, spanHi := lo, hi
 		wg.Add(1)
-		task := func() {
+		body := func() {
 			defer wg.Done()
 			fn(spanLo, spanHi)
 		}
+		submitted := obs.NowStamp()
 		select {
-		case p.tasks <- task:
+		case p.tasks <- func() {
+			queueWait.Observe(submitted.Seconds())
+			body()
+		}:
+			spansDispatched.Inc()
 		default:
 			// No worker is idle right now; running inline keeps every
 			// span actively executing and makes nested Runs deadlock-free.
-			task()
+			spansInline.Inc()
+			body()
 		}
 		lo = hi
 	}

@@ -19,10 +19,10 @@ package regress
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"srda/internal/decomp"
 	"srda/internal/mat"
+	"srda/internal/obs"
 	"srda/internal/pool"
 	"srda/internal/solver"
 )
@@ -79,6 +79,30 @@ type Options struct {
 	// settings produce bitwise-identical models (see internal/pool).
 	// 0 means GOMAXPROCS; 1 forces fully sequential work.
 	Workers int
+	// Trace, when non-nil, receives per-phase timing spans ("gram", "xty",
+	// "cholesky", "solve" for the direct paths; "lsqr" for the iterative
+	// path).  The fit itself never reads a clock — all timing lives in the
+	// caller-provided trace, keeping this package inside the noclock
+	// contract.  nil disables tracing at zero cost.
+	Trace *obs.Trace
+}
+
+// Stats reports how a fit was solved.  Unlike the model weights it is
+// advisory telemetry: it never feeds back into predictions and is not
+// serialized with the model.
+type Stats struct {
+	// Strategy is the solver that actually ran (never Auto).
+	Strategy Strategy
+	// Iters is the total LSQR iteration count summed over responses; zero
+	// for the direct (Cholesky) paths.  Always equal to the sum of
+	// IterCounts when IterCounts is present.
+	Iters int
+	// IterCounts[j] is the LSQR iteration count for response j; nil for
+	// direct solves.
+	IterCounts []int
+	// Residuals[j] is response j's final damped residual-norm estimate
+	// ‖[A; √α·I] x − [y_j; 0]‖; nil for direct solves.
+	Residuals []float64
 }
 
 // Model is a fitted multi-response ridge regressor: Yhat = X·W + 1·bᵀ.
@@ -89,8 +113,11 @@ type Model struct {
 	B []float64
 	// Strategy records which solver produced the fit.
 	Strategy Strategy
-	// Iters is the total LSQR iteration count (zero for direct solves).
+	// Iters is the total LSQR iteration count (zero for direct solves);
+	// always equal to Stats.Iters.
 	Iters int
+	// Stats carries the full solver telemetry for the fit.
+	Stats Stats
 }
 
 // FitDense fits ridge regression of the m×k response matrix Y on the m×n
@@ -145,15 +172,19 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 	// operator; fan the response range out on the shared pool so the whole
 	// fit (including the parallel mat-vecs inside each LSQR solve) stays on
 	// one GOMAXPROCS budget and nested fork-joins cannot deadlock.  Each
-	// span owns its RHS buffer; W columns and B entries are disjoint per
-	// response, so the only shared state is the iteration counter.
-	var iters atomic.Int64
+	// span owns its RHS buffer; W columns, B entries, and the per-response
+	// telemetry slots are all disjoint per response, so workers share no
+	// mutable state at all.
+	iterCounts := make([]int, k)
+	residuals := make([]float64, k)
+	lsqrSpan := opt.Trace.Start("lsqr")
 	pool.Do(opt.Workers, k, func(lo, hi int) {
 		rhs := make([]float64, m)
 		for j := lo; j < hi; j++ {
 			y.ColCopy(j, rhs)
 			res := solver.LSQR(work, rhs, params)
-			iters.Add(int64(res.Iters))
+			iterCounts[j] = res.Iters
+			residuals[j] = res.ResNorm
 			if opt.Intercept {
 				model.W.SetCol(j, res.X[:n])
 				model.B[j] = res.X[n]
@@ -162,7 +193,13 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 			}
 		}
 	})
-	model.Iters = int(iters.Load())
+	lsqrSpan.End()
+	total := 0
+	for _, c := range iterCounts {
+		total += c
+	}
+	model.Iters = total
+	model.Stats = Stats{Strategy: IterLSQR, Iters: total, IterCounts: iterCounts, Residuals: residuals}
 	return model, nil
 }
 
@@ -171,16 +208,24 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	xa := augment(x, opt.Intercept)
 	n := xa.Cols
+	sp := opt.Trace.Start("gram")
 	g := mat.ParGram(opt.Workers, xa)
+	sp.End()
 	for i := 0; i < n; i++ {
 		g.Set(i, i, g.At(i, i)+opt.Alpha)
 	}
+	sp = opt.Trace.Start("cholesky")
 	ch, err := decomp.NewCholesky(g)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("regress: normal equations not positive definite (alpha=%v): %w", opt.Alpha, err)
 	}
+	sp = opt.Trace.Start("xty")
 	xty := mat.ParMulTA(opt.Workers, xa, y)
+	sp.End()
+	sp = opt.Trace.Start("solve")
 	w := ch.Solve(xty)
+	sp.End()
 	return splitIntercept(w, opt.Intercept, Primal), nil
 }
 
@@ -190,7 +235,9 @@ func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	xa := augment(x, opt.Intercept)
 	m := xa.Rows
+	sp := opt.Trace.Start("gram")
 	g := mat.ParGramT(opt.Workers, xa)
+	sp.End()
 	alpha := opt.Alpha
 	if alpha == 0 { //srdalint:ignore floatcmp exact zero alpha selects the pseudo-inverse route of eq. 21
 		// A tiny ridge keeps the factorization defined when rows are
@@ -200,12 +247,18 @@ func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	for i := 0; i < m; i++ {
 		g.Set(i, i, g.At(i, i)+alpha)
 	}
+	sp = opt.Trace.Start("cholesky")
 	ch, err := decomp.NewCholesky(g)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("regress: dual system not positive definite (alpha=%v): %w", opt.Alpha, err)
 	}
+	sp = opt.Trace.Start("solve")
 	z := ch.Solve(y)
+	sp.End()
+	sp = opt.Trace.Start("xty")
 	w := mat.ParMulTA(opt.Workers, xa, z)
+	sp.End()
 	return splitIntercept(w, opt.Intercept, Dual), nil
 }
 
@@ -228,10 +281,10 @@ func augment(x *mat.Dense, intercept bool) *mat.Dense {
 func splitIntercept(w *mat.Dense, intercept bool, strat Strategy) *Model {
 	k := w.Cols
 	if !intercept {
-		return &Model{W: w, B: make([]float64, k), Strategy: strat}
+		return &Model{W: w, B: make([]float64, k), Strategy: strat, Stats: Stats{Strategy: strat}}
 	}
 	n := w.Rows - 1
-	model := &Model{W: w.Slice(0, n, 0, k).Clone(), B: make([]float64, k), Strategy: strat}
+	model := &Model{W: w.Slice(0, n, 0, k).Clone(), B: make([]float64, k), Strategy: strat, Stats: Stats{Strategy: strat}}
 	for j := 0; j < k; j++ {
 		model.B[j] = w.At(n, j)
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"srda/internal/mat"
+	"srda/internal/obs"
 	"srda/internal/solver"
 	"srda/internal/sparse"
 )
@@ -285,6 +286,93 @@ func TestStrategyString(t *testing.T) {
 	for s, want := range cases {
 		if got := s.String(); got != want {
 			t.Fatalf("%d.String()=%q want %q", int(s), got, want)
+		}
+	}
+}
+
+// TestStatsPerResponseTelemetry checks the LSQR path's per-response
+// telemetry: one iteration count and one residual norm per response, with
+// the total consistent everywhere it is reported.
+func TestStatsPerResponseTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randDense(rng, 50, 12)
+	y := randDense(rng, 50, 4)
+	model, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: IterLSQR, LSQRIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.Stats
+	if st.Strategy != IterLSQR {
+		t.Fatalf("stats strategy = %v", st.Strategy)
+	}
+	if len(st.IterCounts) != y.Cols || len(st.Residuals) != y.Cols {
+		t.Fatalf("got %d iter counts, %d residuals for %d responses",
+			len(st.IterCounts), len(st.Residuals), y.Cols)
+	}
+	sum := 0
+	for j, c := range st.IterCounts {
+		if c <= 0 {
+			t.Fatalf("response %d took %d iterations", j, c)
+		}
+		sum += c
+		if st.Residuals[j] < 0 || math.IsNaN(st.Residuals[j]) {
+			t.Fatalf("response %d residual %v", j, st.Residuals[j])
+		}
+	}
+	if sum != st.Iters || model.Iters != st.Iters {
+		t.Fatalf("iteration totals inconsistent: sum %d, Stats.Iters %d, Model.Iters %d",
+			sum, st.Iters, model.Iters)
+	}
+}
+
+// TestStatsDirectSolves checks the direct paths report their strategy with
+// zero iterations and no per-response slices.
+func TestStatsDirectSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randDense(rng, 30, 8)
+	y := randDense(rng, 30, 3)
+	for _, strat := range []Strategy{Primal, Dual} {
+		model, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: strat, Intercept: strat == Primal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := model.Stats
+		if st.Strategy != strat || st.Iters != 0 || model.Iters != 0 {
+			t.Fatalf("%v: stats = %+v, model iters = %d", strat, st, model.Iters)
+		}
+		if st.IterCounts != nil || st.Residuals != nil {
+			t.Fatalf("%v: direct solve reported per-response slices", strat)
+		}
+	}
+}
+
+// TestTraceSpansPerStrategy checks each strategy emits its phase spans
+// into a caller-provided trace.
+func TestTraceSpansPerStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := randDense(rng, 30, 8)
+	y := randDense(rng, 30, 3)
+	cases := []struct {
+		strat Strategy
+		spans []string
+	}{
+		{Primal, []string{"gram", "cholesky", "xty", "solve"}},
+		{Dual, []string{"gram", "cholesky", "solve", "xty"}},
+		{IterLSQR, []string{"lsqr"}},
+	}
+	for _, tc := range cases {
+		tr := obs.NewTrace()
+		if _, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: tc.strat, Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+		spans := tr.Spans()
+		if len(spans) != len(tc.spans) {
+			t.Fatalf("%v: got %d spans, want %d", tc.strat, len(spans), len(tc.spans))
+		}
+		for i, want := range tc.spans {
+			if spans[i].Name != want {
+				t.Fatalf("%v: span %d = %q, want %q", tc.strat, i, spans[i].Name, want)
+			}
 		}
 	}
 }

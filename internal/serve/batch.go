@@ -190,9 +190,9 @@ func (s *Server) runBatch(batch []*item) {
 	if len(valid) == 0 {
 		return
 	}
-	s.metrics.batches.Add(1)
+	s.metrics.batches.Inc()
 	s.metrics.samples.Add(int64(len(valid)))
-	s.metrics.batchSize.observe(float64(len(valid)))
+	s.metrics.batchSize.Observe(float64(len(valid)))
 
 	allSparse := true
 	for _, it := range valid {

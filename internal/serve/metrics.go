@@ -1,174 +1,62 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
-	"sync"
-	"sync/atomic"
+
+	"srda/internal/obs"
 )
 
-// counterVec is a set of monotonic counters keyed by a label string.  The
-// map is guarded for insertion; increments on existing labels are
-// lock-free.
-type counterVec struct {
-	mu sync.RWMutex
-	m  map[string]*atomic.Int64
-}
-
-func newCounterVec() *counterVec {
-	return &counterVec{m: make(map[string]*atomic.Int64)}
-}
-
-func (c *counterVec) at(label string) *atomic.Int64 {
-	c.mu.RLock()
-	v := c.m[label]
-	c.mu.RUnlock()
-	if v != nil {
-		return v
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if v = c.m[label]; v == nil {
-		v = new(atomic.Int64)
-		c.m[label] = v
-	}
-	return v
-}
-
-func (c *counterVec) inc(label string) { c.at(label).Add(1) }
-
-// snapshot returns the labels in sorted order with their current values.
-func (c *counterVec) snapshot() ([]string, []int64) {
-	c.mu.RLock()
-	labels := make([]string, 0, len(c.m))
-	for k := range c.m {
-		labels = append(labels, k)
-	}
-	c.mu.RUnlock()
-	sort.Strings(labels)
-	vals := make([]int64, len(labels))
-	for i, k := range labels {
-		vals[i] = c.at(k).Load()
-	}
-	return labels, vals
-}
-
-// histogram is a fixed-bucket cumulative histogram with lock-free
-// observation, matching the Prometheus exposition conventions (le-labeled
-// cumulative buckets plus _sum and _count).
-type histogram struct {
-	bounds  []float64 // upper bucket bounds, ascending; +Inf is implicit
-	counts  []atomic.Int64
-	sumBits atomic.Uint64
-	count   atomic.Int64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, next) {
-			return
-		}
-	}
-}
-
-func (h *histogram) write(w io.Writer, name string) {
-	var cum int64
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
-}
-
-func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
-
-// metrics aggregates everything /metrics exposes.  All fields are safe for
-// concurrent use from the handlers and the dispatcher.
+// metrics aggregates everything /metrics exposes, built on internal/obs.
+// The registry is per-server (not obs.Default()) so tests and multiple
+// servers in one process stay isolated.  Registration order here is the
+// exposition order and is pinned byte-for-byte by the golden test in
+// metrics_test.go — new instruments go at the end.
 type metrics struct {
-	requests     *counterVec // "endpoint|code"
-	errors       *counterVec // "endpoint"
-	latency      *histogram  // predict seconds, request receipt → reply ready
-	batchSize    *histogram  // samples per inference batch
-	samples      atomic.Int64
-	batches      atomic.Int64
-	reloads      atomic.Int64
-	reloadErrors atomic.Int64
-	queueRejects atomic.Int64
+	reg          *obs.Registry
+	requests     *obs.CounterVec // endpoint, code
+	errors       *obs.CounterVec // endpoint
+	latency      *obs.Histogram  // predict seconds, request receipt → reply ready
+	batchSize    *obs.Histogram  // samples per inference batch
+	samples      *obs.Counter
+	batches      *obs.Counter
+	reloads      *obs.Counter
+	reloadErrors *obs.Counter
+	queueRejects *obs.Counter
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests:  newCounterVec(),
-		errors:    newCounterVec(),
-		latency:   newHistogram([]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
-		batchSize: newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+// newMetrics registers the serve instrument set on a fresh registry.
+// queueDepth and modelSeq are sampled at exposition time.
+func newMetrics(queueDepth, modelSeq func() int64) *metrics {
+	reg := obs.NewRegistry()
+	mx := &metrics{
+		reg: reg,
+		requests: reg.NewCounterVec("srdaserve_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "code"),
+		errors: reg.NewCounterVec("srdaserve_errors_total",
+			"Failed requests by endpoint.", "endpoint"),
+		latency: reg.NewHistogram("srdaserve_request_duration_seconds",
+			"Predict latency from receipt to reply.",
+			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+		batchSize: reg.NewHistogram("srdaserve_batch_size",
+			"Samples coalesced per inference batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		samples: reg.NewCounter("srdaserve_samples_total",
+			"Samples predicted."),
+		batches: reg.NewCounter("srdaserve_batches_total",
+			"Inference batches dispatched."),
+		reloads: reg.NewCounter("srdaserve_model_reloads_total",
+			"Successful hot reloads."),
+		reloadErrors: reg.NewCounter("srdaserve_model_reload_errors_total",
+			"Failed hot-reload attempts."),
+		queueRejects: reg.NewCounter("srdaserve_queue_rejects_total",
+			"Samples rejected because the queue was full."),
 	}
+	reg.NewGaugeFunc("srdaserve_queue_depth",
+		"Samples currently queued for dispatch.", queueDepth)
+	reg.NewGaugeFunc("srdaserve_model_seq",
+		"Monotonic sequence number of the live model.", modelSeq)
+	return mx
 }
 
-// writeProm renders the Prometheus text exposition format; queueDepth and
-// modelSeq are point-in-time gauges sampled by the caller.
-func (mx *metrics) writeProm(w io.Writer, queueDepth int, modelSeq uint64) {
-	fmt.Fprintln(w, "# HELP srdaserve_requests_total HTTP requests by endpoint and status code.")
-	fmt.Fprintln(w, "# TYPE srdaserve_requests_total counter")
-	labels, vals := mx.requests.snapshot()
-	for i, l := range labels {
-		endpoint, code, _ := cutLabel(l)
-		fmt.Fprintf(w, "srdaserve_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, vals[i])
-	}
-	fmt.Fprintln(w, "# HELP srdaserve_errors_total Failed requests by endpoint.")
-	fmt.Fprintln(w, "# TYPE srdaserve_errors_total counter")
-	labels, vals = mx.errors.snapshot()
-	for i, l := range labels {
-		fmt.Fprintf(w, "srdaserve_errors_total{endpoint=%q} %d\n", l, vals[i])
-	}
-	fmt.Fprintln(w, "# HELP srdaserve_request_duration_seconds Predict latency from receipt to reply.")
-	fmt.Fprintln(w, "# TYPE srdaserve_request_duration_seconds histogram")
-	mx.latency.write(w, "srdaserve_request_duration_seconds")
-	fmt.Fprintln(w, "# HELP srdaserve_batch_size Samples coalesced per inference batch.")
-	fmt.Fprintln(w, "# TYPE srdaserve_batch_size histogram")
-	mx.batchSize.write(w, "srdaserve_batch_size")
-	fmt.Fprintln(w, "# HELP srdaserve_samples_total Samples predicted.")
-	fmt.Fprintln(w, "# TYPE srdaserve_samples_total counter")
-	fmt.Fprintf(w, "srdaserve_samples_total %d\n", mx.samples.Load())
-	fmt.Fprintln(w, "# HELP srdaserve_batches_total Inference batches dispatched.")
-	fmt.Fprintln(w, "# TYPE srdaserve_batches_total counter")
-	fmt.Fprintf(w, "srdaserve_batches_total %d\n", mx.batches.Load())
-	fmt.Fprintln(w, "# HELP srdaserve_model_reloads_total Successful hot reloads.")
-	fmt.Fprintln(w, "# TYPE srdaserve_model_reloads_total counter")
-	fmt.Fprintf(w, "srdaserve_model_reloads_total %d\n", mx.reloads.Load())
-	fmt.Fprintln(w, "# HELP srdaserve_model_reload_errors_total Failed hot-reload attempts.")
-	fmt.Fprintln(w, "# TYPE srdaserve_model_reload_errors_total counter")
-	fmt.Fprintf(w, "srdaserve_model_reload_errors_total %d\n", mx.reloadErrors.Load())
-	fmt.Fprintln(w, "# HELP srdaserve_queue_rejects_total Samples rejected because the queue was full.")
-	fmt.Fprintln(w, "# TYPE srdaserve_queue_rejects_total counter")
-	fmt.Fprintf(w, "srdaserve_queue_rejects_total %d\n", mx.queueRejects.Load())
-	fmt.Fprintln(w, "# HELP srdaserve_queue_depth Samples currently queued for dispatch.")
-	fmt.Fprintln(w, "# TYPE srdaserve_queue_depth gauge")
-	fmt.Fprintf(w, "srdaserve_queue_depth %d\n", queueDepth)
-	fmt.Fprintln(w, "# HELP srdaserve_model_seq Monotonic sequence number of the live model.")
-	fmt.Fprintln(w, "# TYPE srdaserve_model_seq gauge")
-	fmt.Fprintf(w, "srdaserve_model_seq %d\n", modelSeq)
-}
-
-func cutLabel(l string) (a, b string, ok bool) {
-	for i := 0; i < len(l); i++ {
-		if l[i] == '|' {
-			return l[:i], l[i+1:], true
-		}
-	}
-	return l, "", false
-}
+// writeProm renders the Prometheus text exposition format.
+func (mx *metrics) writeProm(w io.Writer) { mx.reg.WritePrometheus(w) }

@@ -16,12 +16,12 @@ import (
 func (s *Server) ReloadFromFile(path string) (uint64, error) {
 	m, err := core.LoadFile(path)
 	if err != nil {
-		s.metrics.reloadErrors.Add(1)
+		s.metrics.reloadErrors.Inc()
 		return 0, fmt.Errorf("serve: reloading %s: %w", path, err)
 	}
 	seq, err := s.Swap(m)
 	if err != nil {
-		s.metrics.reloadErrors.Add(1)
+		s.metrics.reloadErrors.Inc()
 		return 0, fmt.Errorf("serve: reloading %s: %w", path, err)
 	}
 	return seq, nil

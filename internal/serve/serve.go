@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"srda/internal/core"
+	"srda/internal/obs"
 )
 
 // Options tunes the server.  The zero value gets sensible defaults from
@@ -111,14 +113,17 @@ func New(m *core.Model, opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		queue:   make(chan *item, opts.QueueDepth),
-		workCh:  make(chan []*item, opts.Workers),
-		stop:    make(chan struct{}),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		opts:   opts,
+		queue:  make(chan *item, opts.QueueDepth),
+		workCh: make(chan []*item, opts.Workers),
+		stop:   make(chan struct{}),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
 	}
+	s.metrics = newMetrics(
+		func() int64 { return int64(len(s.queue)) },
+		func() int64 { return int64(s.ModelSeq()) },
+	)
 	m.Workers = opts.Workers
 	s.model.Store(&modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()})
 	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
@@ -139,6 +144,10 @@ func New(m *core.Model, opts Options) (*Server, error) {
 // Handler returns the HTTP handler exposing all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Registry returns the server's metrics registry, so a debug listener can
+// expose it alongside the process-wide obs.Default() registry.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
 // Model returns the live model.
 func (s *Server) Model() *core.Model { return s.model.Load().m }
 
@@ -156,7 +165,7 @@ func (s *Server) Swap(m *core.Model) (uint64, error) {
 	m.Workers = s.opts.Workers
 	st := &modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()}
 	s.model.Store(st)
-	s.metrics.reloads.Add(1)
+	s.metrics.reloads.Inc()
 	return st.seq, nil
 }
 
@@ -189,12 +198,12 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
 		code := h(w, r)
-		s.metrics.requests.inc(fmt.Sprintf("%s|%d", endpoint, code))
+		s.metrics.requests.With(endpoint, strconv.Itoa(code)).Inc()
 		if code >= 400 {
-			s.metrics.errors.inc(endpoint)
+			s.metrics.errors.With(endpoint).Inc()
 		}
 		if endpoint == "/v1/predict" {
-			s.metrics.latency.observe(time.Since(begin).Seconds())
+			s.metrics.latency.Observe(time.Since(begin).Seconds())
 		}
 	}
 }
@@ -359,8 +368,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodGet {
 		return writeErr(w, http.StatusMethodNotAllowed, "GET required")
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", obs.PromContentType)
 	w.WriteHeader(http.StatusOK)
-	s.metrics.writeProm(w, len(s.queue), s.ModelSeq())
+	s.metrics.writeProm(w)
 	return http.StatusOK
 }

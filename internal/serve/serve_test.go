@@ -211,10 +211,10 @@ func TestMicroBatchCoalescing(t *testing.T) {
 			t.Fatalf("request %d: got class %d, want %d", k, got[k], want)
 		}
 	}
-	if b := s.metrics.batches.Load(); b != 1 {
+	if b := s.metrics.batches.Value(); b != 1 {
 		t.Fatalf("expected exactly 1 inference batch, dispatcher ran %d", b)
 	}
-	if n := s.metrics.samples.Load(); n != 4 {
+	if n := s.metrics.samples.Value(); n != 4 {
 		t.Fatalf("expected 4 samples predicted, got %d", n)
 	}
 }
@@ -289,8 +289,8 @@ func TestHotReloadSwapAndWatch(t *testing.T) {
 	if got, _ := client.PredictOne(ctx, DenseSample(probes.RowView(1))); got != modelA.PredictVec(probes.RowView(1)) {
 		t.Fatal("predictions not served from watched-in model")
 	}
-	if s.metrics.reloads.Load() < 2 {
-		t.Fatalf("reloads counter = %d", s.metrics.reloads.Load())
+	if s.metrics.reloads.Value() < 2 {
+		t.Fatalf("reloads counter = %d", s.metrics.reloads.Value())
 	}
 }
 
@@ -300,8 +300,8 @@ func TestReloadFromFileErrors(t *testing.T) {
 	if _, err := s.ReloadFromFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
 		t.Fatal("reload from missing file succeeded")
 	}
-	if s.metrics.reloadErrors.Load() != 1 {
-		t.Fatalf("reloadErrors = %d", s.metrics.reloadErrors.Load())
+	if s.metrics.reloadErrors.Value() != 1 {
+		t.Fatalf("reloadErrors = %d", s.metrics.reloadErrors.Value())
 	}
 	if s.ModelSeq() != 1 {
 		t.Fatal("failed reload bumped the model seq")
@@ -311,7 +311,8 @@ func TestReloadFromFileErrors(t *testing.T) {
 // TestQueueFullRejects drives enqueue directly (no dispatcher attached) so
 // the overflow path is deterministic.
 func TestQueueFullRejects(t *testing.T) {
-	s := &Server{opts: Options{}.withDefaults(), queue: make(chan *item, 1), metrics: newMetrics()}
+	s := &Server{opts: Options{}.withDefaults(), queue: make(chan *item, 1)}
+	s.metrics = newMetrics(func() int64 { return int64(len(s.queue)) }, func() int64 { return 0 })
 	p := newPending(3, false)
 	items := make([]*item, 3)
 	for i := range items {
@@ -321,7 +322,7 @@ func TestQueueFullRejects(t *testing.T) {
 	if err := p.failure(); err != errQueueFull {
 		t.Fatalf("err = %v, want errQueueFull", err)
 	}
-	if got := s.metrics.queueRejects.Load(); got != 2 {
+	if got := s.metrics.queueRejects.Value(); got != 2 {
 		t.Fatalf("queueRejects = %d, want 2", got)
 	}
 	if len(s.queue) != 1 {

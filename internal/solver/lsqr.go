@@ -19,6 +19,12 @@ type LSQRParams struct {
 	// ATol and BTol are the Paige–Saunders stopping tolerances on the
 	// estimated relative residual quantities.  Defaults: 1e-8.
 	ATol, BTol float64
+	// RecordResiduals asks for the per-iteration damped residual-norm
+	// estimates in LSQRResult.Residuals, one entry per iteration performed.
+	// The estimates are byproducts of quantities the iteration already
+	// maintains, so recording costs one append per iteration and never
+	// perturbs the solve.
+	RecordResiduals bool
 }
 
 // Defaults fills in zero fields.
@@ -41,6 +47,10 @@ type LSQRResult struct {
 	Iters   int       // iterations performed
 	ResNorm float64   // estimate of ‖[A; damp·I] x − [b; 0]‖
 	Reason  string    // human-readable stopping reason
+	// Residuals is the per-iteration ResNorm trajectory, populated only
+	// when LSQRParams.RecordResiduals is set; Residuals[k] is the estimate
+	// after iteration k+1, so len(Residuals) == Iters.
+	Residuals []float64
 }
 
 // LSQR solves the (damped) least-squares problem
@@ -84,6 +94,10 @@ func LSQR(op Operator, b []float64, params LSQRParams) LSQRResult {
 	bnorm := beta
 	var ddnorm, resNorm, res2 float64
 	anormEst := 0.0
+	var residuals []float64
+	if p.RecordResiduals {
+		residuals = make([]float64, 0, p.MaxIter)
+	}
 
 	for iter := 1; iter <= p.MaxIter; iter++ {
 		// Bidiagonalization step: β u = A v − α u ; α v = Aᵀ u − β v.
@@ -144,24 +158,27 @@ func LSQR(op Operator, b []float64, params LSQRParams) LSQRResult {
 		// the damped residual ‖[A; damp·I]x − [b; 0]‖.
 		res2 += psi * psi
 		resNorm = math.Sqrt(phiBar*phiBar + res2)
+		if p.RecordResiduals {
+			residuals = append(residuals, resNorm)
+		}
 		// ‖Āᵀr̄‖ estimate for the damped system.
 		arNorm := alpha * math.Abs(tau)
 
 		// Stopping tests.
 		if resNorm <= p.BTol*bnorm+p.ATol*anormEst*blas.Nrm2(x) {
-			return LSQRResult{X: x, Iters: iter, ResNorm: resNorm,
+			return LSQRResult{X: x, Iters: iter, ResNorm: resNorm, Residuals: residuals,
 				Reason: "residual small: ‖r‖ <= btol·‖b‖ + atol·‖A‖·‖x‖"}
 		}
 		if arNorm <= p.ATol*anormEst*resNorm {
-			return LSQRResult{X: x, Iters: iter, ResNorm: resNorm,
+			return LSQRResult{X: x, Iters: iter, ResNorm: resNorm, Residuals: residuals,
 				Reason: "normal-equations residual small"}
 		}
 		if iter == p.MaxIter {
-			return LSQRResult{X: x, Iters: iter, ResNorm: resNorm,
+			return LSQRResult{X: x, Iters: iter, ResNorm: resNorm, Residuals: residuals,
 				Reason: "iteration limit reached"}
 		}
 	}
-	return LSQRResult{X: x, ResNorm: resNorm, Reason: "iteration limit reached"}
+	return LSQRResult{X: x, ResNorm: resNorm, Residuals: residuals, Reason: "iteration limit reached"}
 }
 
 // CGNE solves the regularized normal equations (AᵀA + α·I) x = Aᵀ b with

@@ -323,3 +323,44 @@ func TestOperatorDims(t *testing.T) {
 		t.Fatalf("CenteredOp dims %d %d", m, n)
 	}
 }
+
+// TestLSQRRecordResiduals checks the recorded trajectory: one entry per
+// iteration, final entry equal to the reported ResNorm, no perturbation of
+// the solution, and no recording when the flag is off.
+func TestLSQRRecordResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, n := 60, 12
+	a := randDense(rng, m, n)
+	b := randVec(rng, m)
+	plain := LSQR(DenseOp{A: a}, b, LSQRParams{MaxIter: 50, Damp: 0.3})
+	rec := LSQR(DenseOp{A: a}, b, LSQRParams{MaxIter: 50, Damp: 0.3, RecordResiduals: true})
+	if plain.Residuals != nil {
+		t.Fatal("residuals recorded without the flag")
+	}
+	if len(rec.Residuals) != rec.Iters {
+		t.Fatalf("recorded %d residuals for %d iterations", len(rec.Residuals), rec.Iters)
+	}
+	if rec.Iters == 0 {
+		t.Fatal("solve took no iterations")
+	}
+	if got := rec.Residuals[len(rec.Residuals)-1]; got != rec.ResNorm {
+		t.Fatalf("last recorded residual %v != ResNorm %v", got, rec.ResNorm)
+	}
+	// Recording must not change the arithmetic.
+	if plain.Iters != rec.Iters || plain.ResNorm != rec.ResNorm {
+		t.Fatalf("recording perturbed the solve: iters %d vs %d, resnorm %v vs %v",
+			plain.Iters, rec.Iters, plain.ResNorm, rec.ResNorm)
+	}
+	for i := range plain.X {
+		if plain.X[i] != rec.X[i] {
+			t.Fatalf("recording perturbed x[%d]: %v vs %v", i, plain.X[i], rec.X[i])
+		}
+	}
+	// The damped residual estimate is monotonically non-increasing for LSQR.
+	for i := 1; i < len(rec.Residuals); i++ {
+		if rec.Residuals[i] > rec.Residuals[i-1]+1e-12 {
+			t.Fatalf("residual increased at iteration %d: %v -> %v",
+				i+1, rec.Residuals[i-1], rec.Residuals[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"srda/internal/core"
 	"srda/internal/mat"
+	"srda/internal/obs"
 	"srda/internal/regress"
 	"srda/internal/solver"
 	"srda/internal/sparse"
@@ -73,7 +74,25 @@ type Options struct {
 	// harness) whenever the embedding feeds a distance-based classifier;
 	// leave false to get the paper's raw regression directions.
 	Whiten bool
+	// Trace, when non-nil, collects per-phase wall-time spans of the fit
+	// ("responses", then the solver phases — "gram"/"xty"/"cholesky"/
+	// "solve" for the direct paths or "lsqr" for the iterative one, and
+	// "whiten" when enabled).  Training code never reads the clock itself;
+	// all timing flows through the trace.  Create one with NewTrace and
+	// read it back with Trace.Spans or Trace.Seconds.
+	Trace *Trace
 }
+
+// Trace collects named wall-time spans; see Options.Trace.
+type Trace = obs.Trace
+
+// NewTrace creates an empty trace using the system clock.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// SolverStats is the per-fit solver telemetry stored in Model.Stats:
+// which strategy ran, and for LSQR the per-response iteration counts and
+// final residual norms.
+type SolverStats = regress.Stats
 
 // Model is a trained SRDA transformer mapping samples to the
 // (c−1)-dimensional discriminant subspace.  Beyond the per-sample
@@ -84,7 +103,7 @@ type Options struct {
 type Model = core.Model
 
 func (o Options) toCore() core.Options {
-	return core.Options{Alpha: o.Alpha, Strategy: o.Solver, LSQRIter: o.LSQRIter, Workers: o.Workers}
+	return core.Options{Alpha: o.Alpha, Strategy: o.Solver, LSQRIter: o.LSQRIter, Workers: o.Workers, Trace: o.Trace}
 }
 
 // Fit trains SRDA on dense data: x is m×n with one sample per row and
