@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke examples clean
+.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke examples clean
 
 all: check
 
@@ -19,7 +19,8 @@ vet:
 
 # The srdalint suite (see doc/LINTING.md): goroutine discipline, float
 # comparisons, seeded randomness, parallel-twin coverage, hot-loop
-# allocations, wall-clock reads, and dropped errors.  Exit 1 = findings.
+# allocations, wall-clock reads, dropped errors, and raw logging outside
+# the structured obs.Logger.  Exit 1 = findings.
 lint:
 	$(GO) run ./cmd/srdalint ./...
 
@@ -58,6 +59,23 @@ report-smoke:
 	$(GO) run ./cmd/srdatrain -train $(SMOKE)/smoke.train.svm -test $(SMOKE)/smoke.test.svm -solver lsqr -report $(SMOKE)/run.json
 	$(GO) run ./cmd/srdareport $(SMOKE)/run.json
 	rm -rf $(SMOKE)
+
+# Record one micro-benchmark trajectory point: time the fixed-shape
+# kernels (PredictBatch, ParGemm, FitLSQR) and pin the report as
+# BENCH_<k>.json with k one past the highest existing index.  When a
+# previous point exists, print the benchdiff against it (informational
+# here; CI gates on `srdareport benchdiff` exiting 1 at >10% slowdowns).
+bench-record:
+	@k=0; while [ -f BENCH_$$k.json ]; do k=$$((k+1)); done; \
+	$(GO) run ./cmd/srdabench -json-out BENCH_$$k.json && \
+	if [ $$k -gt 0 ]; then $(GO) run ./cmd/srdareport benchdiff BENCH_$$((k-1)).json BENCH_$$k.json || true; fi
+
+# Tracing acceptance smoke: the serving path under 100+ concurrent
+# requests must export a request→batch→kernel Chrome trace, quantile
+# gauges on /metrics, and flush both artifacts on SIGTERM.  Runs the two
+# end-to-end trace tests fresh (no cache); `make race` covers them racy.
+trace-smoke:
+	$(GO) test -run 'TestTraceSmoke|TestConcurrentRequestTracing' -count=1 -v ./cmd/srdaserve ./internal/serve
 
 examples:
 	@for d in examples/*/ ; do echo "== $$d"; $(GO) run ./$$d || exit 1; done

@@ -24,7 +24,11 @@
 // Observability: -report out.json writes a structured run report with one
 // phase per experiment (validate or summarize it with srdareport);
 // -profile p writes p.cpu.pprof and p.heap.pprof; -trace t.out writes a
-// runtime/trace.  See doc/OBSERVABILITY.md.
+// runtime/trace.  -json-out bench.json skips the experiments and instead
+// times the fixed-shape micro-benchmarks (PredictBatch, ParGemm, FitLSQR),
+// writing a schema-validated bench report that `srdareport benchdiff`
+// compares across commits (`make bench-record` pins one as BENCH_<k>.json).
+// See doc/OBSERVABILITY.md.
 package main
 
 import (
@@ -93,8 +97,17 @@ func main() {
 		report    = flag.String("report", "", "write a structured JSON run report (one phase per experiment) to this path")
 		profile   = flag.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 		tracePath = flag.String("trace", "", "write a runtime/trace to this path")
+		jsonOut   = flag.String("json-out", "", "run the fixed-shape micro-benchmarks instead of -exp and write the bench report here")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runMicroBench(*jsonOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	spec, ok := scales(*seed)[*scale]
 	if !ok {

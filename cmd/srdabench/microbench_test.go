@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"srda/internal/obs"
+)
+
+// TestRunMicroBenchWritesValidReport runs the real -json-out path end to
+// end (the timed shapes are fixed, so this is the slowest cmd test at a
+// couple of seconds) and checks the artifact against the shared schema.
+func TestRunMicroBenchWritesValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmarks time full-size fixed shapes")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	if err := runMicroBench(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ReadBenchFile(path)
+	if err != nil {
+		t.Fatalf("written report does not validate: %v", err)
+	}
+	if rep.Tool != "srdabench" || rep.Schema != obs.BenchSchemaVersion {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	want := map[string]bool{
+		"PredictBatch/64x800": false,
+		"ParGemm/256x512x64":  false,
+		"FitLSQR/2000x400":    false,
+	}
+	for _, r := range rep.Results {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected benchmark %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.NsPerOp <= 0 || r.Iters <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("benchmark %q missing from report", name)
+		}
+	}
+	if rep.Params["workers"] != 2 || rep.Params["seed"] != microSeed {
+		t.Errorf("params = %v", rep.Params)
+	}
+}
+
+// TestMicroCasesAreSchemaUnique guards the benchdiff contract: case names
+// are unique and every case builds a runnable op.
+func TestMicroCasesAreSchemaUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, mc := range microCases() {
+		if seen[mc.name] {
+			t.Errorf("duplicate micro-benchmark name %q", mc.name)
+		}
+		seen[mc.name] = true
+		if mc.iters <= 0 {
+			t.Errorf("%s: non-positive iters %d", mc.name, mc.iters)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("expected 3 micro-benchmarks, got %v", seen)
+	}
+}

@@ -4,8 +4,12 @@
 // reporting pipeline to its contract without external JSON tooling.
 //
 //	srdareport run.json [more.json ...]
+//	srdareport benchdiff [-tol 0.10] old.json new.json
 //
-// -q suppresses the summary and only validates.
+// -q suppresses the summary and only validates.  The benchdiff subcommand
+// compares two bench reports written by srdabench -json-out and exits
+// non-zero when any benchmark slowed down by more than -tol, which is how
+// CI (and `make bench-record` reviewers) catch performance regressions.
 package main
 
 import (
@@ -19,6 +23,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "benchdiff" {
+		os.Exit(benchdiffMain(os.Stdout, os.Stderr, os.Args[2:]))
+	}
 	quiet := flag.Bool("q", false, "validate only; print nothing on success")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -35,6 +42,61 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// benchdiffMain implements `srdareport benchdiff old.json new.json`,
+// returning the process exit code: 0 clean, 1 on regressions (or broken
+// report files), 2 on usage errors.
+func benchdiffMain(w, ew io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(ew)
+	tol := fs.Float64("tol", 0.10, "fractional slowdown tolerated before a benchmark counts as regressed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(ew, "srdareport benchdiff: need exactly two bench report files (old new); see -h")
+		return 2
+	}
+	regressions, err := benchdiff(w, fs.Arg(0), fs.Arg(1), *tol)
+	if err != nil {
+		fmt.Fprintf(ew, "srdareport benchdiff: %v\n", err)
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(ew, "srdareport benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *tol*100)
+		return 1
+	}
+	return 0
+}
+
+// benchdiff loads, validates, and diffs two bench reports, printing one
+// line per benchmark, and returns how many regressed.
+func benchdiff(w io.Writer, oldPath, newPath string, tol float64) (int, error) {
+	old, err := obs.ReadBenchFile(oldPath)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	cur, err := obs.ReadBenchFile(newPath)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", newPath, err)
+	}
+	regressions := 0
+	for _, d := range obs.DiffBench(old, cur, tol) {
+		switch d.Status {
+		case "added":
+			fmt.Fprintf(w, "%-24s %14s -> %12.0f ns/op  added\n", d.Name, "—", d.NewNs)
+		case "removed":
+			fmt.Fprintf(w, "%-24s %12.0f ns/op -> %12s  removed\n", d.Name, d.OldNs, "—")
+		default:
+			fmt.Fprintf(w, "%-24s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, d.Status)
+			if d.Regressed() {
+				regressions++
+			}
+		}
+	}
+	return regressions, nil
 }
 
 // check validates one report file and, unless quiet, prints its summary.

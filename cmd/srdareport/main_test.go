@@ -46,6 +46,79 @@ func TestCheckValidReport(t *testing.T) {
 	}
 }
 
+func writeBench(t *testing.T, name string, rep *obs.BenchReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchFixture(ns map[string]float64) *obs.BenchReport {
+	rep := &obs.BenchReport{Tool: "srdabench", Schema: obs.BenchSchemaVersion}
+	for _, name := range []string{"FitLSQR/2000x400", "ParGemm/256x512x64", "PredictBatch/64x800"} {
+		rep.Results = append(rep.Results, obs.BenchResult{Name: name, Iters: 10, NsPerOp: ns[name]})
+	}
+	return rep
+}
+
+func TestBenchdiffCleanAndRegressed(t *testing.T) {
+	oldPath := writeBench(t, "old.json", benchFixture(map[string]float64{
+		"FitLSQR/2000x400": 1e6, "ParGemm/256x512x64": 8e5, "PredictBatch/64x800": 2e5,
+	}))
+	// Within tolerance everywhere: exit 0 and every line says ok.
+	samePath := writeBench(t, "same.json", benchFixture(map[string]float64{
+		"FitLSQR/2000x400": 1.05e6, "ParGemm/256x512x64": 7.8e5, "PredictBatch/64x800": 2e5,
+	}))
+	var sb strings.Builder
+	if code := benchdiffMain(&sb, &sb, []string{oldPath, samePath}); code != 0 {
+		t.Fatalf("clean diff exited %d:\n%s", code, sb.String())
+	}
+	if strings.Count(sb.String(), "ok") != 3 {
+		t.Fatalf("want 3 ok lines:\n%s", sb.String())
+	}
+
+	// One benchmark 25%% slower: exit 1 and the line is flagged.
+	sb.Reset()
+	slowPath := writeBench(t, "slow.json", benchFixture(map[string]float64{
+		"FitLSQR/2000x400": 1.25e6, "ParGemm/256x512x64": 8e5, "PredictBatch/64x800": 2e5,
+	}))
+	if code := benchdiffMain(&sb, &sb, []string{oldPath, slowPath}); code != 1 {
+		t.Fatalf("regressed diff exited %d:\n%s", code, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "regression") || !strings.Contains(out, "1 benchmark(s) regressed") {
+		t.Fatalf("regression not flagged:\n%s", out)
+	}
+
+	// A looser -tol accepts the same pair.
+	sb.Reset()
+	if code := benchdiffMain(&sb, &sb, []string{"-tol", "0.30", oldPath, slowPath}); code != 0 {
+		t.Fatalf("-tol 0.30 still exited %d:\n%s", code, sb.String())
+	}
+}
+
+func TestBenchdiffUsageAndBadFiles(t *testing.T) {
+	var sb strings.Builder
+	if code := benchdiffMain(&sb, &sb, []string{"only-one.json"}); code != 2 {
+		t.Fatalf("one arg exited %d", code)
+	}
+	good := writeBench(t, "good.json", benchFixture(map[string]float64{
+		"FitLSQR/2000x400": 1, "ParGemm/256x512x64": 1, "PredictBatch/64x800": 1,
+	}))
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tool":"srdabench","schema":1,"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := benchdiffMain(&sb, &sb, []string{good, bad}); code != 1 {
+		t.Fatalf("invalid new report exited %d", code)
+	}
+	if code := benchdiffMain(&sb, &sb, []string{filepath.Join(t.TempDir(), "missing.json"), good}); code != 1 {
+		t.Fatalf("missing old report exited %d", code)
+	}
+}
+
 func TestCheckRejectsInvalid(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

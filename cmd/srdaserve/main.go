@@ -17,19 +17,22 @@
 // -drain-timeout.  See doc/SERVING.md for the payload schema.
 //
 // -debug-addr starts a second, operator-only listener exposing
-// /debug/pprof/ (net/http/pprof), /debug/vars (expvar), and /metrics
-// (the server's Prometheus registry plus the process-wide one with the
-// worker-pool gauges).  Keep it bound to localhost; it is never meant to
-// face prediction traffic.  See doc/OBSERVABILITY.md.
+// /debug/pprof/ (net/http/pprof), /debug/vars (expvar), /debug/traces
+// (the request tracer's ring as Chrome trace-event JSON, openable in
+// Perfetto), and /metrics (the server's Prometheus registry plus the
+// process-wide one with the worker-pool gauges).  Keep it bound to
+// localhost; it is never meant to face prediction traffic.  On shutdown
+// -trace-out and -metrics-out flush the trace ring and a final metrics
+// snapshot to files.  See doc/OBSERVABILITY.md.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -53,34 +56,65 @@ type config struct {
 	queueDepth   int
 	watch        time.Duration
 	drainTimeout time.Duration
+	traceCap     int
+	traceOut     string
+	metricsOut   string
+	logLevel     string
+	logJSON      bool
 }
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.modelPath, "model", "", "trained model file to serve (required; written by srdatrain)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional operator listener with /debug/pprof/, /debug/vars, and the full obs /metrics (keep on localhost)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional operator listener with /debug/pprof/, /debug/vars, /debug/traces, and the full obs /metrics (keep on localhost)")
 	flag.IntVar(&cfg.maxBatch, "max-batch", 64, "max samples coalesced into one inference batch")
 	flag.DurationVar(&cfg.maxWait, "max-wait", 2*time.Millisecond, "max time the batcher holds a non-full batch open")
 	flag.IntVar(&cfg.workers, "workers", 0, "inference worker goroutines (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.queueDepth, "queue", 4096, "queued-sample cap; beyond it requests get 503")
 	flag.DurationVar(&cfg.watch, "watch", 0, "poll the model file at this interval and hot-reload on change (0 = off; SIGHUP always reloads)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "grace period for in-flight requests on shutdown")
+	flag.IntVar(&cfg.traceCap, "trace-capacity", 0, "completed spans the request-trace ring retains (0 = default)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the trace ring as Chrome trace-event JSON here on shutdown")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a final Prometheus metrics snapshot here on shutdown")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit JSON-lines logs instead of text")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "srdaserve: ", log.LstdFlags)
+	lvl, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var logger *obs.Logger
+	if cfg.logJSON {
+		logger = obs.NewJSONLogger(os.Stderr, lvl)
+	} else {
+		logger = obs.NewLogger(os.Stderr, lvl)
+	}
 	shutdown := make(chan os.Signal, 1)
 	signal.Notify(shutdown, syscall.SIGINT, syscall.SIGTERM)
 	if err := run(cfg, logger, nil, nil, shutdown); err != nil {
-		logger.Fatal(err)
+		logger.Error("srdaserve failed", "err", err.Error())
+		os.Exit(1)
 	}
 }
+
+// readHeaderTimeout bounds how long an accepted connection may sit
+// without delivering its request headers.  Besides slow-client hygiene,
+// it keeps shutdown prompt: http.Server.Shutdown waits up to five
+// seconds before closing a connection that was accepted but never
+// carried a request (a client transport's lost dial race leaves exactly
+// that), which would otherwise eat the whole -drain-timeout budget
+// before the dispatcher drain runs.  Must stay below the default
+// -drain-timeout.
+const readHeaderTimeout = 2 * time.Second
 
 // run loads the model, starts the server, and blocks until a shutdown
 // signal arrives, then drains.  When ready is non-nil the bound listener
 // address is sent on it once the server is accepting (used by tests and
 // for -addr :0); debugReady does the same for the -debug-addr listener.
-func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
+func run(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
 	if cfg.modelPath == "" {
 		return fmt.Errorf("need -model; see -h")
 	}
@@ -89,16 +123,18 @@ func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shut
 		return fmt.Errorf("loading model: %w", err)
 	}
 	s, err := serve.New(model, serve.Options{
-		MaxBatch:   cfg.maxBatch,
-		MaxWait:    cfg.maxWait,
-		Workers:    cfg.workers,
-		QueueDepth: cfg.queueDepth,
+		MaxBatch:      cfg.maxBatch,
+		MaxWait:       cfg.maxWait,
+		Workers:       cfg.workers,
+		QueueDepth:    cfg.queueDepth,
+		TraceCapacity: cfg.traceCap,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
 	}
-	logger.Printf("model %s: %d features, %d classes, %d embedding dims",
-		cfg.modelPath, model.W.Rows, model.NumClasses, model.Dim())
+	logger.Info("model loaded", "path", cfg.modelPath,
+		"features", model.W.Rows, "classes", model.NumClasses, "dims", model.Dim())
 
 	// SIGHUP always forces a reload; -watch additionally polls for changes.
 	hup := make(chan os.Signal, 1)
@@ -109,14 +145,14 @@ func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shut
 		defer close(hupDone)
 		for range hup {
 			if seq, err := s.ReloadFromFile(cfg.modelPath); err != nil {
-				logger.Printf("SIGHUP reload failed, keeping current model: %v", err)
+				logger.Warn("SIGHUP reload failed, keeping current model", "err", err.Error())
 			} else {
-				logger.Printf("SIGHUP: reloaded %s (model seq %d)", cfg.modelPath, seq)
+				logger.Info("SIGHUP reload done", "path", cfg.modelPath, "model_seq", seq)
 			}
 		}
 	}()
 	if cfg.watch > 0 {
-		stopWatch := s.WatchFile(cfg.modelPath, cfg.watch, logger)
+		stopWatch := s.WatchFile(cfg.modelPath, cfg.watch)
 		defer stopWatch()
 	}
 
@@ -126,13 +162,14 @@ func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shut
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debugSrv = &http.Server{Handler: debugMux(s)}
+		debugSrv = &http.Server{Handler: debugMux(s), ReadHeaderTimeout: readHeaderTimeout}
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("debug listener: %v", err)
+				logger.Error("debug listener failed", "err", err.Error())
 			}
 		}()
-		logger.Printf("debug listener on %s (/debug/pprof/, /debug/vars, /metrics)", dln.Addr())
+		logger.Info("debug listener up", "addr", dln.Addr().String(),
+			"endpoints", "/debug/pprof/ /debug/vars /debug/traces /metrics")
 		if debugReady != nil {
 			debugReady <- dln.Addr()
 		}
@@ -142,17 +179,18 @@ func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shut
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: s.Handler()}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: readHeaderTimeout}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	logger.Printf("serving on %s (max-batch %d, max-wait %s)", ln.Addr(), cfg.maxBatch, cfg.maxWait)
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"max_batch", cfg.maxBatch, "max_wait", cfg.maxWait.String())
 	if ready != nil {
 		ready <- ln.Addr()
 	}
 
 	select {
 	case sig := <-shutdown:
-		logger.Printf("%v: draining (timeout %s)", sig, cfg.drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", cfg.drainTimeout.String())
 	case err := <-serveErr:
 		return fmt.Errorf("listener failed: %w", err)
 	}
@@ -164,20 +202,51 @@ func run(cfg config, logger *log.Logger, ready, debugReady chan<- net.Addr, shut
 	defer cancel()
 	if debugSrv != nil {
 		if err := debugSrv.Shutdown(ctx); err != nil {
-			logger.Printf("debug shutdown: %v", err)
+			logger.Warn("debug shutdown incomplete", "err", err.Error())
 		}
 	}
 	if err := hs.Shutdown(ctx); err != nil {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("listener shutdown incomplete", "err", err.Error())
 	}
-	if err := s.Close(ctx); err != nil {
-		return err
+	// Flush observability artifacts even when the drain times out: a
+	// truncated trace of a wedged server is exactly what the operator
+	// needs, and the drain error still decides the exit status.
+	closeErr := s.Close(ctx)
+	flushArtifacts(cfg, s, logger)
+	if closeErr != nil {
+		return closeErr
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Print("drained, bye")
+	logger.Info("drained, bye")
 	return nil
+}
+
+// flushArtifacts writes the trace ring (-trace-out) and a final combined
+// metrics snapshot (-metrics-out) at shutdown.
+func flushArtifacts(cfg config, s *serve.Server, logger *obs.Logger) {
+	if cfg.traceOut != "" {
+		var buf bytes.Buffer
+		if err := s.Tracer().WriteChromeTrace(&buf); err != nil {
+			logger.Error("trace export failed", "err", err.Error())
+		} else if err := os.WriteFile(cfg.traceOut, buf.Bytes(), 0o644); err != nil {
+			logger.Error("trace flush failed", "path", cfg.traceOut, "err", err.Error())
+		} else {
+			logger.Info("trace flushed", "path", cfg.traceOut,
+				"spans", s.Tracer().SpanCount(), "evicted", s.Tracer().Evicted())
+		}
+	}
+	if cfg.metricsOut != "" {
+		var buf bytes.Buffer
+		obs.Default().WritePrometheus(&buf)
+		s.Registry().WritePrometheus(&buf)
+		if err := os.WriteFile(cfg.metricsOut, buf.Bytes(), 0o644); err != nil {
+			logger.Error("metrics flush failed", "path", cfg.metricsOut, "err", err.Error())
+		} else {
+			logger.Info("metrics flushed", "path", cfg.metricsOut)
+		}
+	}
 }
 
 // debugMux assembles the operator-only endpoint set: Go's pprof and expvar
@@ -197,6 +266,12 @@ func debugMux(s *serve.Server) *http.ServeMux {
 		w.Header().Set("Content-Type", obs.PromContentType)
 		obs.Default().WritePrometheus(w)
 		s.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// The ring snapshot is taken inside; a failed write means the
+		// client hung up.
+		_ = s.Tracer().WriteChromeTrace(w)
 	})
 	return mux
 }

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -46,7 +45,8 @@ func startServer(t *testing.T, cfg config) (string, string, func()) {
 	shutdown := make(chan os.Signal, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(cfg, log.New(io.Discard, "", 0), ready, debugReady, shutdown)
+		// A nil *obs.Logger is a no-op, which keeps test output quiet.
+		errCh <- run(cfg, nil, ready, debugReady, shutdown)
 	}()
 	var debugBase string
 	if cfg.debugAddr != "" {
@@ -184,11 +184,10 @@ func TestServeWatchReload(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	logger := log.New(io.Discard, "", 0)
-	if err := run(config{}, logger, nil, nil, nil); err == nil {
+	if err := run(config{}, nil, nil, nil, nil); err == nil {
 		t.Fatal("missing -model accepted")
 	}
-	if err := run(config{modelPath: filepath.Join(t.TempDir(), "nope.bin")}, logger, nil, nil, nil); err == nil {
+	if err := run(config{modelPath: filepath.Join(t.TempDir(), "nope.bin")}, nil, nil, nil, nil); err == nil {
 		t.Fatal("missing model file accepted")
 	}
 }

@@ -54,7 +54,7 @@ func main() {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
-	stopWatch := srv.WatchFile(modelPath, 10*time.Millisecond, nil)
+	stopWatch := srv.WatchFile(modelPath, 10*time.Millisecond)
 	defer stopWatch()
 	fmt.Printf("serving on http://%s\n", ln.Addr())
 

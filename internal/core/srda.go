@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -185,19 +186,42 @@ func (m *Model) PredictSparse(x *sparse.CSR) []int {
 // is fully amortized.  It matches PredictDense up to floating-point
 // tie-breaking and is the path the serving layer's micro-batcher runs.
 func (m *Model) PredictBatch(x *mat.Dense) []int {
+	return m.PredictBatchCtx(context.Background(), x)
+}
+
+// PredictBatchCtx is PredictBatch under request-scoped tracing: when ctx
+// carries an active span (obs.StartSpan), the projection GEMM and the
+// centroid assignment are recorded as its "core.gemm" and
+// "core.classify" children.  Cancellation is deliberately not consulted
+// — a batch that has reached the kernels runs to completion.
+func (m *Model) PredictBatchCtx(ctx context.Context, x *mat.Dense) []int {
 	if m.Centroids == nil {
 		panic("core: PredictBatch requires SetCentroids")
 	}
-	return m.classifyBatch(m.ProjectBatch(x, nil))
+	emb := m.ProjectBatchCtx(ctx, x, nil)
+	_, sp := obs.StartSpan(ctx, "core.classify")
+	out := m.classifyBatch(emb)
+	sp.End()
+	return out
 }
 
 // PredictBatchCSR classifies every CSR row with the batched
 // nearest-centroid assignment; the projection stays O(nnz).
 func (m *Model) PredictBatchCSR(x *sparse.CSR) []int {
+	return m.PredictBatchCSRCtx(context.Background(), x)
+}
+
+// PredictBatchCSRCtx is PredictBatchCSR under request-scoped tracing,
+// with "core.project_csr" and "core.classify" child spans.
+func (m *Model) PredictBatchCSRCtx(ctx context.Context, x *sparse.CSR) []int {
 	if m.Centroids == nil {
 		panic("core: PredictBatchCSR requires SetCentroids")
 	}
-	return m.classifyBatch(m.ProjectBatchCSR(x, nil))
+	emb := m.ProjectBatchCSRCtx(ctx, x, nil)
+	_, sp := obs.StartSpan(ctx, "core.classify")
+	out := m.classifyBatch(emb)
+	sp.End()
+	return out
 }
 
 func (m *Model) classifyBatch(emb *mat.Dense) []int {
@@ -343,11 +367,17 @@ const projMinWork = 1 << 14
 // shardRows runs fn over the row range of x, parallel when the volume
 // justifies it.
 func (m *Model) shardRows(x *sparse.CSR, fn func(lo, hi int)) {
+	m.shardRowsCtx(context.Background(), x, fn)
+}
+
+// shardRowsCtx is shardRows threading a tracing context into the pool,
+// so a traced request records the "pool.do" dispatch span.
+func (m *Model) shardRowsCtx(ctx context.Context, x *sparse.CSR, fn func(lo, hi int)) {
 	if m.Workers == 1 || x.Rows < 2 || x.NNZ()*m.Dim() < projMinWork {
 		fn(0, x.Rows)
 		return
 	}
-	pool.Do(m.Workers, x.Rows, fn)
+	pool.DoCtx(ctx, m.Workers, x.Rows, fn)
 }
 
 // ProjectBatch embeds the rows of x with one GEMM into dst, which is
@@ -363,24 +393,41 @@ func (m *Model) shardRows(x *sparse.CSR, fn func(lo, hi int)) {
 // all of W per sample through (c−1)-wide strided updates.  That is the
 // lowering that makes batching ≥2× faster than per-row prediction.
 func (m *Model) ProjectBatch(x *mat.Dense, dst *mat.Dense) *mat.Dense {
+	return m.ProjectBatchCtx(context.Background(), x, dst)
+}
+
+// ProjectBatchCtx is ProjectBatch recording the GEMM as a "core.gemm"
+// child span when ctx carries one (obs.StartSpan); the numerics are
+// identical.
+func (m *Model) ProjectBatchCtx(ctx context.Context, x *mat.Dense, dst *mat.Dense) *mat.Dense {
 	if x.Cols != m.W.Rows {
 		panic(fmt.Sprintf("core: ProjectBatch feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
 	}
 	dst = m.batchDst(x.Rows, dst)
 	wt := m.projT()
+	_, sp := obs.StartSpan(ctx, "core.gemm")
 	blas.ParGemmTB(m.Workers, x.Rows, m.Dim(), x.Cols, 1, x.Data, x.Stride, wt.Data, wt.Stride, 0, dst.Data, dst.Stride)
 	m.addBias(dst)
+	sp.End()
 	return dst
 }
 
 // ProjectBatchCSR embeds CSR rows into dst (reused like ProjectBatch)
 // without densifying them; cost stays O(nnz · (c−1)).
 func (m *Model) ProjectBatchCSR(x *sparse.CSR, dst *mat.Dense) *mat.Dense {
+	return m.ProjectBatchCSRCtx(context.Background(), x, dst)
+}
+
+// ProjectBatchCSRCtx is ProjectBatchCSR under request-scoped tracing:
+// the sparse projection records as a "core.project_csr" child span, and
+// a pool dispatch below it as "pool.do".
+func (m *Model) ProjectBatchCSRCtx(ctx context.Context, x *sparse.CSR, dst *mat.Dense) *mat.Dense {
 	if x.Cols != m.W.Rows {
 		panic(fmt.Sprintf("core: ProjectBatchCSR feature mismatch: data has %d, model %d", x.Cols, m.W.Rows))
 	}
 	dst = m.batchDst(x.Rows, dst)
-	m.shardRows(x, func(lo, hi int) {
+	spCtx, sp := obs.StartSpan(ctx, "core.project_csr")
+	m.shardRowsCtx(spCtx, x, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := dst.RowView(i)
 			copy(row, m.B)
@@ -390,6 +437,7 @@ func (m *Model) ProjectBatchCSR(x *sparse.CSR, dst *mat.Dense) *mat.Dense {
 			}
 		}
 	})
+	sp.End()
 	return dst
 }
 

@@ -7,7 +7,7 @@
 // bitwise-identical to their sequential versions, and every source of
 // nondeterminism (goroutines, clocks, unseeded randomness) is confined to
 // the few packages allowed to own it.  doc/PERFORMANCE.md states that
-// contract in prose; this package states it as seven analyzers that run
+// contract in prose; this package states it as eight analyzers that run
 // over the whole module on every `make check`:
 //
 //   - goroutine-discipline: no raw go statements outside internal/pool,
@@ -31,6 +31,10 @@
 //     bench and experiment layers.
 //   - errdrop: no silently discarded error returns outside tests; an
 //     explicit `_ =` is required where dropping is intentional.
+//   - rawlog: no package log (and no fmt.Fprint* to os.Stderr) in library
+//     packages — diagnostics flow through the structured, level-gated,
+//     trace-correlated obs.Logger; main packages and internal/obs itself
+//     are exempt.
 //
 // Findings can be suppressed per line with
 //
@@ -98,6 +102,7 @@ var Analyzers = []*Analyzer{
 	HotAlloc,
 	NoClock,
 	ErrDrop,
+	RawLog,
 }
 
 // AnalyzerByName returns the analyzer with the given name, or nil.

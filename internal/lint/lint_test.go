@@ -101,7 +101,7 @@ func loadCorpus(t *testing.T, name string) *Module {
 func TestCorpus(t *testing.T) {
 	for _, name := range []string{
 		"goroutine", "floatcmp", "seededrand", "partwin",
-		"hotalloc", "noclock", "errdrop",
+		"hotalloc", "noclock", "errdrop", "rawlog",
 	} {
 		t.Run(name, func(t *testing.T) {
 			mod := loadCorpus(t, name)
@@ -167,8 +167,8 @@ func TestAnalyzerRegistry(t *testing.T) {
 	if AnalyzerByName("nosuch") != nil {
 		t.Error("AnalyzerByName accepts unknown names")
 	}
-	if len(Analyzers) != 7 {
-		t.Errorf("suite has %d analyzers, expected 7", len(Analyzers))
+	if len(Analyzers) != 8 {
+		t.Errorf("suite has %d analyzers, expected 8", len(Analyzers))
 	}
 }
 

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawLog bans ad-hoc logging in library packages: any use of package log
+// (Printf, Fatalf, New, default-logger state — all of it) and any
+// fmt.Fprint* aimed at os.Stderr.  Library diagnostics must flow through
+// the structured obs.Logger the process configures once — level-gated,
+// trace-correlated, optionally JSON — or be returned as errors; a stray
+// log.Printf in the serving path bypasses level control, loses the
+// request's trace_id, and corrupts JSON log streams.
+//
+// Main packages (cmd/*, examples/*) are exempt: a binary's main owns the
+// process's stderr and decides how to present startup failures.
+// internal/obs is exempt as the logging implementation itself.  Printing
+// to stdout (fmt.Printf and friends) is untouched — tables and reports
+// are output, not logging.  Test files are not checked.
+var RawLog = &Analyzer{
+	Name: "rawlog",
+	Doc:  "no package log or fmt-to-os.Stderr logging in library packages; route through internal/obs",
+	Run:  runRawLog,
+}
+
+// rawLogOwners are the packages allowed to touch raw logging machinery:
+// the structured-logging implementation itself.
+var rawLogOwners = []string{"internal/obs"}
+
+// fprintFuncs are the fmt functions whose first argument picks the
+// destination writer.
+var fprintFuncs = map[string]bool{
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+func runRawLog(pass *Pass) {
+	if pass.Pkg.Name == "main" || underAny(pass.Pkg.RelDir, rawLogOwners) {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.inspectFiles(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "log" {
+				return true
+			}
+			pass.Reportf(n.Pos(), "log.%s in library package %s bypasses the structured obs.Logger (no level gate, no trace_id); log through the logger the caller injects, or return an error", obj.Name(), pass.Pkg.Path)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !fprintFuncs[fn.Name()] {
+				return true
+			}
+			if isStderr(info, n.Args[0]) {
+				pass.Reportf(n.Pos(), "fmt.%s to os.Stderr in library package %s is unstructured logging; route it through obs.Logger or return an error", fn.Name(), pass.Pkg.Path)
+			}
+		}
+		return true
+	})
+}
+
+// isStderr reports whether expr resolves to the os.Stderr variable.
+func isStderr(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" && v.Name() == "Stderr"
+}

@@ -1,0 +1,14 @@
+// Command tool owns the process stderr; raw logging is its call.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.Printf("starting")
+	fmt.Fprintln(os.Stderr, "usage: tool")
+}

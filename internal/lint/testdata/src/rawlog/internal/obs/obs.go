@@ -1,0 +1,15 @@
+// Package obs stands in for the logging implementation itself, which is
+// the one library allowed to touch raw logging machinery.
+package obs
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Fallback is the pre-configuration logger of last resort.
+var Fallback = log.New(os.Stderr, "obs ", 0)
+
+// Emergency writes directly when the logger itself is broken.
+func Emergency(msg string) { fmt.Fprintln(os.Stderr, msg) }

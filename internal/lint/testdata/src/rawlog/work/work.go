@@ -1,0 +1,34 @@
+// Package work is a library: its diagnostics must flow through the
+// injected structured logger, never ad-hoc process-global logging.
+package work
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+// Keep holds raw logger state — the state itself is the violation.
+var Keep = log.New(os.Stderr, "work ", 0) // want "log.New in library package"
+
+// Process logs the wrong way in every branch.
+func Process(n int) {
+	log.Printf("processing %d items", n) // want "log.Printf in library package"
+	if n == 0 {
+		log.Println("nothing to do") // want "log.Println in library package"
+	}
+	fmt.Fprintf(os.Stderr, "warn: %d\n", n) // want "fmt.Fprintf to os.Stderr in library package"
+	fmt.Fprintln(os.Stderr, "done")         // want "fmt.Fprintln to os.Stderr in library package"
+}
+
+// Report prints to stdout: that is output, not logging.
+func Report(n int) {
+	fmt.Printf("processed %d\n", n)
+	fmt.Fprintf(os.Stdout, "total %d\n", n)
+}
+
+// Structured logs through log/slog handles, which is not package log.
+func Structured(l *slog.Logger, n int) {
+	l.Info("processed", "n", n)
+}

@@ -1,0 +1,104 @@
+package obs
+
+// Chrome trace-event export for the request tracer.  The output is the
+// JSON object format of the Trace Event spec ("X" complete events), which
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing open directly:
+// one row (tid) per TraceID, so each request reads as its own lane with
+// request → batch → kernel nesting visible as stacked slices.
+//
+// Export is deterministic: spans sort by (trace, start, span id) and
+// timestamps are microseconds relative to the earliest span in the
+// export, so a fixed clock and request order produce byte-identical
+// output — which is what lets the exporter be golden-tested.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one complete ("ph":"X") trace event.  Field order is the
+// serialization order; keep it stable, the exporter is golden-tested.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	TS   int64      `json:"ts"`  // microseconds since the earliest span
+	Dur  int64      `json:"dur"` // microseconds
+	PID  int        `json:"pid"`
+	TID  uint64     `json:"tid"` // trace id: one lane per request
+	Args chromeArgs `json:"args"`
+}
+
+// chromeArgs carries the span-tree coordinates for programmatic readers.
+type chromeArgs struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id"`
+}
+
+// chromeFile is the top-level trace-event JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// FormatTraceID renders a TraceID the way the exporter does ("t%016x").
+func FormatTraceID(id TraceID) string { return fmt.Sprintf("t%016x", uint64(id)) }
+
+// WriteChromeTrace exports the ring's completed spans as Chrome
+// trace-event JSON.  An empty ring exports an empty traceEvents array
+// (still a valid file).  Nil receiver writes the empty file too.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	sortSpans(spans)
+	events := make([]chromeEvent, 0, len(spans))
+	var epoch int64
+	if len(spans) > 0 {
+		epoch = spans[0].Start.UnixMicro()
+		for _, sp := range spans[1:] {
+			if us := sp.Start.UnixMicro(); us < epoch {
+				epoch = us
+			}
+		}
+	}
+	for _, sp := range spans {
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  "srda",
+			Ph:   "X",
+			TS:   sp.Start.UnixMicro() - epoch,
+			Dur:  sp.Duration.Microseconds(),
+			PID:  1,
+			TID:  uint64(sp.Trace),
+			Args: chromeArgs{
+				TraceID:  FormatTraceID(sp.Trace),
+				SpanID:   uint64(sp.ID),
+				ParentID: uint64(sp.Parent),
+			},
+		})
+	}
+	data, err := json.Marshal(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// sortSpans orders spans by (trace, start, span id): traces group
+// together, and within a trace parents (which start no later than their
+// children and were assigned smaller ids) come first.
+func sortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		return a.ID < b.ID
+	})
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerDeterministicOutput(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), step: time.Second}
+	var sb strings.Builder
+	l := NewLoggerClock(&sb, slog.LevelInfo, false, clk.read)
+	l.Info("model loaded", "classes", 3, "dims", 16)
+	const want = "time=2026-01-02T03:04:06.000Z level=INFO msg=\"model loaded\" classes=3 dims=16\n"
+	if sb.String() != want {
+		t.Fatalf("got %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestLoggerJSONIncludesAttrs(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), step: time.Second}
+	var sb strings.Builder
+	l := NewLoggerClock(&sb, slog.LevelInfo, true, clk.read)
+	l.With("component", "serve").Warn("queue full", "dropped", 7)
+	out := sb.String()
+	for _, frag := range []string{`"level":"WARN"`, `"msg":"queue full"`, `"component":"serve"`, `"dropped":7`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %s: %s", frag, out)
+		}
+	}
+}
+
+func TestLoggerLevelControl(t *testing.T) {
+	var sb strings.Builder
+	l := NewLoggerClock(&sb, slog.LevelInfo, false, (&fakeClock{now: time.Unix(0, 0).UTC(), step: time.Second}).read)
+	l.Debug("hidden")
+	if sb.Len() != 0 {
+		t.Fatalf("debug logged at info level: %q", sb.String())
+	}
+	l.SetLevel(slog.LevelDebug)
+	l.Debug("visible")
+	if !strings.Contains(sb.String(), "visible") {
+		t.Fatalf("debug suppressed after SetLevel(debug): %q", sb.String())
+	}
+	// Children share the parent's level var.
+	child := l.With("k", "v")
+	child.SetLevel(slog.LevelError)
+	sb.Reset()
+	l.Info("also hidden")
+	if sb.Len() != 0 {
+		t.Fatalf("parent ignored child's SetLevel: %q", sb.String())
+	}
+}
+
+func TestLoggerWithTrace(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0).UTC(), step: time.Second}
+	tr := NewTracerClock(8, clk.read)
+	ctx, sp := tr.StartRoot(context.Background(), "request")
+	defer sp.End()
+
+	var sb strings.Builder
+	l := NewLoggerClock(&sb, slog.LevelInfo, false, clk.read)
+	l.WithTrace(ctx).Info("handling")
+	out := sb.String()
+	if !strings.Contains(out, "trace_id=t0000000000000001") || !strings.Contains(out, "span_id=1") {
+		t.Fatalf("trace correlation missing: %q", out)
+	}
+	// Without a span in ctx, WithTrace is the identity.
+	if l.WithTrace(context.Background()) != l {
+		t.Fatal("WithTrace without a span should return the receiver")
+	}
+}
+
+func TestLoggerSample(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0).UTC(), step: 100 * time.Millisecond}
+	var sb strings.Builder
+	l := NewLoggerClock(&sb, slog.LevelInfo, false, clk.read)
+
+	emitted := 0
+	for i := 0; i < 25; i++ { // clock steps 100ms per call: 2.5s of bursts
+		if s := l.Sample("burst", time.Second); s != nil {
+			s.Warn("overflow")
+			emitted++
+		}
+	}
+	if emitted < 2 || emitted > 4 {
+		t.Fatalf("sampled %d lines over 2.5s at 1/s, want 2-4:\n%s", emitted, sb.String())
+	}
+	if !strings.Contains(sb.String(), "suppressed=") {
+		t.Fatalf("no suppressed count surfaced:\n%s", sb.String())
+	}
+	// Distinct keys sample independently.
+	if l.Sample("other", time.Second) == nil {
+		t.Fatal("fresh key was suppressed")
+	}
+}
+
+func TestLoggerNilNoOps(t *testing.T) {
+	var l *Logger
+	l.Info("nothing")
+	l.Error("nothing")
+	l.SetLevel(slog.LevelDebug)
+	if l.Level() != slog.LevelInfo {
+		t.Fatalf("nil Level = %v", l.Level())
+	}
+	if l.With("k", "v") != nil || l.WithTrace(context.Background()) != nil || l.Sample("k", time.Second) != nil {
+		t.Fatal("nil derivations must stay nil")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

@@ -159,6 +159,27 @@ func (g *gaugeFunc) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", g.name, g.fn())
 }
 
+// gaugeFloatFunc is gaugeFunc for float-valued samples (latency
+// quantiles); it renders with %g like histogram sums, so dyadic values
+// stay exact and exposition stays golden-testable.
+type gaugeFloatFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFloatFunc registers a float gauge whose value is sampled by
+// calling fn at exposition time.  fn must be safe for concurrent use.
+func (r *Registry) NewGaugeFloatFunc(name, help string, fn func() float64) {
+	r.register(&gaugeFloatFunc{name: name, help: help, fn: fn})
+}
+
+func (g *gaugeFloatFunc) metricName() string { return g.name }
+
+func (g *gaugeFloatFunc) writeProm(w io.Writer) {
+	promHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %g\n", g.name, g.fn())
+}
+
 // CounterVec is a set of counters keyed by a fixed tuple of label values.
 // Lookup of an existing label tuple is a read-lock plus one atomic; only
 // first-time insertion takes the write lock.

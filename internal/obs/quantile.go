@@ -1,0 +1,212 @@
+package obs
+
+// Streaming quantile estimation for the serving path.  The fixed-bucket
+// Histogram can only answer "which bucket" — its quantiles are bounded by
+// bucket resolution.  QuantileSketch implements the CKMS targeted-
+// quantile summary (Cormode, Korn, Muthukrishnan, Srivastava, "Effective
+// Computation of Biased Quantiles over Data Streams", ICDE 2005): for
+// each target (q, ε) the summary keeps just enough samples that
+//
+//	Query(q) returns an observed value whose rank r satisfies
+//	(q−ε)·n ≤ r ≤ (q+ε)·n
+//
+// — a hard rank-error bound, which is what the accuracy test in
+// quantile_test.go asserts against exact sorted quantiles.  Memory is
+// O((1/ε)·log(εn)) per target, independent of the stream length.
+//
+// Observations are buffered and merged in blocks so the hot path is an
+// append plus, every bufCap-th call, one small merge; a mutex serializes
+// access (the serving path observes once per HTTP request, not per
+// kernel iteration, so a lock here never touches the worker pool).
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// QuantileTarget is one tracked quantile with its rank-error tolerance.
+type QuantileTarget struct {
+	Q   float64 // quantile in (0, 1)
+	Eps float64 // rank error as a fraction of the stream length
+}
+
+// DefaultLatencyTargets are the serving-latency targets: tight tails,
+// looser median, the standard shape for latency SLOs.
+func DefaultLatencyTargets() []QuantileTarget {
+	return []QuantileTarget{{Q: 0.5, Eps: 0.01}, {Q: 0.95, Eps: 0.005}, {Q: 0.99, Eps: 0.001}}
+}
+
+// ckmsSample is one summary tuple: v is an observed value, g the gap in
+// minimum rank to the previous tuple, delta the rank uncertainty.
+type ckmsSample struct {
+	v     float64
+	g     int
+	delta int
+}
+
+// bufCap is the insert-buffer block size; inserts are O(1) amortized and
+// the summary only changes on flush.
+const bufCap = 512
+
+// QuantileSketch is a CKMS targeted-quantile summary.  Safe for
+// concurrent use.
+type QuantileSketch struct {
+	mu      sync.Mutex
+	targets []QuantileTarget
+	samples []ckmsSample
+	buf     []float64
+	n       int
+}
+
+// NewQuantileSketch creates a sketch tracking the given targets; with no
+// targets it tracks DefaultLatencyTargets.
+func NewQuantileSketch(targets ...QuantileTarget) *QuantileSketch {
+	if len(targets) == 0 {
+		targets = DefaultLatencyTargets()
+	}
+	return &QuantileSketch{
+		targets: append([]QuantileTarget(nil), targets...),
+		buf:     make([]float64, 0, bufCap),
+	}
+}
+
+// Observe records one value.
+func (s *QuantileSketch) Observe(v float64) {
+	s.mu.Lock()
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= bufCap {
+		s.flush()
+	}
+	s.mu.Unlock()
+}
+
+// Count returns the number of observed values.
+func (s *QuantileSketch) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n + len(s.buf)
+}
+
+// Query returns the estimate for quantile q, honoring the rank-error
+// bound of the nearest configured target.  NaN when nothing has been
+// observed.
+func (s *QuantileSketch) Query(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flush()
+	if s.n == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.n)
+	bound := s.invariant(rank) / 2
+	var cum int
+	for i, smp := range s.samples {
+		if float64(cum+smp.g+smp.delta) > rank+bound {
+			if i == 0 {
+				return smp.v
+			}
+			return s.samples[i-1].v
+		}
+		cum += smp.g
+	}
+	return s.samples[len(s.samples)-1].v
+}
+
+// invariant is the CKMS f(r, n): the permitted rank slack at rank r,
+// the minimum over all targets, never below 1.
+func (s *QuantileSketch) invariant(r float64) float64 { return s.invariantN(r, s.n) }
+
+// flush sorts the insert buffer, merges it into the summary, and
+// compresses.  Caller holds the mutex.
+func (s *QuantileSketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	merged := make([]ckmsSample, 0, len(s.samples)+len(s.buf))
+	var cum int // minimum rank of the last appended summary sample
+	si := 0
+	for _, v := range s.buf {
+		for si < len(s.samples) && s.samples[si].v <= v {
+			cum += s.samples[si].g
+			merged = append(merged, s.samples[si])
+			si++
+		}
+		var delta int
+		if si > 0 && si < len(s.samples) {
+			// Inserting between existing tuples: inherit the local
+			// uncertainty the invariant allows at this rank.
+			delta = int(math.Floor(s.invariantN(float64(cum), s.n))) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		merged = append(merged, ckmsSample{v: v, g: 1, delta: delta})
+		cum++
+		s.n++
+	}
+	for si < len(s.samples) {
+		merged = append(merged, s.samples[si])
+		si++
+	}
+	s.samples = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// invariantN is invariant evaluated at an explicit stream length.
+func (s *QuantileSketch) invariantN(r float64, n int) float64 {
+	nn := float64(n)
+	f := math.MaxFloat64
+	for _, t := range s.targets {
+		var v float64
+		if r < t.Q*nn {
+			v = 2 * t.Eps * (nn - r) / (1 - t.Q)
+		} else {
+			v = 2 * t.Eps * r / t.Q
+		}
+		if v < f {
+			f = v
+		}
+	}
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// compress merges adjacent tuples whose combined rank uncertainty still
+// fits the invariant, bounding summary size.  Caller holds the mutex.
+func (s *QuantileSketch) compress() {
+	if len(s.samples) < 3 {
+		return
+	}
+	out := s.samples[:0]
+	// Minimum rank up to and including sample i, maintained backwards.
+	ranks := make([]int, len(s.samples))
+	cum := 0
+	for i, smp := range s.samples {
+		cum += smp.g
+		ranks[i] = cum
+	}
+	// Walk backwards, greedily merging i into i+1; the last tuple is
+	// never merged away (it pins the maximum).
+	keepLast := s.samples[len(s.samples)-1]
+	kept := []ckmsSample{keepLast}
+	for i := len(s.samples) - 2; i >= 1; i-- {
+		cur := s.samples[i]
+		next := kept[len(kept)-1]
+		if float64(cur.g+next.g+next.delta) <= s.invariant(float64(ranks[i]-cur.g)) {
+			next.g += cur.g
+			kept[len(kept)-1] = next
+		} else {
+			kept = append(kept, cur)
+		}
+	}
+	out = append(out, s.samples[0])
+	for i := len(kept) - 1; i >= 0; i-- {
+		out = append(out, kept[i])
+	}
+	s.samples = out
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQuantileSketchRankBound drives seeded streams through the sketch
+// and asserts the CKMS guarantee: Query(q) returns an observed value
+// whose rank lies within (q±ε)·n of the exact sorted quantile.
+func TestQuantileSketchRankBound(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) }},
+	}
+	const n = 20000
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			s := NewQuantileSketch()
+			vals := make([]float64, n)
+			for i := range vals {
+				v := d.gen(r)
+				vals[i] = v
+				s.Observe(v)
+			}
+			if s.Count() != n {
+				t.Fatalf("Count = %d, want %d", s.Count(), n)
+			}
+			sort.Float64s(vals)
+			for _, tgt := range DefaultLatencyTargets() {
+				got := s.Query(tgt.Q)
+				// The returned value must have been observed...
+				lo := sort.SearchFloat64s(vals, got)
+				if lo == n || vals[lo] != got {
+					t.Fatalf("q=%v: %v was never observed", tgt.Q, got)
+				}
+				// ...and its rank window must intersect (q±ε)·n.
+				hi := sort.Search(n, func(i int) bool { return vals[i] > got })
+				minRank := float64(lo + 1)
+				maxRank := float64(hi)
+				wantLo := (tgt.Q - tgt.Eps) * n
+				wantHi := (tgt.Q + tgt.Eps) * n
+				if maxRank < wantLo || minRank > wantHi {
+					t.Errorf("q=%v eps=%v: value %v spans ranks [%v, %v], want within [%v, %v]",
+						tgt.Q, tgt.Eps, got, minRank, maxRank, wantLo, wantHi)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileSketchCompresses checks that memory stays sublinear in the
+// stream: 200k observations must not retain anywhere near 200k samples.
+func TestQuantileSketchCompresses(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewQuantileSketch()
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Observe(r.Float64())
+	}
+	s.mu.Lock()
+	s.flush()
+	kept := len(s.samples)
+	s.mu.Unlock()
+	if kept > n/20 {
+		t.Fatalf("sketch kept %d of %d samples; compression is not working", kept, n)
+	}
+}
+
+func TestQuantileSketchEmpty(t *testing.T) {
+	s := NewQuantileSketch()
+	if !math.IsNaN(s.Query(0.5)) {
+		t.Fatalf("Query on empty sketch = %v, want NaN", s.Query(0.5))
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+}
+
+// TestQuantileSketchTwoValues pins the exact behavior the serving
+// /metrics golden depends on: the two dyadic latencies the golden test
+// feeds yield p50 = first value, p95 = p99 = second value.
+func TestQuantileSketchTwoValues(t *testing.T) {
+	s := NewQuantileSketch()
+	s.Observe(0.001953125)
+	s.Observe(0.25)
+	if got := s.Query(0.5); got != 0.001953125 {
+		t.Errorf("Query(0.5) = %v, want 0.001953125", got)
+	}
+	if got := s.Query(0.95); got != 0.25 {
+		t.Errorf("Query(0.95) = %v, want 0.25", got)
+	}
+	if got := s.Query(0.99); got != 0.25 {
+		t.Errorf("Query(0.99) = %v, want 0.25", got)
+	}
+}
+
+func TestQuantileSketchConcurrent(t *testing.T) {
+	s := NewQuantileSketch()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			s.Observe(r.Float64())
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s.Query(0.5) // must not race with Observe
+	}
+	<-done
+	if s.Count() != 5000 {
+		t.Fatalf("Count = %d, want 5000", s.Count())
+	}
+}

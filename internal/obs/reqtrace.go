@@ -1,0 +1,234 @@
+package obs
+
+// Request-scoped tracing.  Where Trace (trace.go) collects flat, named
+// phase timings for one batch operation (a Fit call), Tracer records a
+// *tree* of spans correlated by a TraceID across goroutine hops: an HTTP
+// request enters serve.Server, its samples are coalesced with other
+// requests' by the micro-batch dispatcher, and the batch finally runs the
+// GEMM kernels — three goroutines, one logical request.  Spans propagate
+// through context.Context, completed spans land in a fixed-size ring
+// buffer (old traffic is evicted, never reallocated), and the ring
+// exports deterministically as Chrome trace-event JSON readable by
+// Perfetto (chrometrace.go).
+//
+// The nil discipline matches the rest of obs: a nil *Tracer, a context
+// without a span, and a nil *ReqSpan are all free no-ops, so the serving
+// and kernel call-sites instrument unconditionally.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID correlates every span of one logical request.  IDs are assigned
+// from a per-tracer counter, so they are deterministic under a
+// deterministic request order (and merely unique otherwise).
+type TraceID uint64
+
+// SpanID identifies one span within a tracer.  0 is reserved to mean
+// "no parent" (a root span).
+type SpanID uint64
+
+// SpanRecord is one completed span in the tracer's ring.
+type SpanRecord struct {
+	Trace    TraceID
+	ID       SpanID
+	Parent   SpanID // 0 for root spans
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Tracer assigns trace/span IDs and keeps the most recent completed spans
+// in a ring buffer of fixed capacity.  All methods are safe for
+// concurrent use; a nil *Tracer is a valid no-op.
+type Tracer struct {
+	clock    Clock
+	traceIDs atomic.Uint64
+	spanIDs  atomic.Uint64
+	evicted  atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int  // ring slot the next record lands in
+	full bool // the ring has wrapped at least once
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity <= 0.
+const DefaultTraceCapacity = 16384
+
+// NewTracer creates a tracer on the wall clock whose ring holds capacity
+// completed spans (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer { return NewTracerClock(capacity, time.Now) }
+
+// NewTracerClock creates a tracer on an injected clock; tests use a fake
+// clock to make exported timestamps and durations deterministic.
+func NewTracerClock(capacity int, clock Clock) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{clock: clock, ring: make([]SpanRecord, capacity)}
+}
+
+// ReqSpan is one open span of a request-scoped trace.  End completes it;
+// a nil *ReqSpan is a free no-op receiver.
+type ReqSpan struct {
+	tracer *Tracer
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// ctxKey carries the active *ReqSpan through a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *ReqSpan) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil when ctx carries none.
+func SpanFromContext(ctx context.Context) *ReqSpan {
+	s, _ := ctx.Value(ctxKey{}).(*ReqSpan)
+	return s
+}
+
+// StartRoot opens a new trace: it assigns a fresh TraceID, opens its root
+// span, and returns ctx carrying that span for StartSpan calls further
+// down the request path.  On a nil Tracer it returns (ctx, nil).
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *ReqSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &ReqSpan{
+		tracer: t,
+		trace:  TraceID(t.traceIDs.Add(1)),
+		id:     SpanID(t.spanIDs.Add(1)),
+		name:   name,
+		start:  t.clock(),
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartSpan opens a child of the span carried by ctx and returns ctx
+// re-pointed at the child.  When ctx carries no span (tracing disabled or
+// never started) it returns (ctx, nil), so instrumented code on the
+// numeric side never branches on whether tracing is on.
+func StartSpan(ctx context.Context, name string) (context.Context, *ReqSpan) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// StartChild opens a child span under s.  This is the fan-in escape hatch
+// for the micro-batch dispatcher, where one batch serves several requests
+// and each request's trace gets its own child covering the shared work.
+// Nil receiver returns nil.
+func (s *ReqSpan) StartChild(name string) *ReqSpan {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	return &ReqSpan{
+		tracer: t,
+		trace:  s.trace,
+		id:     SpanID(t.spanIDs.Add(1)),
+		parent: s.id,
+		name:   name,
+		start:  t.clock(),
+	}
+}
+
+// End completes the span and records it in the tracer's ring.  End is
+// idempotent (the dispatcher's queue spans can race their own closing)
+// and a no-op on nil.
+func (s *ReqSpan) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	t := s.tracer
+	rec := SpanRecord{
+		Trace:    s.trace,
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: t.clock().Sub(s.start),
+	}
+	t.mu.Lock()
+	if t.full {
+		t.evicted.Add(1)
+	}
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// TraceID returns the span's trace identifier (0 on nil).
+func (s *ReqSpan) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// SpanID returns the span's identifier (0 on nil).
+func (s *ReqSpan) SpanID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Snapshot returns the completed spans currently in the ring, oldest
+// first.  Nil receiver returns nil.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Evicted returns how many completed spans the ring has overwritten.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted.Load()
+}
+
+// SpanCount returns the number of completed spans currently held.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}

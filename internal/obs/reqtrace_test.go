@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestTraceSpanTree(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0), step: time.Millisecond}
+	tr := NewTracerClock(16, clk.read)
+
+	ctx, root := tr.StartRoot(context.Background(), "request")
+	if root == nil || root.TraceID() != 1 {
+		t.Fatalf("root = %+v", root)
+	}
+	cctx, child := StartSpan(ctx, "batch")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %d, root trace %d", child.TraceID(), root.TraceID())
+	}
+	_, leaf := StartSpan(cctx, "kernel")
+	leaf.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["batch"].Parent != byName["request"].ID {
+		t.Errorf("batch parent = %d, want %d", byName["batch"].Parent, byName["request"].ID)
+	}
+	if byName["kernel"].Parent != byName["batch"].ID {
+		t.Errorf("kernel parent = %d, want %d", byName["kernel"].Parent, byName["batch"].ID)
+	}
+	if byName["request"].Parent != 0 {
+		t.Errorf("request parent = %d, want 0", byName["request"].Parent)
+	}
+	for _, sp := range spans {
+		if sp.Trace != 1 {
+			t.Errorf("span %q has trace %d, want 1", sp.Name, sp.Trace)
+		}
+	}
+}
+
+func TestStartChildFanIn(t *testing.T) {
+	tr := NewTracerClock(16, (&fakeClock{now: time.Unix(0, 0), step: time.Millisecond}).read)
+	_, a := tr.StartRoot(context.Background(), "request")
+	_, b := tr.StartRoot(context.Background(), "request")
+	ca, cb := a.StartChild("batch"), b.StartChild("batch")
+	if ca.TraceID() != a.TraceID() || cb.TraceID() != b.TraceID() {
+		t.Fatal("children not on their parents' traces")
+	}
+	if ca.SpanID() == cb.SpanID() {
+		t.Fatal("span ids collide across traces")
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), "request")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	_, child := StartSpan(ctx, "x")
+	if child != nil {
+		t.Fatal("span from spanless context")
+	}
+	child.End() // must not panic
+	sp.StartChild("y").End()
+	if tr.Snapshot() != nil || tr.SpanCount() != 0 || tr.Evicted() != 0 {
+		t.Fatal("nil tracer reports state")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil export = %q", sb.String())
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracerClock(8, (&fakeClock{now: time.Unix(0, 0), step: time.Millisecond}).read)
+	_, sp := tr.StartRoot(context.Background(), "request")
+	sp.End()
+	sp.End()
+	if n := tr.SpanCount(); n != 1 {
+		t.Fatalf("double End recorded %d spans", n)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracerClock(4, (&fakeClock{now: time.Unix(0, 0), step: time.Millisecond}).read)
+	for i := 0; i < 6; i++ {
+		_, sp := tr.StartRoot(context.Background(), "request")
+		sp.End()
+	}
+	if n := tr.SpanCount(); n != 4 {
+		t.Fatalf("ring holds %d, want 4", n)
+	}
+	if ev := tr.Evicted(); ev != 2 {
+		t.Fatalf("evicted = %d, want 2", ev)
+	}
+	spans := tr.Snapshot()
+	// Oldest-first: traces 3,4,5,6 survive.
+	for i, sp := range spans {
+		if want := TraceID(i + 3); sp.Trace != want {
+			t.Fatalf("snapshot[%d].Trace = %d, want %d", i, sp.Trace, want)
+		}
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := tr.StartRoot(context.Background(), "request")
+				_, child := StartSpan(ctx, "batch")
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tr.SpanCount(); n != 800 {
+		t.Fatalf("recorded %d spans, want 800", n)
+	}
+	seen := map[SpanID]bool{}
+	for _, sp := range tr.Snapshot() {
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span id %d", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+// TestChromeTraceGolden pins the exporter byte-for-byte on an injected
+// clock: two traces, nested spans, ids and timestamps all deterministic.
+func TestChromeTraceGolden(t *testing.T) {
+	clk := &fakeClock{now: time.UnixMicro(1_000_000), step: time.Millisecond}
+	tr := NewTracerClock(16, clk.read)
+
+	ctx, r1 := tr.StartRoot(context.Background(), "request") // start 1.001s
+	_, b1 := StartSpan(ctx, "batch")                         // start 1.002s
+	b1.End()                                                 // end   1.003s
+	r1.End()                                                 // end   1.004s
+	ctx2, r2 := tr.StartRoot(context.Background(), "request") // start 1.005s
+	_, b2 := StartSpan(ctx2, "batch")                        // start 1.006s
+	b2.End()                                                 // end   1.007s
+	r2.End()                                                 // end   1.008s
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"traceEvents":[` +
+		`{"name":"request","cat":"srda","ph":"X","ts":0,"dur":3000,"pid":1,"tid":1,"args":{"trace_id":"t0000000000000001","span_id":1,"parent_id":0}},` +
+		`{"name":"batch","cat":"srda","ph":"X","ts":1000,"dur":1000,"pid":1,"tid":1,"args":{"trace_id":"t0000000000000001","span_id":2,"parent_id":1}},` +
+		`{"name":"request","cat":"srda","ph":"X","ts":4000,"dur":3000,"pid":1,"tid":2,"args":{"trace_id":"t0000000000000002","span_id":3,"parent_id":0}},` +
+		`{"name":"batch","cat":"srda","ph":"X","ts":5000,"dur":1000,"pid":1,"tid":2,"args":{"trace_id":"t0000000000000002","span_id":4,"parent_id":3}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if sb.String() != golden {
+		t.Fatalf("exporter regression.\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
+	}
+}

@@ -24,6 +24,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -142,3 +143,16 @@ func Shared() *Pool { return shared }
 // spans; workers <= 0 means GOMAXPROCS.  This is the single entry point
 // the parallel kernels use.
 func Do(workers, n int, fn func(lo, hi int)) { shared.Run(workers, n, fn) }
+
+// DoCtx is Do under request-scoped tracing: when ctx carries an active
+// span (obs.StartSpan), the whole sharded run is recorded as one
+// "pool.do" child covering dispatch through completion.  Without a span
+// the overhead is a nil check.  The context carries only the span —
+// cancellation is deliberately not consulted, because a dispatched shard
+// set must always run to completion to keep outputs bitwise identical to
+// the sequential kernel.
+func DoCtx(ctx context.Context, workers, n int, fn func(lo, hi int)) {
+	_, sp := obs.StartSpan(ctx, "pool.do")
+	shared.Run(workers, n, fn)
+	sp.End()
+}

@@ -9,6 +9,7 @@ package serve
 // dispatch overhead under concurrent load.
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"srda/internal/classify"
 	"srda/internal/mat"
+	"srda/internal/obs"
 	"srda/internal/sparse"
 )
 
@@ -36,6 +38,10 @@ type pending struct {
 	mu         sync.Mutex
 	err        error
 	done       chan struct{}
+	// span is the request's root span; runBatch opens a "batch" child per
+	// request so every trace shows the shared inference interval.  Nil when
+	// tracing is off.
+	span *obs.ReqSpan
 }
 
 func newPending(n int, embed bool) *pending {
@@ -194,6 +200,24 @@ func (s *Server) runBatch(batch []*item) {
 	s.metrics.samples.Add(int64(len(valid)))
 	s.metrics.batchSize.Observe(float64(len(valid)))
 
+	// Fan-in tracing: one "batch" child per distinct request in the batch,
+	// so each request's trace shows the shared inference interval.  The
+	// kernel spans below (core.gemm / core.project_csr / pool.do /
+	// classify) attach to the first traced request's batch span — one
+	// execution, one set of kernel spans, owned by one trace.
+	batchSpans := make(map[*pending]*obs.ReqSpan, 4)
+	var owner *obs.ReqSpan
+	for _, it := range valid {
+		if _, ok := batchSpans[it.p]; !ok {
+			sp := it.p.span.StartChild("batch")
+			batchSpans[it.p] = sp
+			if owner == nil && sp != nil {
+				owner = sp
+			}
+		}
+	}
+	ctx := obs.ContextWithSpan(context.Background(), owner)
+
 	allSparse := true
 	for _, it := range valid {
 		if !it.sparse() {
@@ -209,7 +233,7 @@ func (s *Server) runBatch(batch []*item) {
 				b.Add(r, j, it.vals[t])
 			}
 		}
-		emb = m.ProjectBatchCSR(b.Build(), nil)
+		emb = m.ProjectBatchCSRCtx(ctx, b.Build(), nil)
 	} else {
 		x := mat.NewDense(len(valid), n)
 		for r, it := range valid {
@@ -222,10 +246,12 @@ func (s *Server) runBatch(batch []*item) {
 				copy(row, it.dense)
 			}
 		}
-		emb = m.ProjectBatch(x, nil)
+		emb = m.ProjectBatchCtx(ctx, x, nil)
 	}
 	nc := classify.NearestCentroid{Centroids: m.Centroids}
+	_, csp := obs.StartSpan(ctx, "classify")
 	classes := nc.PredictBatch(emb)
+	csp.End()
 	for r, it := range valid {
 		it.p.classes[it.idx] = classes[r]
 		if it.p.embeddings != nil {
@@ -233,6 +259,9 @@ func (s *Server) runBatch(batch []*item) {
 		}
 		it.p.modelSeq.Store(st.seq)
 		it.p.settle(1)
+	}
+	for _, sp := range batchSpans {
+		sp.End()
 	}
 }
 
@@ -246,6 +275,8 @@ func (s *Server) enqueue(p *pending, items []*item) {
 		case s.queue <- it:
 		default:
 			s.metrics.queueRejects.Add(int64(len(items) - i))
+			s.logger.Sample("queue_full", time.Second).Warn("prediction queue full",
+				"rejected", len(items)-i, "queue_depth", s.opts.QueueDepth)
 			p.fail(errQueueFull)
 			p.settle(len(items) - i)
 			return

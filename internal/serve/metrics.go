@@ -12,16 +12,17 @@ import (
 // exposition order and is pinned byte-for-byte by the golden test in
 // metrics_test.go — new instruments go at the end.
 type metrics struct {
-	reg          *obs.Registry
-	requests     *obs.CounterVec // endpoint, code
-	errors       *obs.CounterVec // endpoint
-	latency      *obs.Histogram  // predict seconds, request receipt → reply ready
-	batchSize    *obs.Histogram  // samples per inference batch
-	samples      *obs.Counter
-	batches      *obs.Counter
-	reloads      *obs.Counter
-	reloadErrors *obs.Counter
-	queueRejects *obs.Counter
+	reg           *obs.Registry
+	requests      *obs.CounterVec // endpoint, code
+	errors        *obs.CounterVec // endpoint
+	latency       *obs.Histogram  // predict seconds, request receipt → reply ready
+	batchSize     *obs.Histogram  // samples per inference batch
+	samples       *obs.Counter
+	batches       *obs.Counter
+	reloads       *obs.Counter
+	reloadErrors  *obs.Counter
+	queueRejects  *obs.Counter
+	latencySketch *obs.QuantileSketch // exact-rank-bounded p50/p95/p99
 }
 
 // newMetrics registers the serve instrument set on a fresh registry.
@@ -55,7 +56,25 @@ func newMetrics(queueDepth, modelSeq func() int64) *metrics {
 		"Samples currently queued for dispatch.", queueDepth)
 	reg.NewGaugeFunc("srdaserve_model_seq",
 		"Monotonic sequence number of the live model.", modelSeq)
+	mx.latencySketch = obs.NewQuantileSketch()
+	reg.NewGaugeFloatFunc("srdaserve_request_latency_p50",
+		"Streaming median predict latency in seconds (CKMS sketch, 1% rank error).",
+		func() float64 { return mx.latencySketch.Query(0.5) })
+	reg.NewGaugeFloatFunc("srdaserve_request_latency_p95",
+		"Streaming 95th-percentile predict latency in seconds (CKMS sketch, 0.5% rank error).",
+		func() float64 { return mx.latencySketch.Query(0.95) })
+	reg.NewGaugeFloatFunc("srdaserve_request_latency_p99",
+		"Streaming 99th-percentile predict latency in seconds (CKMS sketch, 0.1% rank error).",
+		func() float64 { return mx.latencySketch.Query(0.99) })
 	return mx
+}
+
+// observeLatency feeds one predict latency to both the fixed-bucket
+// histogram (for PromQL histogram_quantile) and the CKMS sketch (for the
+// rank-bounded p50/p95/p99 gauges).
+func (mx *metrics) observeLatency(sec float64) {
+	mx.latency.Observe(sec)
+	mx.latencySketch.Observe(sec)
 }
 
 // writeProm renders the Prometheus text exposition format.

@@ -17,8 +17,8 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	mx.requests.With("/v1/predict", "400").Inc()
 	mx.requests.With("/healthz", "200").Inc()
 	mx.errors.With("/v1/predict").Inc()
-	mx.latency.Observe(0.001953125) // 2^-9: lands in the le="0.0025" bucket
-	mx.latency.Observe(0.25)        // exactly on a bound: le is inclusive
+	mx.observeLatency(0.001953125) // 2^-9: lands in the le="0.0025" bucket
+	mx.observeLatency(0.25)        // exactly on a bound: le is inclusive
 	mx.batchSize.Observe(2)
 	mx.batchSize.Observe(5)
 	mx.samples.Add(7)
@@ -88,6 +88,15 @@ srdaserve_queue_depth 3
 # HELP srdaserve_model_seq Monotonic sequence number of the live model.
 # TYPE srdaserve_model_seq gauge
 srdaserve_model_seq 2
+# HELP srdaserve_request_latency_p50 Streaming median predict latency in seconds (CKMS sketch, 1% rank error).
+# TYPE srdaserve_request_latency_p50 gauge
+srdaserve_request_latency_p50 0.001953125
+# HELP srdaserve_request_latency_p95 Streaming 95th-percentile predict latency in seconds (CKMS sketch, 0.5% rank error).
+# TYPE srdaserve_request_latency_p95 gauge
+srdaserve_request_latency_p95 0.25
+# HELP srdaserve_request_latency_p99 Streaming 99th-percentile predict latency in seconds (CKMS sketch, 0.1% rank error).
+# TYPE srdaserve_request_latency_p99 gauge
+srdaserve_request_latency_p99 0.25
 `
 	if sb.String() != golden {
 		t.Fatalf("exposition regression.\n--- got ---\n%s\n--- want ---\n%s", sb.String(), golden)

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"log"
 	"os"
 	"sync"
 	"time"
@@ -30,8 +29,9 @@ func (s *Server) ReloadFromFile(path string) (uint64, error) {
 // WatchFile polls path every interval and hot-reloads the model when its
 // mtime or size changes.  A failed reload keeps the current model and is
 // retried on later changes.  The watcher stops when the server closes or
-// when the returned stop function is called; logger may be nil.
-func (s *Server) WatchFile(path string, interval time.Duration, logger *log.Logger) (stopWatch func()) {
+// when the returned stop function is called.  Outcomes are logged through
+// the server's structured logger (Options.Logger; silent when nil).
+func (s *Server) WatchFile(path string, interval time.Duration) (stopWatch func()) {
 	if interval <= 0 {
 		interval = time.Second
 	}
@@ -57,15 +57,11 @@ func (s *Server) WatchFile(path string, interval time.Duration, logger *log.Logg
 				}
 				seq, err := s.ReloadFromFile(path)
 				if err != nil {
-					if logger != nil {
-						logger.Printf("watch: %v", err)
-					}
+					s.logger.Warn("hot reload failed", "path", path, "err", err.Error())
 					continue
 				}
 				last = fi
-				if logger != nil {
-					logger.Printf("watch: reloaded %s (model seq %d)", path, seq)
-				}
+				s.logger.Info("model reloaded", "path", path, "model_seq", seq)
 			case <-stopCh:
 				return
 			case <-s.stop:

@@ -54,6 +54,17 @@ type Options struct {
 	MaxRequestSamples int
 	// MaxBodyBytes caps the request body (default 32 MiB).
 	MaxBodyBytes int64
+	// Tracer records request-scoped span trees (request → batch → kernel)
+	// for /v1/predict.  When nil, New creates one whose ring holds
+	// TraceCapacity completed spans; pass an explicit tracer to share one
+	// ring across servers or to inject a test clock.
+	Tracer *obs.Tracer
+	// TraceCapacity sizes the ring of the tracer New creates when Tracer
+	// is nil (default obs.DefaultTraceCapacity).
+	TraceCapacity int
+	// Logger receives the server's structured logs: hot-reload outcomes
+	// and rate-limited queue-overflow warnings.  Nil disables logging.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +110,8 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	start   time.Time
+	tracer  *obs.Tracer
+	logger  *obs.Logger
 }
 
 // New starts the dispatcher (batcher + worker pool) around an initial
@@ -119,6 +132,11 @@ func New(m *core.Model, opts Options) (*Server, error) {
 		stop:   make(chan struct{}),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		tracer: opts.Tracer,
+		logger: opts.Logger,
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(opts.TraceCapacity)
 	}
 	s.metrics = newMetrics(
 		func() int64 { return int64(len(s.queue)) },
@@ -147,6 +165,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the server's metrics registry, so a debug listener can
 // expose it alongside the process-wide obs.Default() registry.
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer returns the server's request tracer; a debug listener exports
+// its ring at /debug/traces, and shutdown flushes it to -trace-out.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Logger returns the server's structured logger (nil when logging is
+// disabled); the watch and shutdown paths in cmd/srdaserve share it.
+func (s *Server) Logger() *obs.Logger { return s.logger }
 
 // Model returns the live model.
 func (s *Server) Model() *core.Model { return s.model.Load().m }
@@ -203,7 +229,7 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 			s.metrics.errors.With(endpoint).Inc()
 		}
 		if endpoint == "/v1/predict" {
-			s.metrics.latency.Observe(time.Since(begin).Seconds())
+			s.metrics.observeLatency(time.Since(begin).Seconds())
 		}
 	}
 }
@@ -268,38 +294,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	if s.stopped.Load() {
 		return writeErr(w, http.StatusServiceUnavailable, "server shutting down")
 	}
-	var req PredictRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
-		return writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	ctx, root := s.tracer.StartRoot(r.Context(), "request")
+	defer root.End()
+	p, items, code := s.parsePredict(ctx, w, r)
+	if p == nil {
+		return code
 	}
-	if len(req.Samples) == 0 && (len(req.Dense) > 0 || len(req.Sparse) > 0) {
-		req.Samples = []Sample{req.Sample}
-	}
-	if len(req.Samples) == 0 {
-		return writeErr(w, http.StatusBadRequest, "no samples")
-	}
-	if len(req.Samples) > s.opts.MaxRequestSamples {
-		return writeErr(w, http.StatusBadRequest, "%d samples exceeds the per-request cap of %d", len(req.Samples), s.opts.MaxRequestSamples)
-	}
-	n := s.Model().W.Rows
-	p := newPending(len(req.Samples), req.Embed)
-	items := make([]*item, len(req.Samples))
-	for i, smp := range req.Samples {
-		it, err := buildItem(p, i, smp, n)
-		if err != nil {
-			return writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
-		}
-		items[i] = it
-	}
+	p.span = root
+	_, queueSp := obs.StartSpan(ctx, "queue")
 	s.enqueue(p, items)
 	select {
 	case <-p.done:
 	case <-r.Context().Done():
+		queueSp.End()
 		return http.StatusServiceUnavailable // client gone; nothing to write
 	case <-s.stop:
+		queueSp.End()
 		return writeErr(w, http.StatusServiceUnavailable, "server shutting down")
 	}
+	queueSp.End()
 	if err := p.failure(); err != nil {
 		code := http.StatusServiceUnavailable
 		if err == errModelShape {
@@ -312,6 +325,39 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		Embeddings: p.embeddings,
 		ModelSeq:   p.modelSeq.Load(),
 	})
+}
+
+// parsePredict decodes and validates one predict request under a "parse"
+// span, returning the pending, its dispatcher items, and the HTTP status.
+// On failure the error reply is already written and pending is nil.
+func (s *Server) parsePredict(ctx context.Context, w http.ResponseWriter, r *http.Request) (*pending, []*item, int) {
+	_, sp := obs.StartSpan(ctx, "parse")
+	defer sp.End()
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	}
+	if len(req.Samples) == 0 && (len(req.Dense) > 0 || len(req.Sparse) > 0) {
+		req.Samples = []Sample{req.Sample}
+	}
+	if len(req.Samples) == 0 {
+		return nil, nil, writeErr(w, http.StatusBadRequest, "no samples")
+	}
+	if len(req.Samples) > s.opts.MaxRequestSamples {
+		return nil, nil, writeErr(w, http.StatusBadRequest, "%d samples exceeds the per-request cap of %d", len(req.Samples), s.opts.MaxRequestSamples)
+	}
+	n := s.Model().W.Rows
+	p := newPending(len(req.Samples), req.Embed)
+	items := make([]*item, len(req.Samples))
+	for i, smp := range req.Samples {
+		it, err := buildItem(p, i, smp, n)
+		if err != nil {
+			return nil, nil, writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
+		}
+		items[i] = it
+	}
+	return p, items, http.StatusOK
 }
 
 // buildItem validates one sample against the live feature count n and

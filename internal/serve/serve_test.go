@@ -266,7 +266,7 @@ func TestHotReloadSwapAndWatch(t *testing.T) {
 	}
 
 	// File watch: overwrite the model file, expect an automatic reload.
-	stopWatch := s.WatchFile(path, 5*time.Millisecond, nil)
+	stopWatch := s.WatchFile(path, 5*time.Millisecond)
 	defer stopWatch()
 	time.Sleep(20 * time.Millisecond) // ensure a fresh mtime on coarse filesystems
 	if err := modelA.SaveFile(path); err != nil {

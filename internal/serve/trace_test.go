@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"srda/internal/obs"
+)
+
+// TestConcurrentRequestTracing fires 120 concurrent predict requests
+// (run under -race in make check) and verifies the span trees: every
+// request's trace carries request → parse/queue/batch with one shared
+// trace id, those children parent onto their request roots, and the
+// kernel spans land under some request's batch span.
+func TestConcurrentRequestTracing(t *testing.T) {
+	model, probes := trainBlobs(t, 24, 3, 11)
+	s, _, client := newTestServer(t, model, Options{Workers: 2, MaxBatch: 16})
+
+	const requests = 120
+	var wg sync.WaitGroup
+	for g := 0; g < requests; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			smp := Sample{Dense: append([]float64(nil), probes.RowView(g%3)...)}
+			if _, err := client.Predict(ctx, smp); err != nil {
+				t.Errorf("request %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	spans := s.Tracer().Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	type key struct {
+		trace obs.TraceID
+		id    obs.SpanID
+	}
+	byID := make(map[key]obs.SpanRecord)
+	byTrace := make(map[obs.TraceID][]obs.SpanRecord)
+	for _, sp := range spans {
+		byID[key{sp.Trace, sp.ID}] = sp
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	if len(byTrace) != requests {
+		t.Fatalf("got %d traces, want %d", len(byTrace), requests)
+	}
+	kernelOwners := 0
+	for id, tspans := range byTrace {
+		var root obs.SpanRecord
+		names := map[string]int{}
+		for _, sp := range tspans {
+			names[sp.Name]++
+			if sp.Name == "request" {
+				root = sp
+			}
+		}
+		if names["request"] != 1 || names["parse"] != 1 || names["queue"] != 1 || names["batch"] != 1 {
+			t.Fatalf("trace %d span multiset wrong: %v", id, names)
+		}
+		if root.Parent != 0 {
+			t.Errorf("trace %d: request span has parent %d", id, root.Parent)
+		}
+		hasKernel := false
+		for _, sp := range tspans {
+			switch sp.Name {
+			case "request":
+			case "parse", "queue", "batch":
+				if sp.Parent != root.ID {
+					t.Errorf("trace %d: %s parented on %d, want request %d", id, sp.Name, sp.Parent, root.ID)
+				}
+			case "core.gemm", "core.project_csr", "classify", "pool.do":
+				hasKernel = true
+				parent, ok := byID[key{sp.Trace, sp.Parent}]
+				if !ok {
+					t.Errorf("trace %d: kernel span %s has unknown parent %d", id, sp.Name, sp.Parent)
+				} else if parent.Name != "batch" && parent.Name != "core.project_csr" {
+					t.Errorf("trace %d: kernel span %s parented on %q", id, sp.Name, parent.Name)
+				}
+			default:
+				t.Errorf("trace %d: unexpected span %q", id, sp.Name)
+			}
+		}
+		if hasKernel {
+			kernelOwners++
+		}
+	}
+	// Each batch execution attributes its kernel spans to exactly one
+	// owning trace; with 120 requests there is at least one batch.
+	if kernelOwners == 0 {
+		t.Fatal("no trace owns kernel spans")
+	}
+
+	// The export must be a valid, non-empty Chrome trace.
+	var buf bytes.Buffer
+	if err := s.Tracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ph":"X"`) || !strings.Contains(out, `"name":"request"`) {
+		t.Fatalf("chrome export looks wrong: %.200s", out)
+	}
+}
+
+// TestWatchFileLogsThroughServerLogger verifies the reload watcher logs
+// through Options.Logger, including trace-free structured context.
+func TestWatchFileLogsThroughServerLogger(t *testing.T) {
+	model, _ := trainBlobs(t, 16, 3, 5)
+	var mu sync.Mutex
+	var sb strings.Builder
+	lockedWrite := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	logger := obs.NewLogger(lockedWrite, slog.LevelInfo)
+	s, _, _ := newTestServer(t, model, Options{Logger: logger})
+
+	path := t.TempDir() + "/model.bin"
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	stop := s.WatchFile(path, time.Millisecond)
+	defer stop()
+
+	// Touch the file with different content so mtime/size change.
+	model.B[0] += 1e-9
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := model.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		logged := strings.Contains(sb.String(), "model reloaded")
+		mu.Unlock()
+		if logged {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("no reload log line; log so far:\n%s", sb.String())
+			mu.Unlock()
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(sb.String(), "model_seq=") {
+		t.Fatalf("reload log missing model_seq attr:\n%s", sb.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
