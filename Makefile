@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke examples clean
+.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke examples clean
 
 all: check
 
@@ -76,6 +76,16 @@ bench-record:
 # end-to-end trace tests fresh (no cache); `make race` covers them racy.
 trace-smoke:
 	$(GO) test -run 'TestTraceSmoke|TestConcurrentRequestTracing' -count=1 -v ./cmd/srdaserve ./internal/serve
+
+# Sharded-tier acceptance smoke (see doc/SHARDING.md): -role=all spawns
+# a router plus two co-located workers sharing one registry, publishes
+# three tenant models, and asserts routed predictions, quota/shed
+# metrics, and hash-ring stability under drain.  The router and
+# registry race tests run fresh alongside it; `make race` covers the
+# full packages racy.
+shard-smoke:
+	$(GO) test -run 'TestShardSmoke' -count=1 -v ./cmd/srdaserve
+	$(GO) test -run 'TestColocatedRoutingQuotasAndDrain|TestConcurrentPublishEvictPredict' -count=1 -race -v ./internal/router ./internal/registry
 
 examples:
 	@for d in examples/*/ ; do echo "== $$d"; $(GO) run ./$$d || exit 1; done

@@ -8,6 +8,7 @@ package main
 // that serving got slower.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,6 +16,9 @@ import (
 	"srda"
 	"srda/internal/blas"
 	"srda/internal/obs"
+	"srda/internal/registry"
+	"srda/internal/router"
+	"srda/internal/serve"
 )
 
 // microSeed fixes every synthetic input so that only code changes (and
@@ -65,6 +69,59 @@ func microCases() []microCase {
 				c := make([]float64, m*n)
 				return func() {
 					blas.ParGemm(workers, m, n, k, 1, a, k, b, n, 0, c, n)
+				}, nil
+			},
+		},
+		{
+			// Router overhead at serving shape: 64 samples × 800 features
+			// through the co-located tier (quota check + ring lookup +
+			// in-memory forward + worker micro-batch dispatch).  Against
+			// PredictBatch/64x800 the delta is what the sharding tier costs.
+			name:  "RouterPredict/64x800",
+			iters: 50,
+			setup: func(workers int) (func(), error) {
+				rng := rand.New(rand.NewSource(microSeed + 3))
+				const classes, n = 8, 800
+				train := classBlobs(rng, 160, n, classes)
+				labels := blobLabels(160, classes)
+				model, err := srda.Fit(train, labels, classes,
+					srda.Options{Alpha: 1, Workers: workers})
+				if err != nil {
+					return nil, err
+				}
+				reg := registry.New(registry.Options{Workers: workers})
+				if _, err := reg.Publish("bench-tenant", model); err != nil {
+					return nil, err
+				}
+				backends := make([]router.Backend, 2)
+				for i := range backends {
+					s, err := serve.New(nil, serve.Options{
+						Registry: reg,
+						Workers:  workers,
+						MaxWait:  50 * time.Microsecond,
+					})
+					if err != nil {
+						return nil, err
+					}
+					backends[i] = &router.LocalBackend{
+						ReplicaName: fmt.Sprintf("worker-%d", i), Server: s,
+					}
+				}
+				rt, err := router.New(backends, router.Options{})
+				if err != nil {
+					return nil, err
+				}
+				batch := classBlobs(rng, 64, n, classes)
+				req := &serve.PredictRequest{Model: "bench-tenant"}
+				req.Samples = make([]serve.Sample, batch.Rows)
+				for i := range req.Samples {
+					req.Samples[i] = serve.Sample{Dense: batch.RowView(i)}
+				}
+				ctx := context.Background()
+				return func() {
+					if _, err := rt.Predict(ctx, req); err != nil {
+						panic(err) // bench invariant: the fixed request never fails
+					}
 				}, nil
 			},
 		},

@@ -26,9 +26,10 @@ func TestRunMicroBenchWritesValidReport(t *testing.T) {
 		t.Fatalf("header wrong: %+v", rep)
 	}
 	want := map[string]bool{
-		"PredictBatch/64x800": false,
-		"ParGemm/256x512x64":  false,
-		"FitLSQR/2000x400":    false,
+		"PredictBatch/64x800":  false,
+		"ParGemm/256x512x64":   false,
+		"RouterPredict/64x800": false,
+		"FitLSQR/2000x400":     false,
 	}
 	for _, r := range rep.Results {
 		if _, ok := want[r.Name]; !ok {
@@ -63,7 +64,7 @@ func TestMicroCasesAreSchemaUnique(t *testing.T) {
 			t.Errorf("%s: non-positive iters %d", mc.name, mc.iters)
 		}
 	}
-	if len(seen) != 3 {
-		t.Fatalf("expected 3 micro-benchmarks, got %v", seen)
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 micro-benchmarks, got %v", seen)
 	}
 }

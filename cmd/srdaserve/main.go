@@ -1,19 +1,35 @@
-// Command srdaserve serves predictions from a trained SRDA model over
-// JSON/HTTP with micro-batched inference, hot reload, and metrics.
+// Command srdaserve runs the SRDA serving tier in one of three roles:
 //
-// Serve a model produced by srdatrain (or srda.SaveModelFile):
+//	srdaserve -model out.srda -addr :8080                         # worker (default)
+//	srdaserve -role=router -replicas http://w0:8080,http://w1:8080
+//	srdaserve -role=all -replicas 2 -models-dir models/           # co-located tier
 //
-//	srdaserve -model out.srda -addr :8080
+// A worker serves predictions from a registry of named, versioned models
+// over JSON/HTTP with micro-batched inference, hot reload, and metrics.
+// -model publishes one file as the "default" model; -models-dir publishes
+// every file in a directory under its base name (the multi-tenant form);
+// -registry-budget-mb bounds resident model bytes with LRU eviction.
+//
+// A router fronts worker replicas with a seeded consistent-hash ring
+// (model name → replica), per-tenant token-bucket quotas (-quota-rps,
+// -quota-burst), and admission control that sheds 503s when a replica's
+// reported queue depth or p99 latency crosses -shed-queue / -shed-p99.
+// Replica health is polled every -health-every.
+//
+// -role=all runs the whole tier in one process: -replicas N co-located
+// workers sharing a single model registry, with the router's listener on
+// -addr.  See doc/SHARDING.md for the topology.
 //
 // Endpoints: POST /v1/predict (single or multi-sample, dense or sparse
-// {index: value} payloads), GET /healthz, GET /metrics (Prometheus text).
-// Incoming samples are coalesced across requests into batches of up to
-// -max-batch samples or -max-wait of latency and classified through one
-// GEMM per batch.
+// {index: value} payloads, optional "model" tenant selector), GET
+// /v1/models, GET /healthz, GET /metrics (Prometheus text).  Incoming
+// samples are coalesced across requests into batches of up to -max-batch
+// samples or -max-wait of latency and classified through one GEMM per
+// batch per model.
 //
-// The model hot-reloads without a restart: send SIGHUP, or pass -watch to
-// poll the model file for changes.  In-flight requests finish on the model
-// they started with.  SIGINT/SIGTERM drain gracefully within
+// Models hot-reload without a restart: send SIGHUP, or pass -watch to
+// poll the -model file for changes.  In-flight requests finish on the
+// version they started with.  SIGINT/SIGTERM drain gracefully within
 // -drain-timeout.  See doc/SERVING.md for the payload schema.
 //
 // -debug-addr starts a second, operator-only listener exposing
@@ -38,16 +54,24 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"srda"
 	"srda/internal/obs"
+	"srda/internal/registry"
+	"srda/internal/router"
 	"srda/internal/serve"
 )
 
 type config struct {
+	role         string
+	replicas     string
 	modelPath    string
+	modelsDir    string
+	registryMB   int64
 	addr         string
 	debugAddr    string
 	maxBatch     int
@@ -56,6 +80,13 @@ type config struct {
 	queueDepth   int
 	watch        time.Duration
 	drainTimeout time.Duration
+	quotaRPS     float64
+	quotaBurst   int
+	shedP99      time.Duration
+	shedQueue    int
+	vnodes       int
+	ringSeed     int64
+	healthEvery  time.Duration
 	traceCap     int
 	traceOut     string
 	metricsOut   string
@@ -65,15 +96,26 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.modelPath, "model", "", "trained model file to serve (required; written by srdatrain)")
+	flag.StringVar(&cfg.role, "role", "worker", "process role: worker, router, or all (co-located router + workers)")
+	flag.StringVar(&cfg.replicas, "replicas", "", "router: comma-separated worker base URLs; all: number of co-located workers (default 2)")
+	flag.StringVar(&cfg.modelPath, "model", "", "trained model file published as the default model (written by srdatrain)")
+	flag.StringVar(&cfg.modelsDir, "models-dir", "", "directory of model files, each published under its base filename")
+	flag.Int64Var(&cfg.registryMB, "registry-budget-mb", 0, "resident-model byte budget in MiB; past it LRU names are evicted (0 = unlimited)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional operator listener with /debug/pprof/, /debug/vars, /debug/traces, and the full obs /metrics (keep on localhost)")
 	flag.IntVar(&cfg.maxBatch, "max-batch", 64, "max samples coalesced into one inference batch")
 	flag.DurationVar(&cfg.maxWait, "max-wait", 2*time.Millisecond, "max time the batcher holds a non-full batch open")
 	flag.IntVar(&cfg.workers, "workers", 0, "inference worker goroutines (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.queueDepth, "queue", 4096, "queued-sample cap; beyond it requests get 503")
-	flag.DurationVar(&cfg.watch, "watch", 0, "poll the model file at this interval and hot-reload on change (0 = off; SIGHUP always reloads)")
+	flag.DurationVar(&cfg.watch, "watch", 0, "poll the -model file at this interval and hot-reload on change (0 = off; SIGHUP always reloads)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Float64Var(&cfg.quotaRPS, "quota-rps", 0, "router: per-tenant sustained requests per second; over it requests get 429 (0 = off)")
+	flag.IntVar(&cfg.quotaBurst, "quota-burst", 0, "router: per-tenant burst above the sustained rate (default 1 when quotas are on)")
+	flag.DurationVar(&cfg.shedP99, "shed-p99", 0, "router: shed 503 when the target replica's p99 predict latency exceeds this (0 = off)")
+	flag.IntVar(&cfg.shedQueue, "shed-queue", 0, "router: shed 503 when the target replica's queue depth exceeds this (0 = off)")
+	flag.IntVar(&cfg.vnodes, "vnodes", 0, "router: virtual nodes per replica on the hash ring (0 = 64)")
+	flag.Int64Var(&cfg.ringSeed, "ring-seed", 0, "router: hash-ring placement seed; routers sharing it route identically (0 = 2008)")
+	flag.DurationVar(&cfg.healthEvery, "health-every", 2*time.Second, "router: replica health-check interval")
 	flag.IntVar(&cfg.traceCap, "trace-capacity", 0, "completed spans the request-trace ring retains (0 = default)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the trace ring as Chrome trace-event JSON here on shutdown")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a final Prometheus metrics snapshot here on shutdown")
@@ -110,36 +152,64 @@ func main() {
 // -drain-timeout.
 const readHeaderTimeout = 2 * time.Second
 
-// run loads the model, starts the server, and blocks until a shutdown
-// signal arrives, then drains.  When ready is non-nil the bound listener
-// address is sent on it once the server is accepting (used by tests and
-// for -addr :0); debugReady does the same for the -debug-addr listener.
+// run dispatches on -role and blocks until a shutdown signal arrives,
+// then drains.  When ready is non-nil the bound listener address is sent
+// on it once the process is accepting (used by tests and for -addr :0);
+// debugReady does the same for the -debug-addr listener.
 func run(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
-	if cfg.modelPath == "" {
-		return fmt.Errorf("need -model; see -h")
+	switch cfg.role {
+	case "", "worker":
+		return runWorker(cfg, logger, ready, debugReady, shutdown)
+	case "router":
+		return runRouter(cfg, logger, ready, shutdown)
+	case "all":
+		return runAll(cfg, logger, ready, debugReady, shutdown)
+	default:
+		return fmt.Errorf("unknown -role %q (worker, router, or all)", cfg.role)
 	}
-	model, err := srda.LoadModelFile(cfg.modelPath)
-	if err != nil {
-		return fmt.Errorf("loading model: %w", err)
-	}
-	s, err := serve.New(model, serve.Options{
-		MaxBatch:      cfg.maxBatch,
-		MaxWait:       cfg.maxWait,
-		Workers:       cfg.workers,
-		QueueDepth:    cfg.queueDepth,
-		TraceCapacity: cfg.traceCap,
-		Logger:        logger,
-	})
-	if err != nil {
-		return err
-	}
-	logger.Info("model loaded", "path", cfg.modelPath,
-		"features", model.W.Rows, "classes", model.NumClasses, "dims", model.Dim())
+}
 
-	// SIGHUP always forces a reload; -watch additionally polls for changes.
+// buildRegistry assembles the model store from -models-dir,
+// -registry-budget-mb, and -model.  At least one model source is
+// required: a worker with nothing to serve is a misconfiguration.
+func buildRegistry(cfg config, logger *obs.Logger) (*registry.Registry, error) {
+	if cfg.modelPath == "" && cfg.modelsDir == "" {
+		return nil, fmt.Errorf("need -model or -models-dir; see -h")
+	}
+	reg := registry.New(registry.Options{
+		MaxBytes: cfg.registryMB << 20,
+		Workers:  cfg.workers,
+		Logger:   logger,
+	})
+	if cfg.modelsDir != "" {
+		names, err := reg.LoadDir(cfg.modelsDir)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("model directory loaded", "dir", cfg.modelsDir, "models", len(names))
+	}
+	if cfg.modelPath != "" {
+		model, err := srda.LoadModelFile(cfg.modelPath)
+		if err != nil {
+			return nil, fmt.Errorf("loading model: %w", err)
+		}
+		if _, err := reg.Publish(serve.DefaultModelName, model); err != nil {
+			return nil, err
+		}
+		logger.Info("model loaded", "path", cfg.modelPath,
+			"features", model.W.Rows, "classes", model.NumClasses, "dims", model.Dim())
+	}
+	return reg, nil
+}
+
+// watchAndReload wires SIGHUP (always) and -watch (optional) reloads of
+// the -model file into s, returning a stop function.
+func watchAndReload(cfg config, s *serve.Server, logger *obs.Logger) func() {
+	if cfg.modelPath == "" {
+		return func() {}
+	}
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	defer signal.Stop(hup)
 	hupDone := make(chan struct{})
 	go func() {
 		defer close(hupDone)
@@ -151,10 +221,70 @@ func run(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shut
 			}
 		}
 	}()
+	stopWatch := func() {}
 	if cfg.watch > 0 {
-		stopWatch := s.WatchFile(cfg.modelPath, cfg.watch)
-		defer stopWatch()
+		stopWatch = s.WatchFile(cfg.modelPath, cfg.watch)
 	}
+	return func() {
+		stopWatch()
+		signal.Stop(hup)
+		close(hup)
+		<-hupDone
+	}
+}
+
+// serveUntilShutdown runs handler on cfg.addr until a shutdown signal,
+// then drains the listener within -drain-timeout and returns the drain
+// context for the caller's own cleanup.
+func serveUntilShutdown(cfg config, handler http.Handler, logger *obs.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) (context.Context, context.CancelFunc, error) {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: readHeaderTimeout}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	logger.Info("serving", "role", cfg.role, "addr", ln.Addr().String())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	select {
+	case sig := <-shutdown:
+		logger.Info("draining", "signal", sig.String(), "timeout", cfg.drainTimeout.String())
+	case err := <-serveErr:
+		return nil, nil, fmt.Errorf("listener failed: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Warn("listener shutdown incomplete", "err", err.Error())
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cancel()
+		return nil, nil, err
+	}
+	return ctx, cancel, nil
+}
+
+// runWorker is the single-replica serving path: one serve.Server over a
+// registry built from -model / -models-dir.
+func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
+	reg, err := buildRegistry(cfg, logger)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(nil, serve.Options{
+		MaxBatch:      cfg.maxBatch,
+		MaxWait:       cfg.maxWait,
+		Workers:       cfg.workers,
+		QueueDepth:    cfg.queueDepth,
+		Registry:      reg,
+		TraceCapacity: cfg.traceCap,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	stopReload := watchAndReload(cfg, s, logger)
 
 	var debugSrv *http.Server
 	if cfg.debugAddr != "" {
@@ -175,38 +305,16 @@ func run(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shut
 		}
 	}
 
-	ln, err := net.Listen("tcp", cfg.addr)
+	ctx, cancel, err := serveUntilShutdown(cfg, s.Handler(), logger, ready, shutdown)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: readHeaderTimeout}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- hs.Serve(ln) }()
-	logger.Info("serving", "addr", ln.Addr().String(),
-		"max_batch", cfg.maxBatch, "max_wait", cfg.maxWait.String())
-	if ready != nil {
-		ready <- ln.Addr()
-	}
-
-	select {
-	case sig := <-shutdown:
-		logger.Info("draining", "signal", sig.String(), "timeout", cfg.drainTimeout.String())
-	case err := <-serveErr:
-		return fmt.Errorf("listener failed: %w", err)
-	}
-	signal.Stop(hup)
-	close(hup)
-	<-hupDone
-
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	stopReload()
 	if debugSrv != nil {
 		if err := debugSrv.Shutdown(ctx); err != nil {
 			logger.Warn("debug shutdown incomplete", "err", err.Error())
 		}
-	}
-	if err := hs.Shutdown(ctx); err != nil {
-		logger.Warn("listener shutdown incomplete", "err", err.Error())
 	}
 	// Flush observability artifacts even when the drain times out: a
 	// truncated trace of a wedged server is exactly what the operator
@@ -216,8 +324,156 @@ func run(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shut
 	if closeErr != nil {
 		return closeErr
 	}
-	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+	logger.Info("drained, bye")
+	return nil
+}
+
+// routerOptions maps the router flag set onto router.Options.
+func routerOptions(cfg config, logger *obs.Logger) router.Options {
+	return router.Options{
+		VNodes:         cfg.vnodes,
+		Seed:           cfg.ringSeed,
+		QuotaRPS:       cfg.quotaRPS,
+		QuotaBurst:     cfg.quotaBurst,
+		ShedP99:        cfg.shedP99.Seconds(),
+		ShedQueue:      cfg.shedQueue,
+		HealthInterval: cfg.healthEvery,
+		Logger:         logger,
+	}
+}
+
+// runRouter fronts remote workers listed in -replicas over HTTP.
+func runRouter(cfg config, logger *obs.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
+	var backends []router.Backend
+	for _, u := range strings.Split(cfg.replicas, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		backends = append(backends, &router.HTTPBackend{ReplicaName: u, Client: serve.NewClient(u)})
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-role=router needs -replicas with at least one worker URL")
+	}
+	r, err := router.New(backends, routerOptions(cfg, logger))
+	if err != nil {
 		return err
+	}
+	r.CheckHealth(context.Background()) // seed overload snapshots before traffic
+	logger.Info("router up", "replicas", len(backends), "ring", strings.Join(r.Ring(), ","))
+	_, cancel, err := serveUntilShutdown(cfg, r.Handler(), logger, ready, shutdown)
+	if err != nil {
+		r.Close()
+		return err
+	}
+	defer cancel()
+	r.Close()
+	logger.Info("drained, bye")
+	return nil
+}
+
+// runAll runs the co-located tier: -replicas N workers sharing one model
+// registry, a router in front, all in this process with in-memory
+// transport between them.
+func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
+	n := 2
+	if cfg.replicas != "" {
+		var err error
+		if n, err = strconv.Atoi(cfg.replicas); err != nil || n < 1 {
+			return fmt.Errorf("-role=all needs -replicas as a worker count, got %q", cfg.replicas)
+		}
+	}
+	reg, err := buildRegistry(cfg, logger)
+	if err != nil {
+		return err
+	}
+	workers := make([]*serve.Server, n)
+	backends := make([]router.Backend, n)
+	for i := range workers {
+		s, err := serve.New(nil, serve.Options{
+			MaxBatch:      cfg.maxBatch,
+			MaxWait:       cfg.maxWait,
+			Workers:       cfg.workers,
+			QueueDepth:    cfg.queueDepth,
+			Registry:      reg,
+			TraceCapacity: cfg.traceCap,
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
+		workers[i] = s
+		backends[i] = &router.LocalBackend{ReplicaName: fmt.Sprintf("worker-%d", i), Server: s}
+	}
+	r, err := router.New(backends, routerOptions(cfg, logger))
+	if err != nil {
+		return err
+	}
+	r.CheckHealth(context.Background())
+	logger.Info("co-located tier up", "workers", n, "ring", strings.Join(r.Ring(), ","))
+	// Reloads land in the shared registry, so wiring them through any one
+	// worker updates every replica at once.
+	stopReload := watchAndReload(cfg, workers[0], logger)
+
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugMux(workers[0]), ReadHeaderTimeout: readHeaderTimeout}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err.Error())
+			}
+		}()
+		if debugReady != nil {
+			debugReady <- dln.Addr()
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	// The registry listing comes from the workers' shared store; expose it
+	// on the router listener too so operators see the tier's tenants.
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, req *http.Request) {
+		workers[0].Handler().ServeHTTP(w, req)
+	})
+	// One scrape endpoint for the whole co-located tier: the router's
+	// srdaroute_* set followed by worker-0's srdaserve_* and the shared
+	// registry's srdareg_* instruments.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		r.Registry().WritePrometheus(w)
+		workers[0].Registry().WritePrometheus(w)
+		reg.Metrics().WritePrometheus(w)
+	})
+	ctx, cancel, err := serveUntilShutdown(cfg, mux, logger, ready, shutdown)
+	if err != nil {
+		r.Close()
+		return err
+	}
+	defer cancel()
+	stopReload()
+	r.Close()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			logger.Warn("debug shutdown incomplete", "err", err.Error())
+		}
+	}
+	var closeErr error
+	for _, s := range workers {
+		if err := s.Close(ctx); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
+	flushArtifacts(cfg, workers[0], logger)
+	if closeErr != nil {
+		return closeErr
 	}
 	logger.Info("drained, bye")
 	return nil

@@ -10,12 +10,14 @@ import "go/ast"
 // determinism proof rests on.  A raw goroutine anywhere else bypasses all
 // three guarantees.
 //
-// Allowed: internal/pool (the mechanism), internal/serve (owns the
-// connection/dispatch lifecycle), and main packages (cmd/ and examples/
-// own their process lifecycle).  Test files are not checked.
+// Allowed: internal/pool (the mechanism), the serving tier —
+// internal/serve (owns the connection/dispatch lifecycle),
+// internal/router (health sweeps), internal/registry — and main
+// packages (cmd/ and examples/ own their process lifecycle).  Test
+// files are not checked.
 var GoroutineDiscipline = &Analyzer{
 	Name: "goroutine-discipline",
-	Doc:  "raw go statements are confined to internal/pool, internal/serve, and main packages",
+	Doc:  "raw go statements are confined to internal/pool, the serving tier (serve, router, registry), and main packages",
 	Run:  runGoroutineDiscipline,
 }
 

@@ -168,9 +168,14 @@ var numericDirs = []string{
 }
 
 // goroutineOwners are the only library packages allowed to start
-// goroutines directly: the worker pool itself and the serving layer that
-// owns the process's connection/dispatch lifecycle.
-var goroutineOwners = []string{"internal/pool", "internal/serve"}
+// goroutines directly: the worker pool itself and the serving tier —
+// workers (internal/serve, dispatch lifecycle), the router
+// (internal/router, health sweeps and the background check loop), and
+// the registry they share (internal/registry).
+var goroutineOwners = []string{
+	"internal/pool", "internal/serve",
+	"internal/router", "internal/registry",
+}
 
 // underAny reports whether rel equals one of dirs or lies beneath one.
 func underAny(rel string, dirs []string) bool {

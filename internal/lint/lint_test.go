@@ -198,7 +198,14 @@ func TestLoadCorpusShape(t *testing.T) {
 	if isKernelPkg(mod.PackageAt("work")) {
 		t.Error("work misclassified as a kernel package")
 	}
-	if !underAny("internal/pool", goroutineOwners) {
-		t.Error("internal/pool not recognized as a goroutine owner")
+	for _, owner := range []string{
+		"internal/pool", "internal/serve", "internal/router", "internal/registry",
+	} {
+		if !underAny(owner, goroutineOwners) {
+			t.Errorf("%s not recognized as a goroutine owner", owner)
+		}
+	}
+	if underAny("internal/mat", goroutineOwners) {
+		t.Error("internal/mat recognized as a goroutine owner")
 	}
 }

@@ -1,0 +1,15 @@
+package registry
+
+// Evict is the corpus stand-in for the model registry's bookkeeping:
+// internal/registry is on the goroutine-owner allowlist, so a raw go
+// statement here is allowed.
+func Evict(victims []string, drop func(string)) {
+	done := make(chan struct{})
+	go func() {
+		for _, v := range victims {
+			drop(v)
+		}
+		close(done)
+	}()
+	<-done
+}

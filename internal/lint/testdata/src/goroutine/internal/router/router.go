@@ -1,0 +1,17 @@
+package router
+
+// HealthLoop is the corpus stand-in for the serving router's background
+// health sweep: internal/router owns replica-lifecycle goroutines, so a
+// raw go statement here is allowed.
+func HealthLoop(check func(), stop <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				check()
+			}
+		}
+	}()
+}

@@ -1,0 +1,112 @@
+package router
+
+// Consistent-hash ring mapping model names onto worker replicas.  Each
+// replica contributes VNodes virtual points hashed from a seeded FNV-1a
+// variant, so placement is deterministic for a given (seed, member set):
+// every router instance built with the same configuration routes every
+// key identically, and tests can pin expected placements.  Removing a
+// member (drain, health failure) deletes only its own points — keys that
+// hashed elsewhere do not move, which is the property the drain test
+// asserts.
+
+import "sort"
+
+// fnvOffset/fnvPrime are the 64-bit FNV-1a constants.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashKey folds the ring seed into FNV-1a over s, then finalizes with a
+// 64-bit avalanche (the murmur3 fmix64 constants).  Raw FNV-1a barely
+// mixes the last bytes, so "worker-0#1".."worker-0#64" would land
+// contiguously and one member's run could capture the whole keyspace;
+// the finalizer spreads every vnode independently.  Seeding keeps the
+// placement function explicit configuration rather than an accident of
+// the hash of the day.
+func hashKey(seed int64, s string) uint64 {
+	h := fnvOffset ^ uint64(seed)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: a hash position owned by a replica.
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// ring is an immutable consistent-hash ring.  The router rebuilds it on
+// membership changes (publish of a new replica set, drain, health flip)
+// and swaps it atomically; lookups are lock-free binary searches.
+type ring struct {
+	points []ringPoint
+}
+
+// buildRing hashes vnodes points per member.  Members may be passed in
+// any order; the ring sorts by hash so the result is order-independent.
+func buildRing(seed int64, members []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	var buf [20]byte
+	for _, m := range members {
+		for v := 0; v < vnodes; v++ {
+			// Append "#<v>" without fmt to keep ring rebuilds cheap.
+			b := append(buf[:0], m...)
+			b = append(b, '#')
+			b = appendUint(b, uint64(v))
+			r.points = append(r.points, ringPoint{hash: hashKey(seed, string(b)), replica: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by name so placement stays
+		// deterministic regardless of member order.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// lookup returns the replica owning key: the first point clockwise from
+// the key's hash.  Empty rings return "".
+func (r *ring) lookup(seed int64, key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(seed, key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: key hashes past the last point
+	}
+	return r.points[i].replica
+}
+
+// members returns the distinct replicas on the ring, sorted.
+func (r *ring) members() []string {
+	seen := make(map[string]bool, 8)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,523 @@
+// Package router is the front door of the sharded serving tier: it maps
+// model names (tenants) onto worker replicas with a seeded consistent-
+// hash ring, meters per-tenant token-bucket quotas, and sheds load when
+// a target replica reports overload — queue depth or streaming p99
+// latency past threshold, the same signals /metrics exposes.
+//
+// Replicas are Backends: LocalBackend wraps an in-process *serve.Server
+// (co-located mode, the arrangement the race tests drive), HTTPBackend
+// wraps a serve.Client for workers in other processes.  Health checks
+// run against either transport; a replica failing HealthFailures
+// consecutive checks leaves the ring, as does one explicitly put into
+// draining.  Because each replica owns only its own ring points, a
+// drain moves only the drained replica's tenants — everyone else's
+// placement is untouched.
+//
+// Shed replies are typed: quota breaches are 429, overload and
+// no-backend are 503 with Retry-After, both satisfying
+// errors.Is(err, serve.ErrShed) so clients can tell policy from
+// failure.  See doc/SHARDING.md for the full topology.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srda/internal/obs"
+	"srda/internal/serve"
+)
+
+// Backend is one worker replica as the router sees it.
+type Backend interface {
+	// Name identifies the replica on the ring and in metrics labels.
+	Name() string
+	// Predict forwards one request and returns the worker's typed reply.
+	Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error)
+	// Health fetches the worker's health snapshot.
+	Health(ctx context.Context) (*serve.Health, error)
+}
+
+// LocalBackend adapts an in-process *serve.Server: co-located router and
+// workers share one address space and skip the network entirely.
+type LocalBackend struct {
+	ReplicaName string
+	Server      *serve.Server
+}
+
+func (b *LocalBackend) Name() string { return b.ReplicaName }
+
+func (b *LocalBackend) Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error) {
+	return b.Server.Predict(ctx, req)
+}
+
+func (b *LocalBackend) Health(context.Context) (*serve.Health, error) {
+	return b.Server.HealthSnapshot(), nil
+}
+
+// HTTPBackend adapts a remote worker through the typed client.
+type HTTPBackend struct {
+	ReplicaName string
+	Client      *serve.Client
+}
+
+func (b *HTTPBackend) Name() string { return b.ReplicaName }
+
+func (b *HTTPBackend) Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error) {
+	return b.Client.PredictRaw(ctx, req)
+}
+
+func (b *HTTPBackend) Health(ctx context.Context) (*serve.Health, error) {
+	return b.Client.Health(ctx)
+}
+
+// Options tunes a router.  The zero value gets deterministic defaults:
+// 64 virtual nodes, ring seed 2008, quotas and overload shedding off.
+type Options struct {
+	// VNodes is the virtual nodes per replica (default 64); more points
+	// smooth the key distribution at the cost of ring size.
+	VNodes int
+	// Seed fixes the ring's hash placement; routers sharing a seed and
+	// replica set route every tenant identically (default 2008).
+	Seed int64
+	// QuotaRPS is each tenant's sustained requests-per-second budget;
+	// 0 disables quota enforcement.
+	QuotaRPS float64
+	// QuotaBurst is the bucket depth — how far above the sustained rate a
+	// tenant may burst (default 1 when quotas are on).
+	QuotaBurst int
+	// ShedP99 sheds requests for replicas whose reported p99 predict
+	// latency exceeds this many seconds (0 disables).  The signal is the
+	// worker's srdaserve_request_latency_p99 gauge, read via /healthz.
+	ShedP99 float64
+	// ShedQueue sheds requests for replicas whose reported queue depth
+	// exceeds this (0 disables).
+	ShedQueue int
+	// HealthInterval runs a background health sweep this often; 0 means
+	// no background loop — call CheckHealth explicitly (tests do, for
+	// determinism).
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive failed checks remove a
+	// replica from the ring (default 3).
+	HealthFailures int
+	// RetryAfterSeconds is the Retry-After hint on 503 sheds (default 1).
+	RetryAfterSeconds int
+	// Clock overrides time.Now for quota refill — tests advance it
+	// explicitly instead of sleeping.
+	Clock func() time.Time
+	// Logger receives membership changes and shed warnings.  Nil disables
+	// logging.
+	Logger *obs.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 2008
+	}
+	if o.QuotaBurst <= 0 {
+		o.QuotaBurst = 1
+	}
+	if o.HealthFailures <= 0 {
+		o.HealthFailures = 3
+	}
+	if o.RetryAfterSeconds <= 0 {
+		o.RetryAfterSeconds = 1
+	}
+	return o
+}
+
+// replicaState is the router's view of one backend.  All fields are
+// guarded by Router.mu; the ring itself is the lock-free fast path.
+type replicaState struct {
+	backend  Backend
+	healthy  bool
+	draining bool
+	failures int
+	health   serve.Health // last successful check's snapshot
+}
+
+// Router routes predict requests across worker replicas.  Construct with
+// New; it is safe for concurrent use.
+type Router struct {
+	opts     Options
+	mu       sync.RWMutex
+	replicas map[string]*replicaState
+	ring     atomic.Pointer[ring]
+	quotas   *quotas
+	mx       *metrics
+	mux      *http.ServeMux
+	logger   *obs.Logger
+	stop     chan struct{}
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+	start    time.Time
+}
+
+// New builds a router over the given replicas, all initially healthy and
+// on the ring.  When opts.HealthInterval > 0 a background sweep keeps
+// membership current; otherwise call CheckHealth.
+func New(backends []Backend, opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("router: no backends")
+	}
+	r := &Router{
+		opts:     opts,
+		replicas: make(map[string]*replicaState, len(backends)),
+		quotas:   newQuotas(opts.QuotaRPS, opts.QuotaBurst, opts.Clock),
+		mux:      http.NewServeMux(),
+		logger:   opts.Logger,
+		stop:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	for _, b := range backends {
+		if b.Name() == "" {
+			return nil, fmt.Errorf("router: backend with empty name")
+		}
+		if _, dup := r.replicas[b.Name()]; dup {
+			return nil, fmt.Errorf("router: duplicate replica name %q", b.Name())
+		}
+		r.replicas[b.Name()] = &replicaState{backend: b, healthy: true}
+	}
+	r.mx = newMetrics(
+		func() int64 { return int64(len(r.Ring())) },
+		func() int64 { return r.healthyCount() },
+	)
+	r.mu.Lock()
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	r.mux.HandleFunc("/v1/predict", r.handlePredict)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
+	if opts.HealthInterval > 0 {
+		r.wg.Add(1)
+		go r.healthLoop()
+	}
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler (/v1/predict, /healthz,
+// /metrics).
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Registry returns the router's metrics registry for debug exposition.
+func (r *Router) Registry() *obs.Registry { return r.mx.reg }
+
+// Close stops the background health loop, if any.
+func (r *Router) Close() {
+	if r.stopped.CompareAndSwap(false, true) {
+		close(r.stop)
+		r.wg.Wait()
+	}
+}
+
+// rebuildRingLocked recomputes the ring from replicas that are healthy
+// and not draining.  Caller holds r.mu.
+func (r *Router) rebuildRingLocked() {
+	var members []string
+	for name, st := range r.replicas {
+		if st.healthy && !st.draining {
+			members = append(members, name)
+		}
+	}
+	sort.Strings(members)
+	r.ring.Store(buildRing(r.opts.Seed, members, r.opts.VNodes))
+}
+
+// Ring returns the replicas currently on the ring, sorted.
+func (r *Router) Ring() []string { return r.ring.Load().members() }
+
+// RouteFor returns the replica that currently owns tenant, or "" when
+// the ring is empty — placement only, no quota or overload checks.
+func (r *Router) RouteFor(tenant string) string {
+	return r.ring.Load().lookup(r.opts.Seed, tenant)
+}
+
+func (r *Router) healthyCount() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var n int64
+	for _, st := range r.replicas {
+		if st.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain removes name from the ring without failing its in-flight work;
+// its tenants rehash onto the remaining replicas and nobody else moves.
+func (r *Router) Drain(name string) error { return r.setDraining(name, true) }
+
+// Undrain returns a drained replica to the ring.
+func (r *Router) Undrain(name string) error { return r.setDraining(name, false) }
+
+func (r *Router) setDraining(name string, draining bool) error {
+	r.mu.Lock()
+	st := r.replicas[name]
+	if st == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("router: unknown replica %q", name)
+	}
+	changed := st.draining != draining
+	st.draining = draining
+	if changed {
+		r.rebuildRingLocked()
+	}
+	r.mu.Unlock()
+	if changed {
+		r.logger.Info("replica drain state changed", "replica", name, "draining", draining)
+	}
+	return nil
+}
+
+// CheckHealth sweeps every replica's health endpoint once, updating
+// overload snapshots and flipping ring membership after HealthFailures
+// consecutive failures (one success restores).  The background loop
+// calls this on HealthInterval; tests call it directly.
+func (r *Router) CheckHealth(ctx context.Context) {
+	r.mu.RLock()
+	backends := make([]Backend, 0, len(r.replicas))
+	for _, st := range r.replicas {
+		backends = append(backends, st.backend)
+	}
+	r.mu.RUnlock()
+	type result struct {
+		name   string
+		health *serve.Health
+		err    error
+	}
+	results := make([]result, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			h, err := b.Health(ctx)
+			results[i] = result{name: b.Name(), health: h, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+	r.mu.Lock()
+	changed := false
+	for _, res := range results {
+		st := r.replicas[res.name]
+		if st == nil {
+			continue
+		}
+		if res.err != nil {
+			st.failures++
+			if st.healthy && st.failures >= r.opts.HealthFailures {
+				st.healthy = false
+				changed = true
+				r.logger.Warn("replica failed health checks, leaving ring",
+					"replica", res.name, "failures", st.failures)
+			}
+			continue
+		}
+		st.failures = 0
+		st.health = *res.health
+		if !st.healthy {
+			st.healthy = true
+			changed = true
+			r.logger.Info("replica recovered, rejoining ring", "replica", res.name)
+		}
+	}
+	if changed {
+		r.rebuildRingLocked()
+	}
+	r.mu.Unlock()
+}
+
+// healthLoop runs CheckHealth every HealthInterval until Close.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), r.opts.HealthInterval)
+			r.CheckHealth(ctx)
+			cancel()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// shed rejects a request before it reaches a backend, recording the
+// reason and returning the typed error clients see (429 for quota, 503
+// otherwise — both satisfy errors.Is(err, serve.ErrShed)).
+func (r *Router) shed(reason, tenant string, code int, msg string) error {
+	r.mx.shed.With(reason, tenant).Inc()
+	r.logger.Sample("shed_"+reason, time.Second).Warn("request shed",
+		"reason", reason, "tenant", tenant)
+	return &serve.StatusError{
+		Code:       code,
+		Message:    msg,
+		RetryAfter: time.Duration(r.opts.RetryAfterSeconds) * time.Second,
+	}
+}
+
+// overloaded reports whether the replica's last health snapshot trips an
+// admission threshold.
+func (r *Router) overloaded(name string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := r.replicas[name]
+	if st == nil {
+		return "", false
+	}
+	if r.opts.ShedQueue > 0 && st.health.QueueDepth > r.opts.ShedQueue {
+		return fmt.Sprintf("replica %s queue depth %d over threshold %d",
+			name, st.health.QueueDepth, r.opts.ShedQueue), true
+	}
+	if r.opts.ShedP99 > 0 && st.health.LatencyP99Seconds > r.opts.ShedP99 {
+		return fmt.Sprintf("replica %s p99 latency %.4fs over threshold %.4fs",
+			name, st.health.LatencyP99Seconds, r.opts.ShedP99), true
+	}
+	return "", false
+}
+
+// Predict admits, routes, and forwards one request: quota check (429),
+// ring lookup (503 when empty), overload check against the target
+// replica's reported health (503), then the backend call.  Typed errors
+// map to HTTP statuses with serve.StatusCode.
+func (r *Router) Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error) {
+	tenant := req.Model
+	if tenant == "" {
+		tenant = serve.DefaultModelName
+	}
+	if !r.quotas.allow(tenant) {
+		return nil, r.shed("quota", tenant, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over its request quota", tenant))
+	}
+	name := r.ring.Load().lookup(r.opts.Seed, tenant)
+	if name == "" {
+		return nil, r.shed("no_backend", tenant, http.StatusServiceUnavailable,
+			"no healthy replica on the ring")
+	}
+	if msg, over := r.overloaded(name); over {
+		return nil, r.shed("overload", tenant, http.StatusServiceUnavailable, msg)
+	}
+	r.mu.RLock()
+	st := r.replicas[name]
+	r.mu.RUnlock()
+	if st == nil {
+		return nil, r.shed("no_backend", tenant, http.StatusServiceUnavailable,
+			"replica left the ring mid-route")
+	}
+	begin := time.Now()
+	resp, err := st.backend.Predict(ctx, req)
+	r.mx.forward.Observe(time.Since(begin).Seconds())
+	r.mx.requests.With(name, strconv.Itoa(serve.StatusCode(err))).Inc()
+	if err != nil {
+		r.mx.backendErrors.With(name).Inc()
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var pr serve.PredictRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	resp, err := r.Predict(req.Context(), &pr)
+	if err != nil {
+		code := serve.StatusCode(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(r.opts.RetryAfterSeconds))
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RouterHealth is the router's /healthz reply.
+type RouterHealth struct {
+	Status        string          `json:"status"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	RingMembers   []string        `json:"ring_members"`
+	Replicas      []ReplicaHealth `json:"replicas"`
+}
+
+// ReplicaHealth is one replica's membership state in the router health
+// reply.
+type ReplicaHealth struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Failures int    `json:"failures,omitempty"`
+}
+
+// HealthSnapshot builds the /healthz reply programmatically.
+func (r *Router) HealthSnapshot() *RouterHealth {
+	h := &RouterHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		RingMembers:   r.Ring(),
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.replicas))
+	for name := range r.replicas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := r.replicas[name]
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			Name: name, Healthy: st.healthy, Draining: st.draining, Failures: st.failures,
+		})
+	}
+	r.mu.RUnlock()
+	if len(h.RingMembers) == 0 {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, r.HealthSnapshot())
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	r.mx.reg.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// A failed write means the client hung up; there is nobody to tell.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

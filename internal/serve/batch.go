@@ -10,7 +10,6 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,18 +20,13 @@ import (
 	"srda/internal/sparse"
 )
 
-var (
-	errQueueFull    = errors.New("prediction queue full")
-	errShuttingDown = errors.New("server shutting down")
-	errModelShape   = errors.New("sample dimensionality no longer matches the live model (reloaded mid-flight)")
-)
-
 // pending tracks one HTTP request's samples across however many inference
 // batches they land in.  done closes when every sample is resolved (or
 // failed); results are safe to read only after done.
 type pending struct {
 	classes    []int
 	embeddings [][]float64 // nil unless the request asked for embeddings
+	model      string      // resolved registry name answering the request
 	modelSeq   atomic.Uint64
 	remaining  atomic.Int32
 	mu         sync.Mutex
@@ -75,10 +69,13 @@ func (p *pending) settle(k int) {
 }
 
 // item is one sample in flight: either a dense vector or a sparse
-// (cols, vals) pair, plus the slot it resolves into.
+// (cols, vals) pair, plus the slot it resolves into.  model is the
+// resolved registry name; the dispatcher groups a mixed-tenant batch by
+// it, one GEMM per model present.
 type item struct {
 	p     *pending
 	idx   int
+	model string
 	dense []float64
 	cols  []int
 	vals  []float64
@@ -169,13 +166,52 @@ func (s *Server) worker() {
 	}
 }
 
-// runBatch assembles one batch into a matrix, runs the batched projection
-// and nearest-centroid assignment on the model pointer loaded once for the
-// whole batch (hot reloads therefore never tear a batch), and writes the
-// per-sample results back.
+// runBatch splits a coalesced batch by registry model (samples from
+// different tenants share the dispatcher but never a GEMM) and runs one
+// inference sub-batch per model in first-appearance order.
 func (s *Server) runBatch(batch []*item) {
-	st := s.model.Load()
-	m := st.m
+	// Single-tenant batches — the overwhelmingly common case — skip the
+	// grouping allocation entirely.
+	uniform := true
+	for _, it := range batch[1:] {
+		if it.model != batch[0].model {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		s.runModelBatch(batch[0].model, batch)
+		return
+	}
+	var order []string
+	groups := make(map[string][]*item)
+	for _, it := range batch {
+		if _, ok := groups[it.model]; !ok {
+			order = append(order, it.model)
+		}
+		groups[it.model] = append(groups[it.model], it)
+	}
+	for _, name := range order {
+		s.runModelBatch(name, groups[name])
+	}
+}
+
+// runModelBatch assembles one model's sub-batch into a matrix, runs the
+// batched projection and nearest-centroid assignment on the snapshot
+// loaded once for the whole sub-batch (publishes and rollbacks therefore
+// never tear a batch), and writes the per-sample results back.
+func (s *Server) runModelBatch(name string, batch []*item) {
+	snap, ok := s.reg.Get(name)
+	if !ok {
+		// Evicted or deleted between enqueue and dispatch.
+		err := &UnknownModelError{Name: name}
+		for _, it := range batch {
+			it.p.fail(err)
+			it.p.settle(1)
+		}
+		return
+	}
+	m := snap.Model
 	n := m.W.Rows
 
 	// A reload may have changed the feature count since enqueue-time
@@ -187,7 +223,7 @@ func (s *Server) runBatch(batch []*item) {
 			ok = it.width == n
 		}
 		if !ok {
-			it.p.fail(errModelShape)
+			it.p.fail(ErrModelShape)
 			it.p.settle(1)
 			continue
 		}
@@ -257,7 +293,7 @@ func (s *Server) runBatch(batch []*item) {
 		if it.p.embeddings != nil {
 			it.p.embeddings[it.idx] = append([]float64(nil), emb.RowView(r)...)
 		}
-		it.p.modelSeq.Store(st.seq)
+		it.p.modelSeq.Store(snap.Version)
 		it.p.settle(1)
 	}
 	for _, sp := range batchSpans {
@@ -277,7 +313,7 @@ func (s *Server) enqueue(p *pending, items []*item) {
 			s.metrics.queueRejects.Add(int64(len(items) - i))
 			s.logger.Sample("queue_full", time.Second).Warn("prediction queue full",
 				"rejected", len(items)-i, "queue_depth", s.opts.QueueDepth)
-			p.fail(errQueueFull)
+			p.fail(ErrQueueFull)
 			p.settle(len(items) - i)
 			return
 		}

@@ -1,26 +1,35 @@
-// Package serve is the online prediction subsystem: a JSON-over-HTTP
-// server that turns a trained SRDA model into a service.  Incoming
-// samples — dense vectors or sparse {index: value} maps, one or many per
-// request — are micro-batched across concurrent requests and classified
-// through the model's GEMM-lowered batch path, the way a production
-// inference stack amortizes dispatch overhead.  The server supports
-// atomic hot reload of the model file (in-flight batches finish on the
-// model they started with), graceful drain on shutdown, and Prometheus
+// Package serve is the worker role of the serving tier: a JSON-over-HTTP
+// server that turns trained SRDA models into a service.  A worker is
+// backed by an internal/registry model store holding many named,
+// versioned models per process (multi-tenant); requests select a model
+// by name and default to the worker's default model, so the single-model
+// deployment from PR 1 keeps working unchanged.  Incoming samples —
+// dense vectors or sparse {index: value} maps, one or many per request —
+// are micro-batched across concurrent requests and classified through
+// each model's GEMM-lowered batch path, the way a production inference
+// stack amortizes dispatch overhead.  The server supports atomic model
+// publish/rollback and hot reload (in-flight batches finish on the
+// version they started with), graceful drain on shutdown, and Prometheus
 // text-format metrics.
 //
 // Endpoints:
 //
 //	POST /v1/predict  classify samples (optionally returning embeddings)
-//	GET  /healthz     liveness plus live-model metadata
-//	GET  /metrics     Prometheus text exposition
+//	GET  /v1/models   list the registry's live models
+//	GET  /healthz     liveness plus live-model metadata and p99 latency
+//	GET  /metrics     Prometheus text exposition (serve + registry)
 //
-// Use Client for typed access from Go.
+// Use Client for typed access from Go over HTTP, or Server.Predict for
+// the in-process transport internal/router uses in co-located mode.
+// See doc/SHARDING.md for the router/worker topology.
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -30,7 +39,12 @@ import (
 
 	"srda/internal/core"
 	"srda/internal/obs"
+	"srda/internal/registry"
 )
+
+// DefaultModelName is the registry name used when neither the server
+// options nor the request specify a model.
+const DefaultModelName = "default"
 
 // Options tunes the server.  The zero value gets sensible defaults from
 // New.
@@ -54,6 +68,14 @@ type Options struct {
 	MaxRequestSamples int
 	// MaxBodyBytes caps the request body (default 32 MiB).
 	MaxBodyBytes int64
+	// Registry, when non-nil, backs the server with a caller-owned
+	// multi-tenant model store (co-located workers share one).  When nil,
+	// New creates a private registry holding just the initial model.
+	Registry *registry.Registry
+	// DefaultModel names the registry entry served when a request does
+	// not specify one (default DefaultModelName); Swap, ReloadFromFile,
+	// and WatchFile publish to it.
+	DefaultModel string
 	// Tracer records request-scoped span trees (request → batch → kernel)
 	// for /v1/predict.  When nil, New creates one whose ring holds
 	// TraceCapacity completed spans; pass an explicit tracer to share one
@@ -86,21 +108,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
 	}
+	if o.DefaultModel == "" {
+		o.DefaultModel = DefaultModelName
+	}
 	return o
 }
 
-// modelState is the immutable unit the hot-reload path swaps atomically.
-type modelState struct {
-	m        *core.Model
-	seq      uint64
-	loadedAt time.Time
-}
-
-// Server serves predictions from an atomically swappable SRDA model.
+// Server serves predictions from an atomically swappable set of SRDA
+// models held in a registry.
 type Server struct {
 	opts    Options
-	model   atomic.Pointer[modelState]
-	seq     atomic.Uint64
+	reg     *registry.Registry
 	queue   chan *item
 	workCh  chan []*item
 	stop    chan struct{}
@@ -114,19 +132,32 @@ type Server struct {
 	logger  *obs.Logger
 }
 
-// New starts the dispatcher (batcher + worker pool) around an initial
-// model, which must carry class centroids (i.e. come from Fit/FitCSR or a
-// file they saved).
+// New starts the dispatcher (batcher + worker pool).  When opts.Registry
+// is nil, m becomes the registry's default model and must carry class
+// centroids (i.e. come from Fit/FitCSR or a file they saved); with a
+// caller-owned registry m may be nil and requests are answered from
+// whatever the registry holds.
 func New(m *core.Model, opts Options) (*Server, error) {
-	if m == nil {
-		return nil, fmt.Errorf("serve: nil model")
-	}
-	if m.Centroids == nil {
-		return nil, fmt.Errorf("serve: model carries no class centroids; retrain with srda.Fit/FitCSR or srdatrain")
-	}
 	opts = opts.withDefaults()
+	reg := opts.Registry
+	if reg == nil {
+		if m == nil {
+			return nil, fmt.Errorf("serve: nil model")
+		}
+		reg = registry.New(registry.Options{Workers: opts.Workers, Logger: opts.Logger})
+	}
+	if m != nil {
+		if m.Centroids == nil {
+			return nil, fmt.Errorf("serve: model carries no class centroids; retrain with srda.Fit/FitCSR or srdatrain")
+		}
+		m.Workers = opts.Workers
+		if _, err := reg.Publish(opts.DefaultModel, m); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		opts:   opts,
+		reg:    reg,
 		queue:  make(chan *item, opts.QueueDepth),
 		workCh: make(chan []*item, opts.Workers),
 		stop:   make(chan struct{}),
@@ -142,9 +173,8 @@ func New(m *core.Model, opts Options) (*Server, error) {
 		func() int64 { return int64(len(s.queue)) },
 		func() int64 { return int64(s.ModelSeq()) },
 	)
-	m.Workers = opts.Workers
-	s.model.Store(&modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()})
 	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.wg.Add(1)
@@ -166,6 +196,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // expose it alongside the process-wide obs.Default() registry.
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
+// Models returns the model registry backing the server; co-located
+// deployments publish and roll back tenants through it.
+func (s *Server) Models() *registry.Registry { return s.reg }
+
 // Tracer returns the server's request tracer; a debug listener exports
 // its ring at /debug/traces, and shutdown flushes it to -trace-out.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
@@ -174,25 +208,50 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 // disabled); the watch and shutdown paths in cmd/srdaserve share it.
 func (s *Server) Logger() *obs.Logger { return s.logger }
 
-// Model returns the live model.
-func (s *Server) Model() *core.Model { return s.model.Load().m }
+// Model returns the live default model (nil when the registry holds no
+// default entry).
+func (s *Server) Model() *core.Model {
+	if snap, ok := s.reg.Get(s.opts.DefaultModel); ok {
+		return snap.Model
+	}
+	return nil
+}
 
-// ModelSeq returns the live model's monotonic sequence number (1 for the
-// model the server started with; each successful Swap increments it).
-func (s *Server) ModelSeq() uint64 { return s.model.Load().seq }
+// ModelSeq returns the default model's monotonic version (1 for the
+// model the server started with; each successful Swap increments it, and
+// rollbacks keep moving forward).  Zero when no default model exists.
+func (s *Server) ModelSeq() uint64 {
+	if snap, ok := s.reg.Get(s.opts.DefaultModel); ok {
+		return snap.Version
+	}
+	return 0
+}
 
-// Swap atomically replaces the live model and returns its sequence
-// number.  Batches already dispatched keep the model pointer they loaded,
-// so in-flight requests finish on the old model.
+// LatencyP99 returns the streaming 99th-percentile predict latency in
+// seconds (0 until the first observation) — the admission-control signal
+// the router's health checks read, mirroring the
+// srdaserve_request_latency_p99 gauge.
+func (s *Server) LatencyP99() float64 {
+	if p := s.metrics.latencySketch.Query(0.99); !math.IsNaN(p) {
+		return p
+	}
+	return 0
+}
+
+// Swap atomically publishes m as the next version of the default model
+// and returns its version.  Batches already dispatched keep the model
+// pointer they loaded, so in-flight requests finish on the old version.
 func (s *Server) Swap(m *core.Model) (uint64, error) {
 	if m == nil || m.Centroids == nil {
 		return 0, fmt.Errorf("serve: refusing to swap in a model without centroids")
 	}
 	m.Workers = s.opts.Workers
-	st := &modelState{m: m, seq: s.seq.Add(1), loadedAt: time.Now()}
-	s.model.Store(st)
+	snap, err := s.reg.Publish(s.opts.DefaultModel, m)
+	if err != nil {
+		return 0, err
+	}
 	s.metrics.reloads.Inc()
-	return st.seq, nil
+	return snap.Version, nil
 }
 
 // Close stops the dispatcher, draining already-queued samples first.  Call
@@ -246,6 +305,10 @@ type Sample struct {
 // also be sent shorthand as a bare Sample object.
 type PredictRequest struct {
 	Samples []Sample `json:"samples"`
+	// Model selects the registry model answering the request (empty =
+	// the server's default model).  It is also the tenant key the router
+	// hashes and meters quotas by.
+	Model string `json:"model,omitempty"`
 	// Embed asks for the (c−1)-dimensional embeddings alongside classes.
 	Embed bool `json:"embed,omitempty"`
 	Sample
@@ -255,24 +318,100 @@ type PredictRequest struct {
 type PredictResponse struct {
 	Classes    []int       `json:"classes"`
 	Embeddings [][]float64 `json:"embeddings,omitempty"`
-	// ModelSeq identifies which loaded model produced the answer.
+	// Model names the registry model that produced the answer.
+	Model string `json:"model,omitempty"`
+	// ModelSeq identifies which version of that model produced it.
 	ModelSeq uint64 `json:"model_seq"`
 }
 
-// Health is the /healthz reply.
+// Health is the /healthz reply.  Features, Classes, Dim, ModelSeq, and
+// ModelLoadedAt describe the default model and are zero when the
+// registry holds no default entry.
 type Health struct {
 	Status        string  `json:"status"`
 	Features      int     `json:"features"`
 	Classes       int     `json:"classes"`
 	Dim           int     `json:"dim"`
 	ModelSeq      uint64  `json:"model_seq"`
-	ModelLoadedAt string  `json:"model_loaded_at"`
+	ModelLoadedAt string  `json:"model_loaded_at,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	QueueDepth    int     `json:"queue_depth"`
+	// Models counts the live registry names.
+	Models int `json:"models"`
+	// LatencyP99Seconds mirrors the srdaserve_request_latency_p99 gauge;
+	// the router's admission control keys off it.
+	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+}
+
+// ModelInfo is one /v1/models entry.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Bytes    int64  `json:"bytes"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+// ModelList is the /v1/models reply.
+type ModelList struct {
+	Models []ModelInfo `json:"models"`
 }
 
 type errorReply struct {
 	Error string `json:"error"`
+}
+
+// Typed predict errors; StatusCode maps them (and any *StatusError) to
+// HTTP statuses, so the router's in-memory and HTTP transports agree.
+var (
+	// ErrQueueFull rejects samples past QueueDepth (503, retryable).
+	ErrQueueFull = errors.New("prediction queue full")
+	// ErrShuttingDown rejects requests after Close began (503).
+	ErrShuttingDown = errors.New("server shutting down")
+	// ErrModelShape fails samples whose dimensionality no longer matches
+	// the model version that answered the batch (409).
+	ErrModelShape = errors.New("sample dimensionality no longer matches the live model (reloaded mid-flight)")
+)
+
+// RequestError is a malformed request (HTTP 400).
+type RequestError struct{ Msg string }
+
+func (e *RequestError) Error() string { return e.Msg }
+
+func badRequestf(format string, args ...any) *RequestError {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// UnknownModelError names a model the registry does not hold (HTTP 404).
+type UnknownModelError struct{ Name string }
+
+func (e *UnknownModelError) Error() string {
+	return fmt.Sprintf("unknown model %q", e.Name)
+}
+
+// StatusCode maps a typed predict error to its HTTP status: nil → 200,
+// RequestError → 400, UnknownModelError → 404, ErrModelShape → 409,
+// ErrQueueFull/ErrShuttingDown → 503, StatusError → its own code,
+// anything else → 500.
+func StatusCode(err error) int {
+	var reqErr *RequestError
+	var unkErr *UnknownModelError
+	var stErr *StatusError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &reqErr):
+		return http.StatusBadRequest
+	case errors.As(err, &unkErr):
+		return http.StatusNotFound
+	case errors.Is(err, ErrModelShape):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &stErr):
+		return stErr.Code
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) int {
@@ -287,80 +426,137 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) int {
 	return writeJSON(w, code, errorReply{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeTypedErr renders a typed predict error, advertising Retry-After
+// on retryable 503s so the client's backoff has a floor.
+func writeTypedErr(w http.ResponseWriter, err error) int {
+	code := StatusCode(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	return writeErr(w, code, "%v", err)
+}
+
+// Predict answers one request through the in-process transport: the same
+// validation, micro-batching dispatch, and tracing as POST /v1/predict,
+// with typed errors instead of HTTP statuses (map them with StatusCode).
+// This is how the router reaches co-located workers without a network
+// hop, which keeps the whole tier testable under -race.
+func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
+	if s.stopped.Load() {
+		return nil, ErrShuttingDown
+	}
+	begin := time.Now()
+	ctx, root := s.tracer.StartRoot(ctx, "request")
+	defer root.End()
+	_, sp := obs.StartSpan(ctx, "parse")
+	p, items, err := s.buildPending(req)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	p.span = root
+	if err := s.submit(ctx, p, items); err != nil {
+		return nil, err
+	}
+	s.metrics.observeLatency(time.Since(begin).Seconds())
+	return &PredictResponse{
+		Classes:    p.classes,
+		Embeddings: p.embeddings,
+		Model:      p.model,
+		ModelSeq:   p.modelSeq.Load(),
+	}, nil
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
 		return writeErr(w, http.StatusMethodNotAllowed, "POST required")
 	}
 	if s.stopped.Load() {
-		return writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return writeTypedErr(w, ErrShuttingDown)
 	}
 	ctx, root := s.tracer.StartRoot(r.Context(), "request")
 	defer root.End()
-	p, items, code := s.parsePredict(ctx, w, r)
-	if p == nil {
-		return code
+	_, sp := obs.StartSpan(ctx, "parse")
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		sp.End()
+		return writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	}
+	p, items, err := s.buildPending(&req)
+	sp.End()
+	if err != nil {
+		return writeTypedErr(w, err)
 	}
 	p.span = root
-	_, queueSp := obs.StartSpan(ctx, "queue")
-	s.enqueue(p, items)
-	select {
-	case <-p.done:
-	case <-r.Context().Done():
-		queueSp.End()
-		return http.StatusServiceUnavailable // client gone; nothing to write
-	case <-s.stop:
-		queueSp.End()
-		return writeErr(w, http.StatusServiceUnavailable, "server shutting down")
-	}
-	queueSp.End()
-	if err := p.failure(); err != nil {
-		code := http.StatusServiceUnavailable
-		if err == errModelShape {
-			code = http.StatusConflict
+	if err := s.submit(ctx, p, items); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusServiceUnavailable // client gone; nothing to write
 		}
-		return writeErr(w, code, "%v", err)
+		return writeTypedErr(w, err)
 	}
 	return writeJSON(w, http.StatusOK, PredictResponse{
 		Classes:    p.classes,
 		Embeddings: p.embeddings,
+		Model:      p.model,
 		ModelSeq:   p.modelSeq.Load(),
 	})
 }
 
-// parsePredict decodes and validates one predict request under a "parse"
-// span, returning the pending, its dispatcher items, and the HTTP status.
-// On failure the error reply is already written and pending is nil.
-func (s *Server) parsePredict(ctx context.Context, w http.ResponseWriter, r *http.Request) (*pending, []*item, int) {
-	_, sp := obs.StartSpan(ctx, "parse")
-	defer sp.End()
-	var req PredictRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
-		return nil, nil, writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+// buildPending validates one predict request against the registry and
+// converts it to dispatcher form, returning typed errors.
+func (s *Server) buildPending(req *PredictRequest) (*pending, []*item, error) {
+	samples := req.Samples
+	if len(samples) == 0 && (len(req.Dense) > 0 || len(req.Sparse) > 0) {
+		samples = []Sample{req.Sample}
 	}
-	if len(req.Samples) == 0 && (len(req.Dense) > 0 || len(req.Sparse) > 0) {
-		req.Samples = []Sample{req.Sample}
+	if len(samples) == 0 {
+		return nil, nil, badRequestf("no samples")
 	}
-	if len(req.Samples) == 0 {
-		return nil, nil, writeErr(w, http.StatusBadRequest, "no samples")
+	if len(samples) > s.opts.MaxRequestSamples {
+		return nil, nil, badRequestf("%d samples exceeds the per-request cap of %d",
+			len(samples), s.opts.MaxRequestSamples)
 	}
-	if len(req.Samples) > s.opts.MaxRequestSamples {
-		return nil, nil, writeErr(w, http.StatusBadRequest, "%d samples exceeds the per-request cap of %d", len(req.Samples), s.opts.MaxRequestSamples)
+	name := req.Model
+	if name == "" {
+		name = s.opts.DefaultModel
 	}
-	n := s.Model().W.Rows
-	p := newPending(len(req.Samples), req.Embed)
-	items := make([]*item, len(req.Samples))
-	for i, smp := range req.Samples {
+	snap, ok := s.reg.Get(name)
+	if !ok {
+		return nil, nil, &UnknownModelError{Name: name}
+	}
+	n := snap.Model.W.Rows
+	p := newPending(len(samples), req.Embed)
+	p.model = name
+	items := make([]*item, len(samples))
+	for i, smp := range samples {
 		it, err := buildItem(p, i, smp, n)
 		if err != nil {
-			return nil, nil, writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			return nil, nil, badRequestf("sample %d: %v", i, err)
 		}
+		it.model = name
 		items[i] = it
 	}
-	return p, items, http.StatusOK
+	return p, items, nil
 }
 
-// buildItem validates one sample against the live feature count n and
+// submit enqueues the pending's items and waits for resolution under a
+// "queue" span.
+func (s *Server) submit(ctx context.Context, p *pending, items []*item) error {
+	_, queueSp := obs.StartSpan(ctx, "queue")
+	defer queueSp.End()
+	s.enqueue(p, items)
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.stop:
+		return ErrShuttingDown
+	}
+	return p.failure()
+}
+
+// buildItem validates one sample against the model's feature count n and
 // converts it to dispatcher form.
 func buildItem(p *pending, idx int, smp Sample, n int) (*item, error) {
 	hasDense, hasSparse := len(smp.Dense) > 0, len(smp.Sparse) > 0
@@ -393,21 +589,49 @@ func buildItem(p *pending, idx int, smp Sample, n int) (*item, error) {
 	return it, nil
 }
 
+// HealthSnapshot builds the /healthz reply programmatically — the same
+// struct the endpoint serves, used by the router's in-process health
+// checks in co-located mode.
+func (s *Server) HealthSnapshot() *Health {
+	h := &Health{
+		Status:            "ok",
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		QueueDepth:        len(s.queue),
+		Models:            s.reg.Len(),
+		LatencyP99Seconds: s.LatencyP99(),
+	}
+	if snap, ok := s.reg.Get(s.opts.DefaultModel); ok {
+		h.Features = snap.Model.W.Rows
+		h.Classes = snap.Model.NumClasses
+		h.Dim = snap.Model.Dim()
+		h.ModelSeq = snap.Version
+		h.ModelLoadedAt = snap.LoadedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return h
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodGet {
 		return writeErr(w, http.StatusMethodNotAllowed, "GET required")
 	}
-	st := s.model.Load()
-	return writeJSON(w, http.StatusOK, Health{
-		Status:        "ok",
-		Features:      st.m.W.Rows,
-		Classes:       st.m.NumClasses,
-		Dim:           st.m.Dim(),
-		ModelSeq:      st.seq,
-		ModelLoadedAt: st.loadedAt.UTC().Format(time.RFC3339Nano),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		QueueDepth:    len(s.queue),
-	})
+	return writeJSON(w, http.StatusOK, s.HealthSnapshot())
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "GET required")
+	}
+	snaps := s.reg.List()
+	out := ModelList{Models: make([]ModelInfo, 0, len(snaps))}
+	for _, snap := range snaps {
+		out.Models = append(out.Models, ModelInfo{
+			Name:     snap.Name,
+			Version:  snap.Version,
+			Bytes:    snap.Bytes,
+			LoadedAt: snap.LoadedAt.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	return writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
@@ -417,5 +641,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.WriteHeader(http.StatusOK)
 	s.metrics.writeProm(w)
+	s.reg.Metrics().WritePrometheus(w)
 	return http.StatusOK
 }

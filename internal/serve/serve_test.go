@@ -319,8 +319,8 @@ func TestQueueFullRejects(t *testing.T) {
 		items[i] = &item{p: p, idx: i, dense: []float64{1}, width: 1}
 	}
 	s.enqueue(p, items)
-	if err := p.failure(); err != errQueueFull {
-		t.Fatalf("err = %v, want errQueueFull", err)
+	if err := p.failure(); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if got := s.metrics.queueRejects.Value(); got != 2 {
 		t.Fatalf("queueRejects = %d, want 2", got)
@@ -341,15 +341,15 @@ func TestModelShapeConflict(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := newPending(1, false)
-	it := &item{p: p, idx: 0, dense: make([]float64, 10), width: 10}
+	it := &item{p: p, idx: 0, model: DefaultModelName, dense: make([]float64, 10), width: 10}
 	s.runBatch([]*item{it})
 	select {
 	case <-p.done:
 	case <-time.After(time.Second):
 		t.Fatal("pending never settled")
 	}
-	if err := p.failure(); err != errModelShape {
-		t.Fatalf("err = %v, want errModelShape", err)
+	if err := p.failure(); err != ErrModelShape {
+		t.Fatalf("err = %v, want ErrModelShape", err)
 	}
 }
 
