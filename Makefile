@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke examples clean
+.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke online-smoke examples clean
 
 all: check
 
@@ -41,6 +41,7 @@ bench:
 fuzz:
 	$(GO) test -fuzz=FuzzGemmShapes -fuzztime=30s ./internal/blas
 	$(GO) test -fuzz=FuzzCSRMulVec -fuzztime=30s ./internal/sparse
+	$(GO) test -fuzz=FuzzCholUpdate -fuzztime=30s ./internal/decomp
 
 # Regenerate every table and figure at laptop scale (minutes).
 repro:
@@ -86,6 +87,18 @@ trace-smoke:
 shard-smoke:
 	$(GO) test -run 'TestShardSmoke' -count=1 -v ./cmd/srdaserve
 	$(GO) test -run 'TestColocatedRoutingQuotasAndDrain|TestConcurrentPublishEvictPredict' -count=1 -race -v ./internal/router ./internal/registry
+
+# Train-while-serving acceptance smoke (see doc/ONLINE.md): a worker
+# started with -online streams labeled samples through /v1/observe, the
+# co-located trainer refits and publishes into the live registry,
+# predictions answer from the new version, and a poisoned stream forces
+# a holdout regression whose rollback shows up on /metrics.  The
+# streaming↔batch bitwise-equivalence golden test and the
+# publish-while-predict race test run fresh alongside it.
+online-smoke:
+	$(GO) test -run 'TestOnlineSmoke' -count=1 -v ./cmd/srdaserve
+	$(GO) test -run 'TestStreamingMatchesBatch' -count=1 -v .
+	$(GO) test -run 'TestPublishWhilePredict' -count=1 -race -v ./internal/online
 
 examples:
 	@for d in examples/*/ ; do echo "== $$d"; $(GO) run ./$$d || exit 1; done

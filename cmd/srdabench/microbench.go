@@ -126,6 +126,62 @@ func microCases() []microCase {
 			},
 		},
 		{
+			// One streamed sample into the trainer's sufficient statistics:
+			// the rank-one Gram contribution at 800 features, the per-sample
+			// cost of the train-while-serving loop.  No triggers and no
+			// registry — this times pure absorption.
+			name:  "OnlineObserve/800f",
+			iters: 2000,
+			setup: func(workers int) (func(), error) {
+				rng := rand.New(rand.NewSource(microSeed + 4))
+				const classes, n = 8, 800
+				tr, err := srda.NewStreamTrainer(srda.StreamConfig{
+					NumFeatures: n, NumClasses: classes,
+					Alpha: 1, Workers: workers,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rows := classBlobs(rng, classes, n, classes)
+				i := 0
+				return func() {
+					if err := tr.Observe(rows.RowView(i%classes), i%classes); err != nil {
+						panic(err) // bench invariant: fixed-shape samples never fail
+					}
+					i++
+				}, nil
+			},
+		},
+		{
+			// A streaming refit from accumulated statistics of 2000 samples
+			// × 400 features: the O(n³) solve the trainer pays per publish,
+			// independent of stream length.  Against FitLSQR/2000x400 the
+			// delta is batch-refit versus iterative-solver training cost.
+			name:  "Refit/2000x400",
+			iters: 3,
+			setup: func(workers int) (func(), error) {
+				rng := rand.New(rand.NewSource(microSeed + 5))
+				const classes, m, n = 10, 2000, 400
+				x := classBlobs(rng, m, n, classes)
+				labels := blobLabels(m, classes)
+				tr, err := srda.NewStreamTrainer(srda.StreamConfig{
+					NumFeatures: n, NumClasses: classes,
+					Alpha: 1, Workers: workers,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := tr.ObserveBatch(x, labels); err != nil {
+					return nil, err
+				}
+				// Fail during setup, not inside the timed loop.
+				if _, _, err := tr.Refit(); err != nil {
+					return nil, err
+				}
+				return func() { _, _, _ = tr.Refit() }, nil
+			},
+		},
+		{
 			// A full LSQR training fit at 2000 samples × 400 features —
 			// the paper's linear-time solver end to end.
 			name:  "FitLSQR/2000x400",

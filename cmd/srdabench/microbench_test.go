@@ -29,6 +29,8 @@ func TestRunMicroBenchWritesValidReport(t *testing.T) {
 		"PredictBatch/64x800":  false,
 		"ParGemm/256x512x64":   false,
 		"RouterPredict/64x800": false,
+		"OnlineObserve/800f":   false,
+		"Refit/2000x400":       false,
 		"FitLSQR/2000x400":     false,
 	}
 	for _, r := range rep.Results {
@@ -64,7 +66,7 @@ func TestMicroCasesAreSchemaUnique(t *testing.T) {
 			t.Errorf("%s: non-positive iters %d", mc.name, mc.iters)
 		}
 	}
-	if len(seen) != 4 {
-		t.Fatalf("expected 4 micro-benchmarks, got %v", seen)
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 micro-benchmarks, got %v", seen)
 	}
 }

@@ -32,6 +32,14 @@
 // version they started with.  SIGINT/SIGTERM drain gracefully within
 // -drain-timeout.  See doc/SERVING.md for the payload schema.
 //
+// -online co-locates a streaming trainer with the worker (or, for
+// -role=all, with worker 0 of the tier): POST /v1/observe feeds it
+// labeled samples, and refits — triggered by -refit-samples,
+// -refit-every, or -drift-threshold — publish new model versions into
+// the live registry with no restart and no dropped requests.
+// -holdout-frac diverts a validation slice; a refit that regresses on it
+// beyond 5 % accuracy is rolled back automatically.  See doc/ONLINE.md.
+//
 // -debug-addr starts a second, operator-only listener exposing
 // /debug/pprof/ (net/http/pprof), /debug/vars (expvar), /debug/traces
 // (the request tracer's ring as Chrome trace-event JSON, openable in
@@ -92,6 +100,12 @@ type config struct {
 	metricsOut   string
 	logLevel     string
 	logJSON      bool
+
+	online         bool
+	refitEvery     time.Duration
+	refitSamples   int
+	driftThreshold float64
+	holdoutFrac    float64
 }
 
 func main() {
@@ -121,6 +135,11 @@ func main() {
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a final Prometheus metrics snapshot here on shutdown")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit JSON-lines logs instead of text")
+	flag.BoolVar(&cfg.online, "online", false, "co-locate a streaming trainer: POST /v1/observe feeds it labeled samples and refits publish into the live registry")
+	flag.DurationVar(&cfg.refitEvery, "refit-every", 0, "online: refit when this much wall time has passed since the last refit (0 = off)")
+	flag.IntVar(&cfg.refitSamples, "refit-samples", 0, "online: refit every N observed samples (0 = off)")
+	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "online: refit when the windowed class-mean drift score exceeds this (0 = off)")
+	flag.Float64Var(&cfg.holdoutFrac, "holdout-frac", 0, "online: divert this fraction of observed samples to a validation holdout; refits that regress on it roll back (0 = no validation)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(cfg.logLevel)
@@ -202,6 +221,48 @@ func buildRegistry(cfg config, logger *obs.Logger) (*registry.Registry, error) {
 	return reg, nil
 }
 
+// buildTrainer assembles the -online streaming trainer against the live
+// registry, shaped after the published default model (feature count,
+// classes, and ridge penalty carry over, so observed samples must match
+// what the served model was trained on).
+func buildTrainer(cfg config, reg *registry.Registry, logger *obs.Logger) (serve.Trainer, error) {
+	if !cfg.online {
+		return nil, nil
+	}
+	snap, ok := reg.Get(serve.DefaultModelName)
+	if !ok {
+		return nil, fmt.Errorf("-online needs a published default model (-model) to shape the trainer")
+	}
+	m := snap.Model
+	alpha := m.Alpha
+	if alpha <= 0 {
+		alpha = 1 // LSQR-trained models may record 0; streaming refits need a ridge
+	}
+	tr, err := srda.NewStreamTrainer(srda.StreamConfig{
+		NumFeatures: m.W.Rows,
+		NumClasses:  m.NumClasses,
+		Alpha:       alpha,
+		Workers:     cfg.workers,
+		Policy: srda.RefitPolicy{
+			MinSamples:     cfg.refitSamples,
+			Interval:       cfg.refitEvery,
+			DriftThreshold: cfg.driftThreshold,
+			HoldoutFrac:    cfg.holdoutFrac,
+		},
+		Registry:  reg,
+		ModelName: serve.DefaultModelName,
+		Clock:     srda.SystemClock(),
+		Logger:    logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building streaming trainer: %w", err)
+	}
+	logger.Info("streaming trainer up", "features", m.W.Rows, "classes", m.NumClasses,
+		"alpha", alpha, "refit_samples", cfg.refitSamples, "refit_every", cfg.refitEvery.String(),
+		"drift_threshold", cfg.driftThreshold, "holdout_frac", cfg.holdoutFrac)
+	return tr, nil
+}
+
 // watchAndReload wires SIGHUP (always) and -watch (optional) reloads of
 // the -model file into s, returning a stop function.
 func watchAndReload(cfg config, s *serve.Server, logger *obs.Logger) func() {
@@ -272,6 +333,10 @@ func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr
 	if err != nil {
 		return err
 	}
+	trainer, err := buildTrainer(cfg, reg, logger)
+	if err != nil {
+		return err
+	}
 	s, err := serve.New(nil, serve.Options{
 		MaxBatch:      cfg.maxBatch,
 		MaxWait:       cfg.maxWait,
@@ -280,6 +345,7 @@ func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr
 		Registry:      reg,
 		TraceCapacity: cfg.traceCap,
 		Logger:        logger,
+		Trainer:       trainer,
 	})
 	if err != nil {
 		return err
@@ -387,10 +453,14 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 	if err != nil {
 		return err
 	}
+	trainer, err := buildTrainer(cfg, reg, logger)
+	if err != nil {
+		return err
+	}
 	workers := make([]*serve.Server, n)
 	backends := make([]router.Backend, n)
 	for i := range workers {
-		s, err := serve.New(nil, serve.Options{
+		opts := serve.Options{
 			MaxBatch:      cfg.maxBatch,
 			MaxWait:       cfg.maxWait,
 			Workers:       cfg.workers,
@@ -398,7 +468,14 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 			Registry:      reg,
 			TraceCapacity: cfg.traceCap,
 			Logger:        logger,
-		})
+		}
+		if i == 0 {
+			// One trainer for the whole tier: it publishes into the shared
+			// registry, so every replica serves its refits; worker 0 hosts
+			// the /v1/observe ingestion endpoint.
+			opts.Trainer = trainer
+		}
+		s, err := serve.New(nil, opts)
 		if err != nil {
 			return err
 		}
@@ -439,9 +516,17 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, req *http.Request) {
 		workers[0].Handler().ServeHTTP(w, req)
 	})
+	if trainer != nil {
+		// Training samples go to worker 0, the trainer's host; its refits
+		// publish into the shared registry every replica serves from.
+		mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, req *http.Request) {
+			workers[0].Handler().ServeHTTP(w, req)
+		})
+	}
 	// One scrape endpoint for the whole co-located tier: the router's
-	// srdaroute_* set followed by worker-0's srdaserve_* and the shared
-	// registry's srdareg_* instruments.
+	// srdaroute_* set followed by worker-0's srdaserve_*, the shared
+	// registry's srdareg_*, and (with -online) the trainer's srdaonline_*
+	// instruments.
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -451,6 +536,9 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 		r.Registry().WritePrometheus(w)
 		workers[0].Registry().WritePrometheus(w)
 		reg.Metrics().WritePrometheus(w)
+		if trainer != nil {
+			trainer.Metrics().WritePrometheus(w)
+		}
 	})
 	ctx, cancel, err := serveUntilShutdown(cfg, mux, logger, ready, shutdown)
 	if err != nil {

@@ -477,7 +477,9 @@ func countWrong(pred, truth []int) int {
 func TestPredictPanicsWithoutCentroids(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	x, labels := gaussianBlobs(rng, 30, 5, 2, 5)
-	model, err := FitDense(x, labels, 2, Options{Alpha: 1})
+	// The LSQR path returns a centroid-less model (the primal path now
+	// carries stats-based centroids by construction).
+	model, err := FitDense(x, labels, 2, Options{Alpha: 1, Strategy: regress.IterLSQR, LSQRIter: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -247,9 +247,33 @@ func (m *Model) nearest(v []float64) int {
 
 // FitDense trains SRDA on a dense m×n design matrix with labels in
 // [0, numClasses).
+//
+// Fits that resolve to the Primal strategy run through the
+// sufficient-statistics bridge (FitStats): the Gram matrix via
+// mat.ParGram, X̃ᵀY collapsed to classSumsᵀ·V, and stats-based class
+// centroids — bitwise identical to a streaming pass over the same rows,
+// which is the online trainer's equivalence contract.  Dual and LSQR
+// fits keep the regress-layer path (and, like before, carry no
+// centroids until SetCentroids).
 func FitDense(x *mat.Dense, labels []int, numClasses int, opt Options) (*Model, error) {
 	if x.Rows != len(labels) {
 		return nil, fmt.Errorf("core: %d samples but %d labels", x.Rows, len(labels))
+	}
+	// Mirror regress.FitDense's Auto resolution so the two layers always
+	// agree on which solver a given shape gets.
+	strat := opt.Strategy
+	if strat == regress.Auto {
+		if x.Cols > x.Rows {
+			strat = regress.Dual
+		} else {
+			strat = regress.Primal
+		}
+	}
+	if strat == regress.Primal {
+		if opt.Alpha < 0 {
+			return nil, fmt.Errorf("regress: negative alpha %v", opt.Alpha)
+		}
+		return fitDensePrimalStats(x, labels, numClasses, opt)
 	}
 	sp := opt.Trace.Start("responses")
 	rt, err := GenerateResponses(labels, numClasses)

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srda/internal/mat"
+	"srda/internal/regress"
+)
+
+// absorbAll streams every row of x into fresh statistics in row order.
+func absorbAll(t *testing.T, x *mat.Dense, labels []int, numClasses int) *SuffStats {
+	t.Helper()
+	s, err := NewSuffStats(x.Cols, numClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows; i++ {
+		if err := s.Absorb(x.RowView(i), labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %v (%#x), want %v (%#x)", name, i,
+				got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestFitStatsBitwiseMatchesBatch is the bridge's core contract: solving
+// from sample-by-sample absorbed statistics is Float64bits-identical to
+// the batch primal fit — W, B, and centroids — at every worker count.
+func TestFitStatsBitwiseMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const m, n, c = 120, 30, 4
+	x := mat.NewDense(m, n)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		labels[i] = i % c
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64() + 0.5*float64(labels[i])
+			if rng.Float64() < 0.3 {
+				row[j] = 0 // exercise the exact-sparsity skip both sides share
+			}
+		}
+	}
+	s := absorbAll(t, x, labels, c)
+	for _, w := range []int{1, 2, 4} {
+		opt := Options{Alpha: 1, Workers: w}
+		stream, err := FitStats(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := FitDense(x, labels, c, Options{Alpha: 1, Strategy: regress.Primal, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "W", stream.W.Data, batch.W.Data)
+		bitsEqual(t, "B", stream.B, batch.B)
+		if batch.Centroids == nil || stream.Centroids == nil {
+			t.Fatal("primal fits must carry stats-based centroids")
+		}
+		bitsEqual(t, "Centroids", stream.Centroids.Data, batch.Centroids.Data)
+	}
+}
+
+// TestAbsorbSparseMatchesDense: a CSR-form sample must land bitwise
+// identically to its densified twin.
+func TestAbsorbSparseMatchesDense(t *testing.T) {
+	const n, c = 12, 3
+	dense, err := NewSuffStats(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSuffStats(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+	row := make([]float64, n)
+	for i := 0; i < 40; i++ {
+		var cols []int
+		var vals []float64
+		for j := range row {
+			row[j] = 0
+			if rng.Float64() < 0.4 {
+				row[j] = rng.NormFloat64()
+				cols = append(cols, j)
+				vals = append(vals, row[j])
+			}
+		}
+		lab := i % c
+		if err := dense.Absorb(row, lab); err != nil {
+			t.Fatal(err)
+		}
+		if err := sparse.AbsorbSparse(cols, vals, lab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bitsEqual(t, "gram", sparse.gram.Data, dense.gram.Data)
+	bitsEqual(t, "classSums", sparse.classSums.Data, dense.classSums.Data)
+}
+
+// TestSuffStatsCloneIsolated: mutating a clone must not leak into the
+// original (the async-refit isolation guarantee).
+func TestSuffStatsCloneIsolated(t *testing.T) {
+	const n, c = 5, 2
+	s, err := NewSuffStats(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3, 4, 5}
+	if err := s.Absorb(x, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Absorb(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	cl := s.Clone()
+	if err := cl.Absorb(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seen() != 2 || cl.Seen() != 3 {
+		t.Fatalf("seen = %d / %d, want 2 / 3", s.Seen(), cl.Seen())
+	}
+	if got := s.ClassCounts()[1]; got != 1 {
+		t.Fatalf("original counts mutated: %d", got)
+	}
+	mean := cl.ClassMean(1, nil)
+	for j, v := range mean {
+		if v != x[j] {
+			t.Fatalf("clone class mean[%d] = %v, want %v", j, v, x[j])
+		}
+	}
+}
+
+// TestSuffStatsValidation pins the error paths.
+func TestSuffStatsValidation(t *testing.T) {
+	if _, err := NewSuffStats(0, 2); err == nil {
+		t.Fatal("0 features accepted")
+	}
+	if _, err := NewSuffStats(3, 1); err == nil {
+		t.Fatal("1 class accepted")
+	}
+	s, err := NewSuffStats(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Absorb([]float64{1, 2}, 0); err == nil {
+		t.Fatal("short sample accepted")
+	}
+	if err := s.Absorb([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if err := s.AbsorbSparse([]int{3}, []float64{1}, 0); err == nil {
+		t.Fatal("out-of-range feature index accepted")
+	}
+	if s.Seen() != 0 {
+		t.Fatalf("failed absorptions counted: %d", s.Seen())
+	}
+	if _, err := FitStats(s, Options{Alpha: 1}); err == nil {
+		t.Fatal("empty-class fit accepted")
+	}
+	if _, err := FitStats(s, Options{Alpha: -1}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}

@@ -46,6 +46,9 @@ func (m *Model) WhitenWithin(emb *mat.Dense, labels []int) error {
 	}
 	m.B = bNew
 	m.InvalidateCache() // W changed shape-preservingly; drop the stale Wᵀ
+	// Stats-based centroids (the primal fit's) were computed under the old
+	// metric; drop them so callers recompute in the whitened embedding.
+	m.Centroids = nil
 	return nil
 }
 

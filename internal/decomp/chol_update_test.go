@@ -1,0 +1,178 @@
+package decomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"srda/internal/mat"
+)
+
+// cholHealthy reports whether R is a plausible Cholesky factor: upper
+// triangular, positive diagonal, every entry finite.
+func cholHealthy(r *mat.Dense) bool {
+	for i := 0; i < r.Rows; i++ {
+		row := r.RowView(i)
+		for j := 0; j < r.Cols; j++ {
+			if math.IsNaN(row[j]) || math.IsInf(row[j], 0) {
+				return false
+			}
+			if j < i && row[j] != 0 {
+				return false
+			}
+		}
+		if row[i] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCholUpdateDowndateRoundTripProperty is the streaming trainer's
+// retire-a-sample invariant as a property: K rank-one updates followed
+// by the same K downdates in reverse order must recover the original
+// factor, and the factor must stay healthy (upper triangular, positive
+// diagonal, finite) at every intermediate step.
+func TestCholUpdateDowndateRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(5)
+		a := randSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		before := ch.R.Clone()
+		vs := make([][]float64, k)
+		for i := range vs {
+			vs[i] = make([]float64, n)
+			for j := range vs[i] {
+				vs[i][j] = rng.NormFloat64()
+			}
+			ch.Update(vs[i])
+			if !cholHealthy(ch.R) {
+				return false
+			}
+		}
+		for i := k - 1; i >= 0; i-- {
+			if err := ch.Downdate(vs[i]); err != nil {
+				return false
+			}
+			if !cholHealthy(ch.R) {
+				return false
+			}
+		}
+		return mat.MaxAbsDiff(ch.R, before) <= 1e-6*(1+before.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCholDowndateFailureLeavesFactorIntact: a downdate that would lose
+// positive definiteness must surface as ErrNotPositiveDefinite — never
+// as NaNs — and must leave R bitwise untouched, so the caller's factor
+// stays usable after the rejection.
+func TestCholDowndateFailureLeavesFactorIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		a := randSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := ch.R.Clone()
+		// Removing a large multiple of any direction loses definiteness:
+		// vᵀ here has norm far beyond the spectrum randSPD produces.
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 100 * (1 + rng.Float64())
+		}
+		if err := ch.Downdate(v); err == nil {
+			t.Fatalf("trial %d: indefinite downdate accepted", trial)
+		}
+		for i := range ch.R.Data {
+			if math.Float64bits(ch.R.Data[i]) != math.Float64bits(before.Data[i]) {
+				t.Fatalf("trial %d: rejected downdate mutated R[%d]: %v vs %v",
+					trial, i, ch.R.Data[i], before.Data[i])
+			}
+		}
+		if !cholHealthy(ch.R) {
+			t.Fatalf("trial %d: factor unhealthy after rejected downdate", trial)
+		}
+	}
+}
+
+// FuzzCholUpdate cross-checks Update against full refactorization and
+// Downdate against Update for fuzzer-chosen shapes, seeds, and vector
+// scales.  The checked-in corpus pins the regimes that matter: tiny and
+// near-cap dimensions, huge and denormal-small scales, and zero vectors
+// (the Givens sweep's skip path).
+func FuzzCholUpdate(f *testing.F) {
+	f.Add(int64(1), int64(1), 1.0)
+	f.Add(int64(2), int64(4), 0.0)
+	f.Add(int64(3), int64(8), 1e8)
+	f.Add(int64(4), int64(32), 1e-150)
+	f.Add(int64(5), int64(17), -3.5)
+	f.Fuzz(func(t *testing.T, seed, n int64, scale float64) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 32 {
+			n = 32
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e100 {
+			scale = 1
+		}
+		dim := int(n)
+		rng := rand.New(rand.NewSource(seed))
+		a := randSPD(rng, dim)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("randSPD not accepted: %v", err)
+		}
+		before := ch.R.Clone()
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = scale * rng.NormFloat64()
+		}
+		ch.Update(v)
+		if !cholHealthy(ch.R) {
+			t.Fatalf("unhealthy factor after update (n=%d scale=%g)", dim, scale)
+		}
+		// RᵀR must equal A + vvᵀ to refactorization accuracy.
+		fresh := a.Clone()
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				fresh.Set(i, j, fresh.At(i, j)+v[i]*v[j])
+			}
+		}
+		rtr := mat.MulTA(ch.R, ch.R)
+		if d := mat.MaxAbsDiff(rtr, fresh); d > 1e-7*(1+fresh.Norm()) {
+			t.Fatalf("update drifted from refactorization by %v (n=%d scale=%g)", d, dim, scale)
+		}
+		// Downdating the just-updated vector either recovers the original
+		// factor or — when v dominates A so badly that ρ² cancels to ≤ 0 —
+		// rejects cleanly, leaving the updated factor bitwise untouched.
+		// Either way the factor must stay healthy; NaNs are never an
+		// acceptable outcome.
+		updated := ch.R.Clone()
+		if err := ch.Downdate(v); err != nil {
+			for i := range ch.R.Data {
+				if math.Float64bits(ch.R.Data[i]) != math.Float64bits(updated.Data[i]) {
+					t.Fatalf("rejected downdate mutated R[%d] (n=%d scale=%g)", i, dim, scale)
+				}
+			}
+			return
+		}
+		if !cholHealthy(ch.R) {
+			t.Fatalf("unhealthy factor after downdate (n=%d scale=%g)", dim, scale)
+		}
+		if d := mat.MaxAbsDiff(ch.R, before); d > 1e-6*math.Max(1, math.Abs(scale))*(1+before.Norm()) {
+			t.Fatalf("update+downdate drifted from identity by %v (n=%d scale=%g)", d, dim, scale)
+		}
+	})
+}

@@ -17,7 +17,7 @@ import "go/ast"
 // files are not checked.
 var GoroutineDiscipline = &Analyzer{
 	Name: "goroutine-discipline",
-	Doc:  "raw go statements are confined to internal/pool, the serving tier (serve, router, registry), and main packages",
+	Doc:  "raw go statements are confined to internal/pool, the serving tier (serve, router, registry, online), and main packages",
 	Run:  runGoroutineDiscipline,
 }
 

@@ -170,11 +170,14 @@ var numericDirs = []string{
 // goroutineOwners are the only library packages allowed to start
 // goroutines directly: the worker pool itself and the serving tier —
 // workers (internal/serve, dispatch lifecycle), the router
-// (internal/router, health sweeps and the background check loop), and
-// the registry they share (internal/registry).
+// (internal/router, health sweeps and the background check loop), the
+// registry they share (internal/registry), and the streaming trainer
+// (internal/online, whose Async mode hands refits to a background
+// goroutine).
 var goroutineOwners = []string{
 	"internal/pool", "internal/serve",
 	"internal/router", "internal/registry",
+	"internal/online",
 }
 
 // underAny reports whether rel equals one of dirs or lies beneath one.

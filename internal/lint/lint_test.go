@@ -200,6 +200,7 @@ func TestLoadCorpusShape(t *testing.T) {
 	}
 	for _, owner := range []string{
 		"internal/pool", "internal/serve", "internal/router", "internal/registry",
+		"internal/online",
 	} {
 		if !underAny(owner, goroutineOwners) {
 			t.Errorf("%s not recognized as a goroutine owner", owner)

@@ -32,8 +32,11 @@ var clockOwners = []string{"internal/obs"}
 
 // noClockExtraDirs extends the ban beyond the numeric packages to the
 // infrastructure on the numeric call path, which must route timing
-// through internal/obs instead of reading the clock itself.
-var noClockExtraDirs = []string{"internal/pool", "internal/obs"}
+// through internal/obs instead of reading the clock itself.  The
+// streaming trainer (internal/online) is here because its interval
+// trigger must fire off an injected obs.Clock — a direct time.Now would
+// make refit timing untestable and nondeterministic.
+var noClockExtraDirs = []string{"internal/pool", "internal/obs", "internal/online"}
 
 // inNoClockScope reports whether pkg is subject to the wall-clock ban.
 func inNoClockScope(pkg *Package) bool {

@@ -1,0 +1,13 @@
+package online
+
+// AsyncRefit is the corpus stand-in for the streaming trainer's async
+// mode: internal/online is on the goroutine-owner allowlist, so the
+// background refit goroutine is allowed.
+func AsyncRefit(fit func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		fit()
+		close(done)
+	}()
+	return done
+}

@@ -1,0 +1,15 @@
+package online
+
+import "time"
+
+// IntervalDue checks the refit interval against a raw clock read — the
+// trainer must use the injected obs.Clock so the interval trigger is
+// testable and deterministic.
+func IntervalDue(last time.Time, every time.Duration) bool {
+	return time.Since(last) >= every // want "time.Since in package"
+}
+
+// Stamp anchors the last-refit time from the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now in package"
+}

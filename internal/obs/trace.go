@@ -11,6 +11,12 @@ import (
 // fake — and the instrumented code only ever calls Trace methods.
 type Clock func() time.Time
 
+// SystemClock returns the wall clock as an injectable Clock.  Packages
+// under the noclock contract (the online trainer's interval trigger in
+// particular) take a Clock from their caller instead of reading package
+// time; the process entry points pass this one, tests pass a fake.
+func SystemClock() Clock { return time.Now }
+
 // Span is one completed, named interval of a traced operation.
 type Span struct {
 	Name     string

@@ -1,0 +1,562 @@
+// Package online closes the train-while-serving loop: a streaming
+// trainer that ingests labeled samples (dense or CSR) into the
+// bounded-memory sufficient statistics of core.SuffStats, refits on
+// configurable triggers, and atomically publishes each new model version
+// into an internal/registry store so router/worker replicas pick it up
+// with zero downtime.
+//
+// The paper's linear-time claim is what makes this affordable: one
+// absorbed sample costs O(n²) (the rank-one Gram contribution), a refit
+// costs O(n³) independent of how many samples have streamed through, and
+// no past sample is ever revisited.
+//
+// Three triggers can arm a refit, in any combination (first one wins):
+//
+//   - sample count: every Policy.MinSamples absorbed samples;
+//   - wall interval: Policy.Interval since the last refit, measured on
+//     the injected obs.Clock (this package never reads package time —
+//     the noclock contract);
+//   - drift: the windowed class-mean shift score (see DriftScore)
+//     crossing Policy.DriftThreshold.
+//
+// Equivalence contract: with no holdout diversion, a refit after
+// streaming a dataset sample by sample in row order produces a model
+// bitwise (math.Float64bits) identical to the batch srda.Fit primal fit
+// on the same rows, at any Workers setting — core.FitStats is the single
+// solve path both sides share.
+//
+// Publish → validate → rollback: each refit publishes its candidate
+// first, then scores it on the held-out samples against the previous
+// version; a regression beyond Policy.MaxRegression (or a Validate hook
+// error) rolls the registry back.  Ordering it this way keeps every swap
+// on the registry's one atomic publish path and makes rollbacks
+// first-class, observable events (srdareg_rollbacks_total,
+// srdaonline_rollbacks_total) rather than silent non-publishes; the
+// blast radius is the in-flight requests of one validation interval, and
+// in-flight batches never tear (they finish on the snapshot they
+// loaded).
+package online
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srda/internal/core"
+	"srda/internal/mat"
+	"srda/internal/obs"
+	"srda/internal/registry"
+	"srda/internal/sparse"
+)
+
+// RefitPolicy configures when the trainer refits and how candidates are
+// validated.  The zero value never refits on its own; Refit can always
+// be called explicitly.
+type RefitPolicy struct {
+	// MinSamples triggers a refit every MinSamples absorbed samples
+	// (0 disables the count trigger).
+	MinSamples int
+	// Interval triggers a refit when at least this much wall time has
+	// passed since the last one, checked on each Observe against the
+	// injected clock (0 disables; requires Config.Clock).
+	Interval time.Duration
+	// DriftThreshold triggers a refit when the windowed class-mean drift
+	// score exceeds it (0 disables).  Drift is measured only after the
+	// first refit establishes reference means.
+	DriftThreshold float64
+	// DriftWindow is the number of recent samples in the drift window
+	// (default 256 when a drift threshold is set).
+	DriftWindow int
+	// HoldoutFrac diverts roughly this fraction of observed samples
+	// (deterministically, every ⌊1/frac⌋-th) into a validation holdout
+	// instead of the training statistics.  0 disables validation —
+	// required for bitwise streaming↔batch equivalence, since held-out
+	// samples never train.
+	HoldoutFrac float64
+	// MaxHoldout bounds retained holdout samples; past it the oldest are
+	// dropped (default 512).
+	MaxHoldout int
+	// MaxRegression is the tolerated drop in holdout accuracy of a
+	// candidate versus the live model before the publish is rolled back
+	// (default 0.05).
+	MaxRegression float64
+}
+
+func (p RefitPolicy) withDefaults() RefitPolicy {
+	if p.DriftThreshold > 0 && p.DriftWindow <= 0 {
+		p.DriftWindow = 256
+	}
+	if p.MaxHoldout <= 0 {
+		p.MaxHoldout = 512
+	}
+	if p.MaxRegression <= 0 {
+		p.MaxRegression = 0.05
+	}
+	return p
+}
+
+// Config configures a StreamTrainer.
+type Config struct {
+	// NumFeatures and NumClasses fix the stream's shape.
+	NumFeatures, NumClasses int
+	// Alpha is the ridge penalty of every refit (must be > 0: the
+	// streaming Gram starts empty and only the ridge keeps it definite).
+	Alpha float64
+	// Workers bounds refit parallelism (0 = GOMAXPROCS); like everywhere
+	// else it is purely a speed knob — models are bitwise identical at
+	// any setting.
+	Workers int
+	// Policy selects refit triggers and validation.
+	Policy RefitPolicy
+	// Registry, when non-nil, receives every successful refit as a new
+	// version of ModelName.  Nil runs the trainer standalone (benchmarks,
+	// equivalence tests); Refit then just returns the fitted model.
+	Registry *registry.Registry
+	// ModelName is the registry name published to (default "default").
+	ModelName string
+	// Clock supplies the wall time for the Interval trigger; this package
+	// never reads package time itself (noclock).  Required when
+	// Policy.Interval > 0; obs.SystemClock() is the production value.
+	Clock obs.Clock
+	// Validate, when non-nil, vets each candidate after the built-in
+	// holdout check; an error rolls the publish back.
+	Validate func(*core.Model) error
+	// Async runs refits on their own goroutine over a clone of the
+	// statistics, so Observe never blocks on the O(n³) solve.  At most
+	// one async refit is in flight; triggers that fire while one runs
+	// are absorbed by the next.  Close waits for the last one.
+	Async bool
+	// Trace, when non-nil, receives the refit phase spans ("refit" around
+	// each attempt, plus core's "responses"/"cholesky"/"xty"/"solve").
+	Trace *obs.Trace
+	// Logger receives refit/publish/rollback outcomes.  Nil disables.
+	Logger *obs.Logger
+}
+
+// holdoutSample is one diverted validation sample.
+type holdoutSample struct {
+	x     []float64
+	label int
+}
+
+// StreamTrainer is the streaming trainer; construct with NewStreamTrainer.
+// Observe/ObserveBatch/ObserveCSR are safe for concurrent use with each
+// other and with the registry's readers.
+type StreamTrainer struct {
+	cfg    Config
+	stride int // holdout diversion stride (0 = no holdout)
+
+	mu         sync.Mutex
+	stats      *core.SuffStats
+	total      int64 // all observed samples, including holdout
+	sinceRefit int
+	lastRefit  time.Time
+	hasRefit   bool
+	holdout    []holdoutSample
+	drift      *driftWindow
+	model      *core.Model // last successfully fitted candidate
+	version    uint64      // last published registry version (0 = none)
+
+	refitting atomic.Bool // an async refit is in flight
+	wg        sync.WaitGroup
+
+	seen      atomic.Int64 // mirrors total for lock-free reads
+	driftBits atomic.Uint64
+	mx        *metrics
+}
+
+// NewStreamTrainer validates cfg and returns an empty trainer.
+func NewStreamTrainer(cfg Config) (*StreamTrainer, error) {
+	if cfg.Alpha <= 0 {
+		return nil, fmt.Errorf("online: streaming SRDA needs alpha > 0, got %v", cfg.Alpha)
+	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	if cfg.Policy.Interval > 0 && cfg.Clock == nil {
+		return nil, fmt.Errorf("online: Policy.Interval needs an injected Clock (obs.SystemClock())")
+	}
+	if f := cfg.Policy.HoldoutFrac; f < 0 || f >= 1 {
+		if f != 0 { //srdalint:ignore floatcmp exact zero disables the holdout; any other out-of-range value is an error
+			return nil, fmt.Errorf("online: HoldoutFrac %v outside [0,1)", f)
+		}
+	}
+	if cfg.ModelName == "" {
+		cfg.ModelName = "default"
+	}
+	stats, err := core.NewSuffStats(cfg.NumFeatures, cfg.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	t := &StreamTrainer{cfg: cfg, stats: stats, mx: newMetrics()}
+	if f := cfg.Policy.HoldoutFrac; f > 0 {
+		t.stride = int(math.Floor(1 / f))
+		if t.stride < 1 {
+			t.stride = 1
+		}
+	}
+	if cfg.Policy.DriftThreshold > 0 {
+		t.drift = newDriftWindow(cfg.NumFeatures, cfg.NumClasses, cfg.Policy.DriftWindow)
+	}
+	if cfg.Clock != nil {
+		t.lastRefit = cfg.Clock()
+	}
+	t.mx.bind(t)
+	return t, nil
+}
+
+// Metrics returns the trainer's obs instrument set (srdaonline_*); the
+// serving layer appends its exposition to /metrics.
+func (t *StreamTrainer) Metrics() *obs.Registry { return t.mx.reg }
+
+// Seen returns the number of observed samples (training + holdout).
+func (t *StreamTrainer) Seen() int64 { return t.seen.Load() }
+
+// Version returns the last registry version this trainer published
+// (0 before the first publish or without a registry).
+func (t *StreamTrainer) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Model returns the last successfully fitted model (nil before the first
+// refit).  The returned model is immutable by convention: refits build
+// fresh models rather than mutating published ones.
+func (t *StreamTrainer) Model() *core.Model {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.model
+}
+
+// DriftScore returns the current windowed class-mean drift score: the
+// maximum over classes of ‖windowMean_c − refMean_c‖ / (‖refMean_c‖+1),
+// where the reference means are the cumulative class means captured at
+// the last refit.  0 until both a refit and window samples exist.
+func (t *StreamTrainer) DriftScore() float64 {
+	return math.Float64frombits(t.driftBits.Load())
+}
+
+// Observe absorbs one dense labeled sample and refits when a trigger
+// fires.  In sync mode the refit (publish, validation, rollback) happens
+// before Observe returns; in async mode it is handed to a background
+// goroutine and Observe returns immediately.
+func (t *StreamTrainer) Observe(x []float64, label int) error {
+	return t.observe(func(s *core.SuffStats) error { return s.Absorb(x, label) }, x, nil, nil, label)
+}
+
+// ObserveSparse absorbs one CSR-form sample; the statistics are bitwise
+// identical to Observe on the densified row.
+func (t *StreamTrainer) ObserveSparse(cols []int, vals []float64, label int) error {
+	return t.observe(func(s *core.SuffStats) error { return s.AbsorbSparse(cols, vals, label) }, nil, cols, vals, label)
+}
+
+// ObserveBatch absorbs every row of x in order — equivalent to calling
+// Observe per row (triggers can fire mid-batch).  It stops at the first
+// invalid sample.
+func (t *StreamTrainer) ObserveBatch(x *mat.Dense, labels []int) error {
+	if x.Rows != len(labels) {
+		return fmt.Errorf("online: %d rows but %d labels", x.Rows, len(labels))
+	}
+	for i := 0; i < x.Rows; i++ {
+		if err := t.Observe(x.RowView(i), labels[i]); err != nil {
+			return fmt.Errorf("online: batch row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ObserveCSR absorbs every row of x in order, like ObserveBatch for
+// sparse data; the statistics match the densified stream bitwise.
+func (t *StreamTrainer) ObserveCSR(x *sparse.CSR, labels []int) error {
+	if x.Rows != len(labels) {
+		return fmt.Errorf("online: %d rows but %d labels", x.Rows, len(labels))
+	}
+	for i := 0; i < x.Rows; i++ {
+		cols, vals := x.Row(i)
+		if err := t.ObserveSparse(cols, vals, labels[i]); err != nil {
+			return fmt.Errorf("online: batch row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// observe is the shared ingestion path: divert to holdout or absorb,
+// update the drift window, then evaluate triggers.
+func (t *StreamTrainer) observe(absorb func(*core.SuffStats) error, dense []float64, cols []int, vals []float64, label int) error {
+	t.mu.Lock()
+	if err := t.validateSample(dense, cols, vals, label); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.total++
+	t.seen.Store(t.total)
+	t.mx.samples.Inc()
+	if t.stride > 0 && t.total%int64(t.stride) == 0 {
+		// Deterministic diversion: every stride-th sample validates, the
+		// rest train.  Densify sparse samples once, on entry.
+		var row []float64
+		if dense != nil {
+			row = append([]float64(nil), dense...)
+		} else {
+			row = make([]float64, t.cfg.NumFeatures)
+			for i, j := range cols {
+				row[j] = vals[i]
+			}
+		}
+		t.holdout = append(t.holdout, holdoutSample{x: row, label: label})
+		if over := len(t.holdout) - t.cfg.Policy.MaxHoldout; over > 0 {
+			t.holdout = append([]holdoutSample(nil), t.holdout[over:]...)
+		}
+		t.mx.holdout.Inc()
+		t.mu.Unlock()
+		return nil
+	}
+	if err := absorb(t.stats); err != nil {
+		// Unreachable after validateSample; kept so a statistics-side
+		// rejection can never corrupt the sample accounting.
+		t.total--
+		t.seen.Store(t.total)
+		t.mx.samples.Add(-1)
+		t.mu.Unlock()
+		return err
+	}
+	t.sinceRefit++
+	if t.drift != nil {
+		if dense != nil {
+			t.drift.push(dense, label)
+		} else {
+			t.drift.pushSparse(cols, vals, label)
+		}
+		t.updateDriftLocked()
+	}
+	trigger := t.triggerLocked()
+	if trigger == "" {
+		t.mu.Unlock()
+		return nil
+	}
+	if !t.cfg.Async {
+		defer t.mu.Unlock()
+		_, _, err := t.refitLocked(trigger)
+		return err
+	}
+	// Async: clone under the lock, solve off it.  One in flight at most.
+	if !t.refitting.CompareAndSwap(false, true) {
+		t.mu.Unlock()
+		return nil
+	}
+	snap := t.stats.Clone()
+	t.noteRefitStartedLocked()
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		defer t.refitting.Store(false)
+		if _, _, err := t.refitFrom(snap, trigger, false); err != nil {
+			t.cfg.Logger.Warn("async refit failed", "err", err.Error())
+		}
+	}()
+	return nil
+}
+
+// validateSample rejects malformed input before any accounting, so a
+// failed Observe leaves every counter untouched.
+func (t *StreamTrainer) validateSample(dense []float64, cols []int, vals []float64, label int) error {
+	if label < 0 || label >= t.cfg.NumClasses {
+		return fmt.Errorf("online: label %d out of range [0,%d)", label, t.cfg.NumClasses)
+	}
+	if dense != nil {
+		if len(dense) != t.cfg.NumFeatures {
+			return fmt.Errorf("online: sample has %d features, expected %d", len(dense), t.cfg.NumFeatures)
+		}
+		return nil
+	}
+	if len(cols) != len(vals) {
+		return fmt.Errorf("online: %d column indices but %d values", len(cols), len(vals))
+	}
+	for _, j := range cols {
+		if j < 0 || j >= t.cfg.NumFeatures {
+			return fmt.Errorf("online: feature index %d out of range for %d features", j, t.cfg.NumFeatures)
+		}
+	}
+	return nil
+}
+
+// triggerLocked names the armed trigger, or "" when none fired.
+func (t *StreamTrainer) triggerLocked() string {
+	p := t.cfg.Policy
+	if p.MinSamples > 0 && t.sinceRefit >= p.MinSamples {
+		return "samples"
+	}
+	if p.Interval > 0 && t.cfg.Clock != nil {
+		if now := t.cfg.Clock(); now.Sub(t.lastRefit) >= p.Interval {
+			return "interval"
+		}
+	}
+	if p.DriftThreshold > 0 && t.hasRefit && t.DriftScore() > p.DriftThreshold {
+		return "drift"
+	}
+	return ""
+}
+
+// Refit forces a refit now (any pending trigger state is consumed) and
+// returns the fitted candidate and, when a registry is configured, the
+// version it ended up published at — the rolled-back-to version when
+// validation failed.  Always synchronous, even for Async trainers.
+func (t *StreamTrainer) Refit() (*core.Model, uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.refitLocked("manual")
+}
+
+// noteRefitStartedLocked resets the trigger bookkeeping; called when a
+// refit is committed to (sync) or handed off (async).
+func (t *StreamTrainer) noteRefitStartedLocked() {
+	t.sinceRefit = 0
+	if t.cfg.Clock != nil {
+		t.lastRefit = t.cfg.Clock()
+	}
+}
+
+// refitLocked runs a synchronous refit with t.mu held for its whole
+// duration — the solve blocks concurrent Observes, which is the sync
+// mode's contract (Async trades that latency for a stats clone).
+func (t *StreamTrainer) refitLocked(trigger string) (*core.Model, uint64, error) {
+	t.noteRefitStartedLocked()
+	return t.refitFrom(t.stats, trigger, true)
+}
+
+// refitFrom fits stats, publishes, validates, and rolls back on
+// regression.  locked reports whether the caller already holds t.mu (the
+// sync path); the async path passes a private clone and locked=false, so
+// result write-backs retake the lock themselves.
+func (t *StreamTrainer) refitFrom(stats *core.SuffStats, trigger string, locked bool) (*core.Model, uint64, error) {
+	sp := t.cfg.Trace.Start("refit")
+	defer sp.End()
+	t.mx.refits.Inc()
+	candidate, err := core.FitStats(stats, core.Options{
+		Alpha:   t.cfg.Alpha,
+		Workers: t.cfg.Workers,
+		Trace:   t.cfg.Trace,
+	})
+	if err != nil {
+		t.mx.refitFailures.Inc()
+		t.cfg.Logger.Warn("refit failed; keeping current model",
+			"trigger", trigger, "err", err.Error())
+		return nil, 0, fmt.Errorf("online: refit (trigger=%s): %w", trigger, err)
+	}
+	t.finishRefit(stats, candidate, locked)
+	if t.cfg.Registry == nil {
+		t.cfg.Logger.Info("refit done (standalone)", "trigger", trigger,
+			"samples", stats.Seen())
+		return candidate, 0, nil
+	}
+	version, err := t.publishAndValidate(candidate, trigger, locked)
+	return candidate, version, err
+}
+
+// finishRefit records the candidate and re-anchors drift references.
+func (t *StreamTrainer) finishRefit(stats *core.SuffStats, candidate *core.Model, locked bool) {
+	if !locked {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	t.model = candidate
+	t.hasRefit = true
+	if t.drift != nil {
+		t.drift.setReference(stats)
+		t.updateDriftLocked()
+	}
+}
+
+// publishAndValidate pushes the candidate into the registry, scores it
+// on the holdout against the previous live model, and rolls back on
+// regression or a Validate-hook error.
+func (t *StreamTrainer) publishAndValidate(candidate *core.Model, trigger string, locked bool) (uint64, error) {
+	reg, name := t.cfg.Registry, t.cfg.ModelName
+	prev, hadPrev := reg.Get(name)
+	snap, err := reg.Publish(name, candidate)
+	if err != nil {
+		t.mx.refitFailures.Inc()
+		return 0, fmt.Errorf("online: publishing refit: %w", err)
+	}
+	t.mx.publishes.Inc()
+	t.setVersion(snap.Version, locked)
+	t.cfg.Logger.Info("refit published", "trigger", trigger,
+		"model", name, "version", snap.Version)
+
+	reason := ""
+	if hadPrev {
+		candAcc, prevAcc, scored := t.holdoutAccuracy(candidate, prev.Model, locked)
+		if scored > 0 && prevAcc-candAcc > t.cfg.Policy.MaxRegression {
+			reason = fmt.Sprintf("holdout accuracy %.3f vs %.3f on %d samples", candAcc, prevAcc, scored)
+		}
+	}
+	if reason == "" && t.cfg.Validate != nil {
+		if err := t.cfg.Validate(candidate); err != nil {
+			reason = err.Error()
+		}
+	}
+	if reason == "" {
+		return snap.Version, nil
+	}
+	rb, err := reg.Rollback(name)
+	if err != nil {
+		return snap.Version, fmt.Errorf("online: rollback after failed validation (%s): %w", reason, err)
+	}
+	t.mx.rollbacks.Inc()
+	t.setVersion(rb.Version, locked)
+	t.cfg.Logger.Warn("refit rolled back", "trigger", trigger, "model", name,
+		"bad_version", snap.Version, "restored_as", rb.Version, "reason", reason)
+	return rb.Version, fmt.Errorf("online: refit v%d rolled back: %s", snap.Version, reason)
+}
+
+func (t *StreamTrainer) setVersion(v uint64, locked bool) {
+	if !locked {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	t.version = v
+}
+
+// holdoutAccuracy scores both models on the retained holdout, returning
+// the two accuracies and how many samples were scored.
+func (t *StreamTrainer) holdoutAccuracy(candidate, prev *core.Model, locked bool) (candAcc, prevAcc float64, scored int) {
+	var hold []holdoutSample
+	if locked {
+		hold = t.holdout
+	} else {
+		t.mu.Lock()
+		hold = append([]holdoutSample(nil), t.holdout...)
+		t.mu.Unlock()
+	}
+	if len(hold) == 0 || prev == nil || prev.Centroids == nil {
+		return 0, 0, 0
+	}
+	var candRight, prevRight int
+	for _, h := range hold {
+		if candidate.PredictVec(h.x) == h.label {
+			candRight++
+		}
+		if prev.PredictVec(h.x) == h.label {
+			prevRight++
+		}
+	}
+	n := float64(len(hold))
+	return float64(candRight) / n, float64(prevRight) / n, len(hold)
+}
+
+// updateDriftLocked recomputes the drift score and publishes it to the
+// gauge; caller holds t.mu.
+func (t *StreamTrainer) updateDriftLocked() {
+	score := 0.0
+	if t.drift != nil && t.hasRefit {
+		score = t.drift.score()
+	}
+	t.driftBits.Store(math.Float64bits(score))
+}
+
+// Close waits for any in-flight async refit to finish.  The trainer
+// remains usable afterwards; Close exists so shutdown can rendezvous
+// with the background goroutine.
+func (t *StreamTrainer) Close() { t.wg.Wait() }

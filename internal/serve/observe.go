@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"srda/internal/obs"
+)
+
+// Trainer is the co-located streaming trainer a worker can host: the
+// /v1/observe endpoint feeds it labeled samples, and its metrics join
+// the worker's /metrics exposition.  internal/online.StreamTrainer is
+// the implementation; serve depends only on this interface so the
+// online package can (in its tests) drive serve without an import
+// cycle.
+//
+// Refit latency leaks into Observe by design: a synchronous trainer
+// refits inside the Observe call that trips a trigger, so the HTTP
+// request that delivered the triggering sample waits for the new model
+// to publish.  Configure the trainer Async to decouple them.
+type Trainer interface {
+	// Observe absorbs one dense labeled sample.
+	Observe(x []float64, label int) error
+	// ObserveSparse absorbs one CSR-form labeled sample.
+	ObserveSparse(cols []int, vals []float64, label int) error
+	// Seen returns the number of samples observed so far.
+	Seen() int64
+	// Metrics exposes the trainer's instruments (srdaonline_*).
+	Metrics() *obs.Registry
+}
+
+// LabeledSample is one training example for POST /v1/observe: a Sample
+// plus its class label.
+type LabeledSample struct {
+	Sample
+	Label int `json:"label"`
+}
+
+// ObserveRequest is the POST /v1/observe payload.
+type ObserveRequest struct {
+	Samples []LabeledSample `json:"samples"`
+}
+
+// ObserveResponse reports how many samples this request absorbed and
+// the trainer's total.
+type ObserveResponse struct {
+	Observed int   `json:"observed"`
+	Seen     int64 `json:"seen"`
+}
+
+// handleObserve feeds POSTed labeled samples to the co-located trainer.
+// Registered only when Options.Trainer is set.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeErr(w, http.StatusMethodNotAllowed, "POST required")
+	}
+	if s.stopped.Load() {
+		return writeTypedErr(w, ErrShuttingDown)
+	}
+	var req ObserveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		return writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	}
+	if len(req.Samples) == 0 {
+		return writeErr(w, http.StatusBadRequest, "no samples")
+	}
+	if len(req.Samples) > s.opts.MaxRequestSamples {
+		return writeErr(w, http.StatusBadRequest, "%d samples exceeds the per-request cap of %d",
+			len(req.Samples), s.opts.MaxRequestSamples)
+	}
+	tr := s.opts.Trainer
+	for i, ls := range req.Samples {
+		hasDense, hasSparse := len(ls.Dense) > 0, len(ls.Sparse) > 0
+		if hasDense == hasSparse {
+			return writeErr(w, http.StatusBadRequest, "sample %d: need exactly one of dense or sparse", i)
+		}
+		var err error
+		if hasDense {
+			err = tr.Observe(ls.Dense, ls.Label)
+		} else {
+			cols := make([]int, 0, len(ls.Sparse))
+			vals := make([]float64, 0, len(ls.Sparse))
+			for j, v := range ls.Sparse {
+				cols = append(cols, j)
+				vals = append(vals, v)
+			}
+			err = tr.ObserveSparse(cols, vals, ls.Label)
+		}
+		if err != nil {
+			// Samples before i were absorbed; the caller sees how far the
+			// request got via the error index and the seen total.
+			return writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
+		}
+	}
+	return writeJSON(w, http.StatusOK, ObserveResponse{
+		Observed: len(req.Samples),
+		Seen:     tr.Seen(),
+	})
+}
+
+// Observe posts labeled training samples to a worker's co-located
+// streaming trainer (404 unless the server runs with -online).
+func (c *Client) Observe(ctx context.Context, samples ...LabeledSample) (*ObserveResponse, error) {
+	body, err := json.Marshal(ObserveRequest{Samples: samples})
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/observe", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = hresp.Body.Close() }() // best-effort; response already read or failed
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var out ObserveResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding observe response: %w", err)
+	}
+	return &out, nil
+}

@@ -87,6 +87,13 @@ type Options struct {
 	// Logger receives the server's structured logs: hot-reload outcomes
 	// and rate-limited queue-overflow warnings.  Nil disables logging.
 	Logger *obs.Logger
+	// Trainer, when non-nil, co-locates a streaming trainer with the
+	// worker: POST /v1/observe feeds it labeled samples and its
+	// srdaonline_* instruments join the /metrics exposition.  The trainer
+	// should publish into the same Registry this server reads, closing
+	// the train-while-serving loop in one process.  Nil (the default)
+	// leaves the endpoint unregistered and the exposition unchanged.
+	Trainer Trainer
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +184,9 @@ func New(m *core.Model, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	if opts.Trainer != nil {
+		s.mux.HandleFunc("/v1/observe", s.instrument("/v1/observe", s.handleObserve))
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -642,5 +652,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	w.WriteHeader(http.StatusOK)
 	s.metrics.writeProm(w)
 	s.reg.Metrics().WritePrometheus(w)
+	if s.opts.Trainer != nil {
+		s.opts.Trainer.Metrics().WritePrometheus(w)
+	}
 	return http.StatusOK
 }

@@ -1,0 +1,97 @@
+package srda_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	srda "srda"
+)
+
+// TestStreamingMatchesBatch is the golden train-while-serving contract:
+// streaming a seeded dataset through the trainer sample by sample and
+// refitting at the end yields a model bitwise identical — projections
+// included — to the batch primal Fit on the same rows, at every worker
+// count.  Any change to the Gram accumulation order, the augmentation,
+// or the solve path breaks this at the Float64bits level.
+func TestStreamingMatchesBatch(t *testing.T) {
+	const m, n, c = 150, 24, 3
+	rng := rand.New(rand.NewSource(2008))
+	x := srda.NewDense(m, n)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		labels[i] = i % c
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(labels[i])
+			if rng.Float64() < 0.25 {
+				row[j] = 0 // exact zeros exercise the shared sparsity skip
+			}
+		}
+	}
+	probe := srda.NewDense(10, n)
+	for i := 0; i < probe.Rows; i++ {
+		row := probe.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		tr, err := srda.NewStreamTrainer(srda.StreamConfig{
+			NumFeatures: n, NumClasses: c,
+			Alpha:   1,
+			Workers: workers,
+			// No holdout, no triggers: every sample trains, one refit at
+			// the end — the configuration the bitwise contract is stated
+			// for.
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			if err := tr.Observe(x.RowView(i), labels[i]); err != nil {
+				t.Fatalf("workers=%d observe %d: %v", workers, i, err)
+			}
+		}
+		streamed, _, err := tr.Refit()
+		if err != nil {
+			t.Fatalf("workers=%d refit: %v", workers, err)
+		}
+		batch, err := srda.Fit(x, labels, c, srda.Options{
+			Alpha: 1, Solver: srda.SolverPrimal, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d batch fit: %v", workers, err)
+		}
+
+		assertBits := func(name string, got, want []float64) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d %s: length %d vs %d", workers, name, len(got), len(want))
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("workers=%d %s[%d] = %v (%#x), want %v (%#x)",
+						workers, name, i, got[i], math.Float64bits(got[i]),
+						want[i], math.Float64bits(want[i]))
+				}
+			}
+		}
+		assertBits("W", streamed.W.Data, batch.W.Data)
+		assertBits("B", streamed.B, batch.B)
+		if streamed.Centroids == nil || batch.Centroids == nil {
+			t.Fatalf("workers=%d: missing centroids", workers)
+		}
+		assertBits("Centroids", streamed.Centroids.Data, batch.Centroids.Data)
+		assertBits("projection", streamed.TransformDense(probe).Data,
+			batch.TransformDense(probe).Data)
+		for i := 0; i < probe.Rows; i++ {
+			sp := streamed.PredictVec(probe.RowView(i))
+			bp := batch.PredictVec(probe.RowView(i))
+			if sp != bp {
+				t.Fatalf("workers=%d probe %d: streamed class %d, batch class %d", workers, i, sp, bp)
+			}
+		}
+	}
+}

@@ -123,8 +123,14 @@ func Fit(x *Dense, labels []int, numClasses int, opt Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := model.SetCentroids(model.TransformDense(x), labels); err != nil {
-		return nil, err
+	// The primal path already carries stats-based centroids (the exact
+	// embedding of each class mean, shared bitwise with the streaming
+	// trainer); other solvers — and whitened fits, which rescale W after
+	// the fact — compute mean-of-embedding centroids from a full pass.
+	if model.Centroids == nil {
+		if err := model.SetCentroids(model.TransformDense(x), labels); err != nil {
+			return nil, err
+		}
 	}
 	return model, nil
 }
