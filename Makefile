@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke online-smoke examples clean
+.PHONY: all check build test vet lint lint-budget bench-gate race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke online-smoke examples clean
 
 all: check
 
@@ -19,10 +19,28 @@ vet:
 
 # The srdalint suite (see doc/LINTING.md): goroutine discipline, float
 # comparisons, seeded randomness, parallel-twin coverage, hot-loop
-# allocations, wall-clock reads, dropped errors, and raw logging outside
-# the structured obs.Logger.  Exit 1 = findings.
+# allocations, wall-clock reads, dropped errors, raw logging outside the
+# structured obs.Logger, map-iteration determinism, lock hygiene, and
+# context-flow discipline — the hot-path analyzers chase findings through
+# the interprocedural call graph.  Exit 1 = findings.  The second step is
+# the compiler gate: kernel escape-analysis and bounds-check facts must
+# stay within the checked-in lint_budget.json.
 lint:
 	$(GO) run ./cmd/srdalint ./...
+	$(GO) run ./cmd/srdalint -compiler-gate
+
+# Re-baseline the compiler gate after an intentional kernel change.
+# Review the lint_budget.json diff before committing it.
+lint-budget:
+	$(GO) run ./cmd/srdalint -compiler-gate -update-budget
+
+# Benchmark regression gate: time the fixed-shape kernels now and fail if
+# any is >10% slower than the checked-in BENCH_0.json baseline.
+bench-gate:
+	$(eval BG := $(shell mktemp -d))
+	$(GO) run ./cmd/srdabench -json-out $(BG)/bench.json
+	$(GO) run ./cmd/srdareport benchdiff -tol 0.10 BENCH_0.json $(BG)/bench.json
+	rm -rf $(BG)
 
 test:
 	$(GO) test ./...

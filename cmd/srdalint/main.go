@@ -4,12 +4,20 @@
 // Usage:
 //
 //	srdalint [-C dir] [-json] [-list] [patterns...]
+//	srdalint -compiler-gate [-C dir] [-budget file] [-update-budget]
 //
 // Patterns select packages by directory relative to the module root:
 // "./..." (the default) means every package, "./internal/blas" exactly
 // one, and "./internal/..." a subtree.  The module root is found by
 // walking up from the working directory (or -C dir) to the nearest
 // go.mod.
+//
+// -compiler-gate runs the toolchain instead of the analyzers: it builds
+// the gated packages with -gcflags='-m=2 -d=ssa/check_bce/debug=1',
+// attributes every heap escape and surviving bounds check to its
+// function, and compares the counts against the committed
+// lint_budget.json.  Any function that gained escapes or bounds checks
+// fails the gate; -update-budget re-baselines the file instead.
 //
 // Exit codes form the CI contract — there is deliberately no -fix mode,
 // so a nonzero exit always means a human decision is needed:
@@ -28,7 +36,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"srda/internal/lint"
@@ -44,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", "", "run as if started in this directory")
+	gate := fs.Bool("compiler-gate", false, "check escape/bounds-check counts against the budget file")
+	updateBudget := fs.Bool("update-budget", false, "with -compiler-gate: rewrite the budget file from current counts")
+	budgetPath := fs.String("budget", lint.BudgetFile, "budget file, relative to the module root")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "srdalint: %v\n", err)
 		return 2
 	}
+	if *gate {
+		return runCompilerGate(mod, root, *budgetPath, *updateBudget, stdout, stderr)
+	}
 	diags := lint.Run(mod, lint.Analyzers)
 	diags = filterPatterns(mod, diags, fs.Args())
 
@@ -99,6 +115,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(diags) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runCompilerGate builds the gated packages with escape-analysis and
+// bounds-check diagnostics enabled, attributes the counts per function,
+// and compares them against (or rewrites) the budget file.  The Go build
+// cache replays compiler diagnostics on cache hits, so repeated runs are
+// cheap.
+func runCompilerGate(mod *lint.Module, root, budgetPath string, update bool, stdout, stderr io.Writer) int {
+	args := []string{"build", "-gcflags=-m=2 -d=ssa/check_bce/debug=1"}
+	for _, d := range lint.GatedDirs {
+		args = append(args, "./"+d)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(stderr, "srdalint: go build for compiler gate failed: %v\n%s", err, out)
+		return 2
+	}
+	current := mod.AttributeFacts(lint.ParseCompilerDiags(string(out)), lint.GatedDirs)
+	if !filepath.IsAbs(budgetPath) {
+		budgetPath = filepath.Join(root, budgetPath)
+	}
+	if update {
+		b := &lint.Budget{Schema: 1, Go: runtime.Version(), Packages: current}
+		if err := lint.WriteBudget(budgetPath, b); err != nil {
+			fmt.Fprintf(stderr, "srdalint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "srdalint: wrote %s (%d packages)\n", relPath(root, budgetPath), len(current))
+		return 0
+	}
+	budget, err := lint.ReadBudget(budgetPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "srdalint: %v\n", err)
+		return 2
+	}
+	failures, notes := lint.CompareBudget(budget, current, runtime.Version())
+	for _, n := range notes {
+		fmt.Fprintf(stdout, "note: %s\n", n)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "FAIL: %s\n", f)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "srdalint: compiler gate ok (%d packages within budget)\n", len(current))
 	return 0
 }
 

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The compiler gate pins the *toolchain's* view of the kernels the way
+// BENCH_0.json pins their measured speed.  `go build -gcflags='-m=2
+// -d=ssa/check_bce/debug=1'` reports two facts srdalint's AST analyzers
+// cannot see: which values escape analysis sends to the heap, and which
+// indexing operations keep a runtime bounds check after the
+// bounds-check-elimination pass.  Both are exactly the properties the
+// hand-written kernels were shaped around — hoisted row slices exist to
+// let BCE fire, value receivers exist to keep scratch on the stack — and
+// both silently regress under innocent-looking edits (add a defer,
+// capture a variable in a closure, reorder a bounds guard) without any
+// test failing.
+//
+// lint_budget.json, checked in at the module root, records the per-
+// function escape and bounds-check counts for the gated packages.  The
+// gate re-derives the counts on every run and fails when any function
+// *gains* escapes or bounds checks against its budget (a new function
+// starts from a zero budget).  Improvements and deleted functions are
+// reported as notes so the budget can be re-baselined deliberately with
+// -update-budget.  Counts are toolchain-sensitive, so the budget records
+// the Go version it was derived with and the gate warns on mismatch.
+
+// GatedDirs are the packages whose compiler facts the budget pins: the
+// kernel packages plus internal/core, whose batch-predict prologue is the
+// entry to the hot path.
+var GatedDirs = []string{
+	"internal/blas", "internal/mat", "internal/sparse", "internal/core",
+}
+
+// BudgetFile is the budget's path relative to the module root.
+const BudgetFile = "lint_budget.json"
+
+// FuncFacts are the compiler-derived counts for one function.
+type FuncFacts struct {
+	// Escapes counts values escape analysis moved to the heap inside the
+	// function: "escapes to heap" and "moved to heap" diagnostics.
+	Escapes int `json:"escapes"`
+	// Bounds counts the IsInBounds/IsSliceInBounds checks the SSA
+	// bounds-check-elimination pass could not remove.
+	Bounds int `json:"bounds"`
+}
+
+// Budget is the checked-in lint_budget.json: per-package, per-function
+// compiler facts plus the toolchain that derived them.
+type Budget struct {
+	Schema   int                             `json:"schema"`
+	Go       string                          `json:"go"`
+	Packages map[string]map[string]FuncFacts `json:"packages"`
+}
+
+// CompilerDiag is one parsed escape or bounds diagnostic.
+type CompilerDiag struct {
+	File string // as printed by the compiler (module-relative with ./ stripped)
+	Line int
+	Col  int
+	Kind string // "escape" or "bounds"
+	What string // the diagnostic text, for messages
+}
+
+// ParseCompilerDiags extracts the escape and bounds-check diagnostics
+// from `go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'` output.  With
+// -m=2 the compiler prints each escaping value twice — once introducing
+// the flow explanation (trailing colon) and once bare — so diagnostics
+// are deduplicated by position and text.
+func ParseCompilerDiags(output string) []CompilerDiag {
+	var out []CompilerDiag
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		file, ln, col, msg, ok := splitDiagLine(line)
+		if !ok {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		var kind string
+		switch {
+		case strings.HasSuffix(msg, "escapes to heap"), strings.HasPrefix(msg, "moved to heap"):
+			kind = "escape"
+		case msg == "Found IsInBounds", msg == "Found IsSliceInBounds":
+			kind = "bounds"
+		default:
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, CompilerDiag{File: file, Line: ln, Col: col, Kind: kind, What: msg})
+	}
+	return out
+}
+
+// splitDiagLine parses "path/file.go:line:col: message".
+func splitDiagLine(line string) (file string, ln, col int, msg string, ok bool) {
+	goIdx := strings.Index(line, ".go:")
+	if goIdx < 0 {
+		return "", 0, 0, "", false
+	}
+	file = strings.TrimPrefix(line[:goIdx+3], "./")
+	rest := line[goIdx+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) < 3 {
+		return "", 0, 0, "", false
+	}
+	var err error
+	if ln, err = strconv.Atoi(parts[0]); err != nil {
+		return "", 0, 0, "", false
+	}
+	if col, err = strconv.Atoi(parts[1]); err != nil {
+		return "", 0, 0, "", false
+	}
+	return file, ln, col, strings.TrimSpace(parts[2]), true
+}
+
+// funcSpan locates one function declaration for fact attribution.
+type funcSpan struct {
+	name       string // display name: "Dot", "(*Dense).At"
+	start, end int    // line range in the file
+}
+
+// funcSpans maps each module-relative file path of the gated packages to
+// its function declarations.
+func (m *Module) funcSpans(dirs []string) map[string][]funcSpan {
+	spans := make(map[string][]funcSpan)
+	for _, pkg := range m.Pkgs {
+		if !underAny(pkg.RelDir, dirs) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			pos := m.Fset.Position(f.Pos())
+			rel, err := filepath.Rel(m.Root, pos.Filename)
+			if err != nil {
+				continue
+			}
+			rel = filepath.ToSlash(rel)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				spans[rel] = append(spans[rel], funcSpan{
+					name:  declDisplayName(fd),
+					start: m.Fset.Position(fd.Pos()).Line,
+					end:   m.Fset.Position(fd.End()).Line,
+				})
+			}
+		}
+	}
+	return spans
+}
+
+// declDisplayName renders a FuncDecl as "Name" or "(*Recv).Name".
+func declDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	switch t := recv.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	case *ast.Ident:
+		return t.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// AttributeFacts buckets parsed diagnostics into per-package,
+// per-function counts using the loaded module's declaration ranges.
+// Diagnostics outside any gated function (package-level initializers,
+// files outside the gated dirs) are dropped.
+func (m *Module) AttributeFacts(diags []CompilerDiag, dirs []string) map[string]map[string]FuncFacts {
+	spans := m.funcSpans(dirs)
+	out := make(map[string]map[string]FuncFacts)
+	for _, d := range diags {
+		fns, ok := spans[d.File]
+		if !ok {
+			continue
+		}
+		for _, fn := range fns {
+			if d.Line < fn.start || d.Line > fn.end {
+				continue
+			}
+			pkgRel := filepath.ToSlash(filepath.Dir(d.File))
+			if out[pkgRel] == nil {
+				out[pkgRel] = make(map[string]FuncFacts)
+			}
+			f := out[pkgRel][fn.name]
+			switch d.Kind {
+			case "escape":
+				f.Escapes++
+			case "bounds":
+				f.Bounds++
+			}
+			out[pkgRel][fn.name] = f
+			break
+		}
+	}
+	return out
+}
+
+// CompareBudget checks current facts against the committed budget.
+// failures are regressions (a function gained escapes or bounds checks —
+// new functions measure against a zero budget); notes are non-fatal
+// drift (improvements, deleted functions, toolchain mismatch) that
+// -update-budget re-baselines.
+func CompareBudget(budget *Budget, current map[string]map[string]FuncFacts, goVersion string) (failures, notes []string) {
+	if budget.Go != "" && budget.Go != goVersion {
+		notes = append(notes, fmt.Sprintf("budget was derived with %s, running %s; counts are toolchain-sensitive — re-baseline with -update-budget if drift is toolchain-only", budget.Go, goVersion))
+	}
+	for _, pkg := range sortedKeys(current) {
+		for _, fn := range sortedKeys(current[pkg]) {
+			got := current[pkg][fn]
+			want := budget.Packages[pkg][fn] // zero value when unbudgeted
+			_, known := budget.Packages[pkg][fn]
+			if got.Escapes > want.Escapes {
+				failures = append(failures, regression(pkg, fn, "heap escape", got.Escapes, want.Escapes, known))
+			}
+			if got.Bounds > want.Bounds {
+				failures = append(failures, regression(pkg, fn, "bounds check", got.Bounds, want.Bounds, known))
+			}
+			if got.Escapes < want.Escapes || got.Bounds < want.Bounds {
+				notes = append(notes, fmt.Sprintf("%s.%s improved (escapes %d→%d, bounds %d→%d); run -update-budget to lock in the gain",
+					pkg, fn, want.Escapes, got.Escapes, want.Bounds, got.Bounds))
+			}
+		}
+	}
+	for _, pkg := range sortedKeys(budget.Packages) {
+		for _, fn := range sortedKeys(budget.Packages[pkg]) {
+			if _, ok := current[pkg][fn]; !ok {
+				if f := budget.Packages[pkg][fn]; f.Escapes > 0 || f.Bounds > 0 {
+					notes = append(notes, fmt.Sprintf("%s.%s is budgeted but no longer reports any facts (deleted, renamed, or fully optimized); run -update-budget", pkg, fn))
+				}
+			}
+		}
+	}
+	return failures, notes
+}
+
+func regression(pkg, fn, what string, got, want int, known bool) string {
+	suffix := ""
+	if !known {
+		suffix = " (new function: budget starts at zero)"
+	}
+	return fmt.Sprintf("%s.%s gained %s%s: %d budgeted, %d now%s — hoist the value/guard the index, or re-baseline deliberately with -update-budget",
+		pkg, fn, what, plural(got-want), want, got, suffix)
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ReadBudget loads the budget file; a missing file returns an empty
+// budget so the first -compiler-gate run fails loudly on every nonzero
+// count instead of erroring.
+func ReadBudget(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Budget{Schema: 1, Packages: map[string]map[string]FuncFacts{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+	}
+	if b.Packages == nil {
+		b.Packages = map[string]map[string]FuncFacts{}
+	}
+	return &b, nil
+}
+
+// WriteBudget writes the budget deterministically (sorted keys, trailing
+// newline) so re-baselining produces minimal diffs.
+func WriteBudget(path string, b *Budget) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleBuildOutput reproduces the shapes `go build -gcflags='-m=2
+// -d=ssa/check_bce/debug=1'` actually emits: package headers, inlining
+// chatter, escape diagnostics printed twice (flow-explanation form with
+// a trailing colon, then bare), indented flow lines at the same
+// position, leaking-parameter notes (not allocations), moved-to-heap
+// variables, and the two BCE diagnostic spellings.
+const sampleBuildOutput = `# srda/internal/blas
+internal/blas/blas.go:10:6: can inline Dot with cost 42 as: func([]float64, []float64) float64
+internal/blas/blas.go:20:9: "blas: vector length mismatch in Dot" escapes to heap:
+internal/blas/blas.go:20:9:   flow: {heap} = &{storage for "blas: vector length mismatch in Dot"}:
+internal/blas/blas.go:20:9:     from "blas: vector length mismatch in Dot" (spill) at internal/blas/blas.go:20:9
+internal/blas/blas.go:20:9: "blas: vector length mismatch in Dot" escapes to heap
+internal/blas/blas.go:9:10: x does not escape
+internal/blas/blas.go:9:13: leaking param: y
+internal/blas/blas.go:24:3: Found IsInBounds
+internal/blas/blas.go:25:3: Found IsSliceInBounds
+# srda/internal/mat
+internal/mat/dense.go:31:2: moved to heap: scratch:
+internal/mat/dense.go:31:2:   flow: {heap} = &scratch:
+internal/mat/dense.go:31:2: moved to heap: scratch
+internal/mat/dense.go:40:14: make([]float64, n) escapes to heap:
+internal/mat/dense.go:40:14: make([]float64, n) escapes to heap
+internal/mat/dense.go:52:8: Found IsInBounds
+not a diagnostic line at all
+`
+
+func TestParseCompilerDiags(t *testing.T) {
+	got := ParseCompilerDiags(sampleBuildOutput)
+	want := []CompilerDiag{
+		{File: "internal/blas/blas.go", Line: 20, Col: 9, Kind: "escape", What: `"blas: vector length mismatch in Dot" escapes to heap`},
+		{File: "internal/blas/blas.go", Line: 24, Col: 3, Kind: "bounds", What: "Found IsInBounds"},
+		{File: "internal/blas/blas.go", Line: 25, Col: 3, Kind: "bounds", What: "Found IsSliceInBounds"},
+		{File: "internal/mat/dense.go", Line: 31, Col: 2, Kind: "escape", What: "moved to heap: scratch"},
+		{File: "internal/mat/dense.go", Line: 40, Col: 14, Kind: "escape", What: "make([]float64, n) escapes to heap"},
+		{File: "internal/mat/dense.go", Line: 52, Col: 8, Kind: "bounds", What: "Found IsInBounds"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseCompilerDiags:\ngot  %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseCompilerDiagsLeakingParamsIgnored(t *testing.T) {
+	for _, line := range []string{
+		"internal/blas/blas.go:9:13: leaking param: y",
+		"internal/blas/blas.go:9:10: x does not escape",
+		"internal/blas/blas.go:10:6: can inline Dot with cost 42",
+		"# srda/internal/blas",
+		"",
+	} {
+		if got := ParseCompilerDiags(line); len(got) != 0 {
+			t.Errorf("line %q parsed as %v, expected nothing", line, got)
+		}
+	}
+}
+
+// TestAttributeFacts pins the diagnostic→function bucketing against the
+// hotalloc corpus, whose declaration line ranges are stable: Grow spans
+// lines 6–12, Scratch 16–24, Fresh 45–54 of internal/mat/hot.go.
+func TestAttributeFacts(t *testing.T) {
+	mod := loadCorpus(t, "hotalloc")
+	diags := []CompilerDiag{
+		{File: "internal/mat/hot.go", Line: 9, Col: 3, Kind: "escape", What: "append escapes"},
+		{File: "internal/mat/hot.go", Line: 9, Col: 9, Kind: "bounds", What: "Found IsInBounds"},
+		{File: "internal/mat/hot.go", Line: 18, Col: 10, Kind: "escape", What: "make escapes"},
+		{File: "internal/mat/hot.go", Line: 48, Col: 10, Kind: "escape", What: "make escapes"},
+		{File: "internal/mat/hot.go", Line: 49, Col: 8, Kind: "escape", What: "new escapes"},
+		// Outside every function: dropped.
+		{File: "internal/mat/hot.go", Line: 1, Col: 1, Kind: "escape", What: "phantom"},
+		// Unknown file: dropped.
+		{File: "internal/mat/nosuch.go", Line: 9, Col: 3, Kind: "escape", What: "phantom"},
+	}
+	got := mod.AttributeFacts(diags, []string{"internal/mat"})
+	want := map[string]map[string]FuncFacts{
+		"internal/mat": {
+			"Grow":    {Escapes: 1, Bounds: 1},
+			"Scratch": {Escapes: 1},
+			"Fresh":   {Escapes: 2},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AttributeFacts:\ngot  %#v\nwant %#v", got, want)
+	}
+}
+
+func TestCompareBudget(t *testing.T) {
+	budget := &Budget{
+		Schema: 1,
+		Go:     "go1.24.0",
+		Packages: map[string]map[string]FuncFacts{
+			"internal/blas": {
+				"Dot":     {Escapes: 1, Bounds: 5},
+				"Deleted": {Escapes: 2, Bounds: 0},
+				"Better":  {Escapes: 3, Bounds: 3},
+			},
+		},
+	}
+	current := map[string]map[string]FuncFacts{
+		"internal/blas": {
+			"Dot":    {Escapes: 2, Bounds: 5}, // gained an escape
+			"Better": {Escapes: 1, Bounds: 3}, // improved
+			"Fresh":  {Escapes: 0, Bounds: 2}, // new function, nonzero bounds
+		},
+	}
+	failures, notes := CompareBudget(budget, current, "go1.24.0")
+	if len(failures) != 2 {
+		t.Fatalf("expected 2 failures, got %d: %v", len(failures), failures)
+	}
+	if !strings.Contains(failures[0], "Better") && !strings.Contains(failures[0], "Dot") {
+		t.Errorf("unexpected first failure: %s", failures[0])
+	}
+	var sawGain, sawNew bool
+	for _, f := range failures {
+		if strings.Contains(f, "Dot gained heap escape") {
+			sawGain = true
+		}
+		if strings.Contains(f, "Fresh gained bounds checks") && strings.Contains(f, "new function") {
+			sawNew = true
+		}
+	}
+	if !sawGain || !sawNew {
+		t.Errorf("missing expected failures (gain=%v new=%v): %v", sawGain, sawNew, failures)
+	}
+	var sawImproved, sawDeleted bool
+	for _, n := range notes {
+		if strings.Contains(n, "Better improved") {
+			sawImproved = true
+		}
+		if strings.Contains(n, "Deleted is budgeted but no longer reports") {
+			sawDeleted = true
+		}
+	}
+	if !sawImproved || !sawDeleted {
+		t.Errorf("missing expected notes (improved=%v deleted=%v): %v", sawImproved, sawDeleted, notes)
+	}
+
+	// Toolchain drift is a note, never a failure.
+	failures, notes = CompareBudget(budget, map[string]map[string]FuncFacts{}, "go1.25.0")
+	if len(failures) != 0 {
+		t.Errorf("toolchain mismatch produced failures: %v", failures)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "toolchain-sensitive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no toolchain-mismatch note in %v", notes)
+	}
+
+	// Equal counts pass clean.
+	failures, _ = CompareBudget(budget, map[string]map[string]FuncFacts{
+		"internal/blas": {"Dot": {Escapes: 1, Bounds: 5}},
+	}, "go1.24.0")
+	for _, f := range failures {
+		if strings.Contains(f, "Dot") {
+			t.Errorf("within-budget function failed: %s", f)
+		}
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint_budget.json")
+	in := &Budget{
+		Schema: 1,
+		Go:     "go1.24.0",
+		Packages: map[string]map[string]FuncFacts{
+			"internal/blas": {"Dot": {Escapes: 1, Bounds: 5}},
+		},
+	}
+	if err := WriteBudget(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\ngot  %#v\nwant %#v", out, in)
+	}
+	// A missing file is an empty budget, not an error: the first gate run
+	// then fails on every nonzero count instead of crashing.
+	empty, err := ReadBudget(filepath.Join(t.TempDir(), "nosuch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Packages) != 0 {
+		t.Errorf("missing budget not empty: %#v", empty)
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the context contract PR 5 established in prose:
+// contexts on the serving and kernel paths carry *spans only*, never
+// cancellation.  A dispatched batch runs to completion — cancelling
+// mid-kernel would tear the bitwise par/seq equivalence (some shards
+// computed, some not) and leave pool accounting wrong — and the serving
+// tier's deadline handling lives at the HTTP layer, not inside the
+// numeric code.  Three rules:
+//
+//   - No cancellation-sensitive calls (ctx.Done, ctx.Err, ctx.Deadline)
+//     in the numeric packages, internal/pool, or anywhere in the hot
+//     kernel closure.  ctx.Value stays legal: that is how obs spans ride
+//     along.
+//   - No cancellable context construction (context.WithCancel /
+//     WithTimeout / WithDeadline and their Cause variants) in those same
+//     places or in the serve-path packages (serve, registry, router,
+//     online).  Deadlines belong to the transport; if a serve-path
+//     component genuinely needs one, the suppression states why.
+//   - No unbounded goroutine spawns: inside the goroutine-owner packages
+//     (the only library packages allowed to use go at all), a go
+//     statement lexically inside a loop spawns per iteration with no
+//     ceiling.  Bounded spawn loops — the pool's fixed worker set, one
+//     goroutine per configured replica — annotate the bound as the
+//     suppression reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "serve/kernel contexts carry spans only: no cancellation in kernels, no cancellable contexts on the serve path, no go-in-loop spawns",
+	Run:  runCtxFlow,
+}
+
+// cancelSensitive are the context.Context methods that make behavior
+// depend on cancellation state.
+var cancelSensitive = map[string]bool{"Done": true, "Err": true, "Deadline": true}
+
+// cancelConstructors are the context constructors that mint cancellable
+// or deadline-bearing contexts.
+var cancelConstructors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// servePathDirs are the serving-tier packages whose contexts must stay
+// span-only.
+var servePathDirs = []string{
+	"internal/serve", "internal/registry", "internal/router", "internal/online",
+}
+
+// kernelCtxScope reports whether pkg is numeric-side code where even
+// consulting cancellation is banned.
+func kernelCtxScope(pkg *Package) bool {
+	return isNumericPkg(pkg) || underAny(pkg.RelDir, []string{"internal/pool"})
+}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.Pkg.Info
+
+	ctxFunc := func(n ast.Node) (*types.Func, ast.Expr) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return nil, nil
+		}
+		return fn, sel
+	}
+	checkCancelUse := func(n ast.Node) bool {
+		fn, at := ctxFunc(n)
+		if fn == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil && cancelSensitive[fn.Name()] {
+			pass.Reportf(at.Pos(), "ctx.%s consults cancellation inside kernel-path code; contexts here carry spans only — a dispatched batch always runs to completion, and deadlines belong to the transport layer", fn.Name())
+		}
+		if sig.Recv() == nil && cancelConstructors[fn.Name()] {
+			pass.Reportf(at.Pos(), "context.%s mints a cancellable context inside kernel-path code; contexts here carry spans only", fn.Name())
+		}
+		return true
+	}
+
+	switch {
+	case kernelCtxScope(pass.Pkg):
+		pass.inspectFiles(checkCancelUse)
+	case underAny(pass.Pkg.RelDir, servePathDirs):
+		pass.inspectFiles(func(n ast.Node) bool {
+			fn, at := ctxFunc(n)
+			if fn == nil {
+				return true
+			}
+			if sig := fn.Type().(*types.Signature); sig.Recv() == nil && cancelConstructors[fn.Name()] {
+				pass.Reportf(at.Pos(), "context.%s on the serve path: request contexts carry spans only, and deadlines live at the HTTP transport; if this component truly owns a deadline, say why in a suppression", fn.Name())
+			}
+			return true
+		})
+	default:
+		// Elsewhere, the rule follows the call graph: hot-closure
+		// functions may not consult cancellation no matter where they
+		// are declared.
+		for _, n := range pass.hotNodes() {
+			ast.Inspect(n.Decl.Body, checkCancelUse)
+		}
+	}
+
+	// Unbounded spawns: a go statement inside a loop in the goroutine
+	// owner packages (everywhere else raw go is already a
+	// goroutine-discipline finding).
+	if underAny(pass.Pkg.RelDir, goroutineOwners) {
+		for _, f := range pass.Pkg.Files {
+			var loopDepth int
+			var walk func(n ast.Node)
+			walk = func(n ast.Node) {
+				ast.Inspect(n, func(x ast.Node) bool {
+					if x == n {
+						return true
+					}
+					switch s := x.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						loopDepth++
+						walk(s)
+						loopDepth--
+						return false
+					case *ast.GoStmt:
+						if loopDepth > 0 {
+							pass.Reportf(s.Pos(), "go statement inside a loop spawns an unbounded number of goroutines; bound the fan-out (fixed worker set, per-replica) and annotate the bound, or hand the work to internal/pool")
+						}
+					}
+					return true
+				})
+			}
+			walk(f)
+		}
+	}
+}

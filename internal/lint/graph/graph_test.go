@@ -1,0 +1,261 @@
+package graph_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"srda/internal/lint/graph"
+)
+
+// buildGraph type-checks the given sources (path → single-file source,
+// checked in the given order so imports resolve) and builds the call
+// graph.  RelDir is the path with the module prefix "m/" stripped.
+func buildGraph(t *testing.T, order []string, srcs map[string]string) *graph.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	typed := make(map[string]*types.Package)
+	var pkgs []*graph.Package
+	for _, path := range order {
+		f, err := parser.ParseFile(fset, path+"/src.go", srcs[path], parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: mapImporter(typed)}
+		tp, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", path, err)
+		}
+		typed[path] = tp
+		pkgs = append(pkgs, &graph.Package{
+			Path:   path,
+			RelDir: path[len("m/"):],
+			Files:  []*ast.File{f},
+			Types:  tp,
+			Info:   info,
+		})
+	}
+	return graph.Build(fset, pkgs)
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("test importer: unknown package %q", path)
+}
+
+// nodeNamed finds the unique node whose function has the given name.
+func nodeNamed(t *testing.T, g *graph.Graph, name string) *graph.Node {
+	t.Helper()
+	var found *graph.Node
+	for _, n := range g.Nodes {
+		if n.Func.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+func edgeKinds(n *graph.Node) map[string][]graph.Kind {
+	out := make(map[string][]graph.Kind)
+	for _, e := range n.Out {
+		name := e.Callee.Func.Name()
+		out[name] = append(out[name], e.Kind)
+	}
+	return out
+}
+
+const utilSrc = `package util
+
+func Helper() int { return alloc() }
+
+func alloc() int {
+	xs := make([]int, 1)
+	return xs[0]
+}
+`
+
+const poolSrc = `package pool
+
+func Do(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+`
+
+const coreSrc = `package core
+
+import (
+	"m/internal/pool"
+	"m/util"
+)
+
+type Runner struct{ n int }
+
+func (r *Runner) step(i int) { r.n += util.Helper() }
+
+func PredictBatch(rs []*Runner) {
+	r := rs[0]
+	pool.Do(len(rs), func(i int) { r.n = util.Helper() })
+	pool.Do(len(rs), r.step)
+}
+
+func Loop(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Loop(n-1) + 1
+}
+
+type Shape interface{ Area() float64 }
+
+type Square struct{ s float64 }
+
+func (q Square) Area() float64 { return q.s * q.s }
+
+type Circle struct{ r float64 }
+
+func (c Circle) Area() float64 { return 3 * c.r * c.r }
+
+func TotalArea(shapes []Shape) float64 {
+	var t float64
+	for _, s := range shapes {
+		t += s.Area()
+	}
+	return t
+}
+`
+
+func build(t *testing.T) *graph.Graph {
+	return buildGraph(t,
+		[]string{"m/util", "m/internal/pool", "m/core"},
+		map[string]string{"m/util": utilSrc, "m/internal/pool": poolSrc, "m/core": coreSrc})
+}
+
+// TestEdges pins the three edge sources: direct (and cross-package
+// qualified) calls, closure bodies inlined into the enclosing
+// declaration, and function/method values passed as call arguments.
+func TestEdges(t *testing.T) {
+	g := build(t)
+	pb := nodeNamed(t, g, "PredictBatch")
+	kinds := edgeKinds(pb)
+	if got := kinds["Do"]; len(got) != 2 || got[0] != graph.KindCall || got[1] != graph.KindCall {
+		t.Errorf("PredictBatch→Do edges = %v, want two KindCall", got)
+	}
+	if got := kinds["Helper"]; len(got) != 1 || got[0] != graph.KindCall {
+		t.Errorf("PredictBatch→Helper (closure body) edges = %v, want one KindCall", got)
+	}
+	if got := kinds["step"]; len(got) != 1 || got[0] != graph.KindRef {
+		t.Errorf("PredictBatch→step (method value) edges = %v, want one KindRef", got)
+	}
+	if got := edgeKinds(nodeNamed(t, g, "Helper"))["alloc"]; len(got) != 1 {
+		t.Errorf("Helper→alloc edges = %v, want one", got)
+	}
+}
+
+// TestInterfaceDispatch checks the conservative fan-out: a call through
+// an interface method edges to every implementation's method.
+func TestInterfaceDispatch(t *testing.T) {
+	g := build(t)
+	ta := nodeNamed(t, g, "TotalArea")
+	var impls []string
+	for _, e := range ta.Out {
+		if e.Kind != graph.KindIface {
+			t.Errorf("TotalArea edge to %s has kind %v, want KindIface", e.Callee.Func.Name(), e.Kind)
+		}
+		impls = append(impls, e.Callee.Pkg.RelDir+"."+e.Callee.Func.Name())
+	}
+	if len(impls) != 2 {
+		t.Errorf("TotalArea dispatches to %v, want both Area implementations", impls)
+	}
+}
+
+// TestMarkHot checks the transitive closure, its provenance, and that
+// re-marking resets prior state.
+func TestMarkHot(t *testing.T) {
+	g := build(t)
+	g.MarkHot(func(n *graph.Node) bool { return n.Func.Name() == "PredictBatch" })
+
+	pb := nodeNamed(t, g, "PredictBatch")
+	if !pb.Entry || !pb.Hot {
+		t.Error("PredictBatch not marked as hot entry")
+	}
+	for _, name := range []string{"Do", "Helper", "alloc", "step"} {
+		n := nodeNamed(t, g, name)
+		if !n.Hot {
+			t.Errorf("%s not hot", name)
+		}
+		if n.HotVia != pb {
+			t.Errorf("%s HotVia = %v, want PredictBatch", name, n.HotVia)
+		}
+	}
+	for _, name := range []string{"TotalArea", "Loop", "Area"} {
+		for _, n := range g.Nodes {
+			if n.Func.Name() == name && n.Hot {
+				t.Errorf("%s unexpectedly hot", name)
+			}
+		}
+	}
+
+	// Re-marking replaces, not accumulates.
+	g.MarkHot(func(n *graph.Node) bool { return n.Func.Name() == "TotalArea" })
+	if pb.Hot || pb.Entry {
+		t.Error("PredictBatch still hot after re-mark")
+	}
+	for _, n := range g.Nodes {
+		if n.Func.Name() == "Area" && !n.Hot {
+			t.Errorf("%s.Area not hot after re-mark", n.Pkg.RelDir)
+		}
+	}
+}
+
+// TestFind checks BFS path reporting and termination on recursion.
+func TestFind(t *testing.T) {
+	g := build(t)
+	pb := nodeNamed(t, g, "PredictBatch")
+	path, target := g.Find(pb, func(n *graph.Node) bool { return n.Func.Name() == "alloc" })
+	if target == nil || target.Func.Name() != "alloc" {
+		t.Fatalf("Find(alloc) target = %v", target)
+	}
+	// Shortest chain is PredictBatch → Helper → alloc (two edges).
+	if len(path) != 2 || path[0].Callee.Func.Name() != "Helper" || path[1].Callee.Func.Name() != "alloc" {
+		var names []string
+		for _, e := range path {
+			names = append(names, e.Callee.Func.Name())
+		}
+		t.Errorf("Find path = %v, want [Helper alloc]", names)
+	}
+
+	// A matching start returns an empty path.
+	if path, target := g.Find(pb, func(n *graph.Node) bool { return n == pb }); target != pb || len(path) != 0 {
+		t.Errorf("Find(self) = (%v, %v), want empty path to self", path, target)
+	}
+
+	// Recursion must terminate with no match.
+	loop := nodeNamed(t, g, "Loop")
+	if kinds := edgeKinds(loop); len(kinds["Loop"]) != 1 {
+		t.Errorf("Loop self-edge = %v, want one", kinds["Loop"])
+	}
+	if _, target := g.Find(loop, func(*graph.Node) bool { return false }); target != nil {
+		t.Errorf("Find over recursive subgraph found %v, want nil", target)
+	}
+}

@@ -3,40 +3,87 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
+
+	"srda/internal/lint/graph"
 )
 
-// HotAlloc bans allocation in the innermost loops of the kernel packages
-// (internal/blas, internal/mat, internal/sparse).  The linear-time claim
-// is an O(nnz)/O(mn) *arithmetic* bound; a make, append, new, composite
-// literal, or fmt call inside the innermost loop turns it into an
-// allocation bound and hands the hot path to the garbage collector.
-// Buffers must be hoisted to the kernel prologue or passed in by the
-// caller, which is how every existing kernel is written.
+// HotAlloc bans allocation in the innermost loops of the hot paths.  The
+// linear-time claim is an O(nnz)/O(mn) *arithmetic* bound; a make,
+// append, new, composite literal, or fmt call inside the innermost loop
+// turns it into an allocation bound and hands the hot path to the
+// garbage collector.  Buffers must be hoisted to the kernel prologue or
+// passed in by the caller, which is how every existing kernel is written.
+//
+// The analyzer fires in two modes:
+//
+//   - Intraprocedural, over every function in the kernel packages
+//     (internal/blas, internal/mat, internal/sparse): any allocating
+//     construct in an innermost loop body is a finding, exactly as in
+//     PR 3.
+//   - Interprocedural, over the hot closure (every function the
+//     call graph reaches from the kernel entry points — the full
+//     batch-predict path PredictBatch*/ProjectBatch* and Ctx variants,
+//     the Par* kernels, and the LSQR/Cholesky inner solves).  Hot
+//     functions outside the kernel packages get the same innermost-loop
+//     discipline, and — the part no intraprocedural pass can see — a
+//     call inside an innermost hot loop to a function that transitively
+//     allocates (make/append/new, fmt, a closure, a heap-bound composite)
+//     is reported at the call site with the offending chain.
 //
 // "Innermost" means a for/range statement whose body contains no other
 // loop (closures are walked too: a loop inside a func literal is a loop).
 // Allocations in outer loops — per-shard scratch in a pool.Do callback,
 // say — are fine.  Deliberate exceptions (amortized builder appends, cold
-// String methods) carry //srdalint:ignore hotalloc <reason>.
+// String methods, O(iters) solver-driver closures) carry
+// //srdalint:ignore hotalloc <reason>.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "no make/append/new/composite-literal/fmt allocations in innermost kernel loops",
+	Doc:  "no allocations in innermost kernel loops, directly or through any call chain",
 	Run:  runHotAlloc,
 }
 
 func runHotAlloc(pass *Pass) {
-	if !isKernelPkg(pass.Pkg) {
-		return
-	}
 	info := pass.Pkg.Info
-	pass.inspectFiles(func(n ast.Node) bool {
-		body := loopBody(n)
-		if body == nil || containsLoop(body) {
+	if isKernelPkg(pass.Pkg) {
+		pass.inspectFiles(func(n ast.Node) bool {
+			body := loopBody(n)
+			if body == nil || containsLoop(body) {
+				return true
+			}
+			checkInnermost(pass, info, body)
 			return true
+		})
+	}
+	// Interprocedural: hot functions declared in this package.
+	g := pass.graphOf()
+	mod := pass.Module
+	for _, n := range pass.hotNodes() {
+		for _, body := range innermostLoopBodies(n) {
+			// Hot functions outside the kernel packages get the same
+			// innermost-loop discipline the kernel packages always had
+			// (inside them the file walk above already covers it).
+			if !isKernelPkg(pass.Pkg) {
+				checkInnermost(pass, info, body)
+			}
+			// Calls inside an innermost hot loop must not reach an
+			// allocation anywhere down the chain.
+			for _, e := range edgesWithin(n, body) {
+				path, target := g.Find(e.Callee, func(t *graph.Node) bool {
+					return mod.ensureInterproc().allocOf(t) != nil
+				})
+				if target == nil {
+					continue
+				}
+				alloc := mod.ensureInterproc().allocOf(target)
+				at := mod.Fset.Position(alloc.pos)
+				pass.Reportf(e.Pos, "call inside an innermost loop of hot kernel %s reaches a per-iteration allocation: %s allocates (%s, %s:%d); hoist the buffer, preallocate in the prologue, or move the call out of the loop",
+					mod.funcDisplayName(n.Func),
+					mod.chainString(e.Callee, path), alloc.what,
+					filepath.Base(at.Filename), at.Line)
+			}
 		}
-		checkInnermost(pass, info, body)
-		return true
-	})
+	}
 }
 
 // loopBody returns the body of a for/range statement, or nil.

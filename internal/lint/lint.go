@@ -7,7 +7,7 @@
 // bitwise-identical to their sequential versions, and every source of
 // nondeterminism (goroutines, clocks, unseeded randomness) is confined to
 // the few packages allowed to own it.  doc/PERFORMANCE.md states that
-// contract in prose; this package states it as eight analyzers that run
+// contract in prose; this package states it as eleven analyzers that run
 // over the whole module on every `make check`:
 //
 //   - goroutine-discipline: no raw go statements outside internal/pool,
@@ -35,6 +35,24 @@
 //     packages — diagnostics flow through the structured, level-gated,
 //     trace-correlated obs.Logger; main packages and internal/obs itself
 //     are exempt.
+//   - maprange: no map iteration on the deterministic-output paths
+//     (exposition, serialization, routing, refit ordering) unless the
+//     keys are collected and sorted first.
+//   - lockcheck: no mutex held across a blocking call, channel operation,
+//     or hot-kernel invocation, and no lock values copied by assignment,
+//     range, or parameter passing.
+//   - ctxflow: serve- and kernel-path contexts carry spans only — no
+//     cancellation-sensitive calls in kernels, no cancellable context
+//     construction on the serve path, no go-in-loop spawns.
+//
+// Several rules are interprocedural.  internal/lint/graph builds a
+// module-wide call graph (direct calls, method calls with interface
+// fan-out, function values handed to pool.Do and friends) and marks the
+// transitive closure of functions reachable from the kernel entry points
+// — the batch-predict surface, the exported Par* kernels, and the
+// LSQR/Cholesky inner solves.  hotalloc, noclock, seeded-rand, maprange,
+// and ctxflow all fire through that closure: a helper in any package
+// becomes kernel code the moment a kernel can reach it.
 //
 // Findings can be suppressed per line with
 //
@@ -42,8 +60,11 @@
 //
 // either trailing the offending line or on its own line immediately
 // above.  The reason is mandatory; a malformed suppression is itself a
-// finding.  There is deliberately no -fix mode: every suppression is a
-// reviewed, explained decision in the diff.
+// finding, and so is a stale one — a suppression whose analyzer no
+// longer fires on the covered line is reported so silenced findings
+// cannot outlive the code that earned them.  There is deliberately no
+// -fix mode: every suppression is a reviewed, explained decision in the
+// diff.
 package lint
 
 import (
@@ -103,6 +124,9 @@ var Analyzers = []*Analyzer{
 	NoClock,
 	ErrDrop,
 	RawLog,
+	MapRange,
+	LockCheck,
+	CtxFlow,
 }
 
 // AnalyzerByName returns the analyzer with the given name, or nil.
@@ -118,7 +142,10 @@ func AnalyzerByName(name string) *Analyzer {
 // Run executes the given analyzers over every package of mod, applies
 // //srdalint:ignore suppressions, and returns the surviving diagnostics
 // sorted by file, line, column, and analyzer.  Malformed suppression
-// comments are reported under the pseudo-analyzer "suppress".
+// comments are reported under the pseudo-analyzer "suppress", and so are
+// stale ones: a well-formed suppression for an analyzer in this run whose
+// covered line no longer produces a matching finding is dead weight that
+// would silently swallow the next regression on that line.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range mod.Pkgs {
@@ -127,7 +154,11 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
-	sup, malformed := collectSuppressions(mod)
+	sup, malformed, wellFormed := collectSuppressions(mod)
+	// Staleness is judged against the pre-filter diagnostics: a
+	// suppression is live exactly when the analyzer it names still fires
+	// on the line it covers.
+	stale := staleSuppressions(diags, wellFormed, analyzers)
 	kept := diags[:0]
 	for _, d := range diags {
 		if !sup.covers(d) {
@@ -135,6 +166,7 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	kept = append(kept, malformed...)
+	kept = append(kept, stale...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.File != b.File {

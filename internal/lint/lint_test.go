@@ -102,6 +102,7 @@ func TestCorpus(t *testing.T) {
 	for _, name := range []string{
 		"goroutine", "floatcmp", "seededrand", "partwin",
 		"hotalloc", "noclock", "errdrop", "rawlog",
+		"maprange", "lockcheck", "ctxflow", "graphhot",
 	} {
 		t.Run(name, func(t *testing.T) {
 			mod := loadCorpus(t, name)
@@ -112,10 +113,12 @@ func TestCorpus(t *testing.T) {
 
 // TestSuppressCorpus pins down the suppression semantics exactly:
 // malformed comments are findings and silence nothing, stacked standalone
-// suppressions cover the first code line below the run, and a trailing
-// suppression covers only its own line.  Want comments cannot annotate
-// malformed suppressions (any trailing text would become the missing
-// reason), so this corpus is asserted by explicit position.
+// suppressions cover the first code line below the run, a trailing
+// suppression covers only its own line, and a well-formed suppression
+// whose analyzer never fires on the covered line is reported stale.
+// Want comments cannot annotate malformed suppressions (any trailing
+// text would become the missing reason), so this corpus is asserted by
+// explicit position.
 func TestSuppressCorpus(t *testing.T) {
 	mod := loadCorpus(t, "suppress")
 	diags := Run(mod, Analyzers)
@@ -130,7 +133,8 @@ func TestSuppressCorpus(t *testing.T) {
 		{10, "floatcmp", "compares floating-point values exactly"},
 		{12, "suppress", "floatcmp needs a reason"},
 		{13, "floatcmp", "compares floating-point values exactly"},
-		{27, "floatcmp", "compares floating-point values exactly"},
+		{20, "suppress", "stale suppression: hotalloc no longer fires"},
+		{28, "floatcmp", "compares floating-point values exactly"},
 	}
 	var got []string
 	for _, d := range diags {
@@ -167,8 +171,8 @@ func TestAnalyzerRegistry(t *testing.T) {
 	if AnalyzerByName("nosuch") != nil {
 		t.Error("AnalyzerByName accepts unknown names")
 	}
-	if len(Analyzers) != 8 {
-		t.Errorf("suite has %d analyzers, expected 8", len(Analyzers))
+	if len(Analyzers) != 11 {
+		t.Errorf("suite has %d analyzers, expected 11", len(Analyzers))
 	}
 }
 

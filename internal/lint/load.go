@@ -34,6 +34,10 @@ type Module struct {
 	// absolute filename recorded in Fset.  Suppression comments and the
 	// corpus "// want" harness are resolved against these.
 	Sources map[string][]string
+
+	// ip caches the interprocedural call graph; built lazily by
+	// ensureInterproc the first time an analyzer asks for hot nodes.
+	ip *interproc
 }
 
 // Package is one directory's worth of Go code.  Only the non-test files

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange bans iterating a Go map wherever the iteration can feed
+// deterministic output.  Go randomizes map iteration order per run on
+// purpose, so a `for k := range m` that writes metrics exposition, model
+// serialization, routing decisions, refit ordering, or any other output
+// the repo pins with golden tests is a nondeterminism bug waiting for a
+// second map entry.  The fix is always the same shape: collect the keys,
+// sort them, and range over the slice — which is how every exposition
+// path in internal/obs is written.
+//
+// Scope: the packages whose outputs are contractually deterministic
+// (internal/obs exposition, internal/serve responses, internal/registry
+// and internal/router placement, internal/online refit ordering,
+// internal/core and the root package's model serialization), plus —
+// through the call graph — any hot-closure function in any package.
+// Iterations that are genuinely order-insensitive (summing values,
+// building another map, collect-then-sort) carry
+// //srdalint:ignore maprange <reason>.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "no map iteration on deterministic-output paths unless the keys are sorted first",
+	Run:  runMapRange,
+}
+
+// deterministicDirs are the packages whose outputs must be reproducible
+// byte for byte: exposition, serialization, routing, refit ordering.
+// "" is the root package (model save/load).
+var deterministicDirs = []string{
+	"",
+	"internal/obs", "internal/serve", "internal/registry",
+	"internal/router", "internal/online", "internal/core",
+}
+
+func runMapRange(pass *Pass) {
+	info := pass.Pkg.Info
+	check := func(n ast.Node) bool {
+		r, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[r.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		pass.Reportf(r.Pos(), "map iteration order is randomized per run and package %s feeds deterministic output; collect the keys into a slice, sort, and range over that — or annotate why order cannot matter here", pass.Pkg.Path)
+		return true
+	}
+	if underAny(pass.Pkg.RelDir, deterministicDirs) {
+		pass.inspectFiles(check)
+		return
+	}
+	// Outside the static scope, the call graph extends the rule to hot
+	// functions: a map range inside a kernel's reach perturbs outputs
+	// the equivalence suites hold bitwise.
+	for _, n := range pass.hotNodes() {
+		ast.Inspect(n.Decl.Body, check)
+	}
+}

@@ -12,6 +12,11 @@ import (
 // nondeterminism the equivalence suites cannot catch (both twins would
 // wobble together).
 //
+// Since the interprocedural engine landed, the ban also follows call
+// chains: a function in *any* package that the call graph reaches from a
+// kernel entry point (the hot closure) may not read the clock either,
+// because a helper becomes numeric code the moment a kernel calls it.
+//
 // internal/obs is the single sanctioned clock owner: it wraps the clock
 // behind injectable obs.Clock values and hands out obs.Trace spans and
 // obs.Stamp marks that instrumented code records into without ever
@@ -61,20 +66,34 @@ var clockFuncs = map[string]bool{
 }
 
 func runNoClock(pass *Pass) {
-	if !inNoClockScope(pass.Pkg) {
+	info := pass.Pkg.Info
+	if inNoClockScope(pass.Pkg) {
+		pass.inspectFiles(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s in package %s makes results depend on wall-clock timing; internal/obs owns the clock — record through obs.Trace/obs.Stamp, or measure in cmd/srdabench or the experiment layer", fn.Name(), pass.Pkg.Path)
+			return true
+		})
 		return
 	}
-	info := pass.Pkg.Info
-	pass.inspectFiles(func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
+	// Interprocedural: a package outside the static scope still may not
+	// read the clock from a function the kernel entry points reach — a
+	// helper in any package becomes numeric code the moment a hot kernel
+	// calls it.  internal/obs stays the sanctioned owner.
+	if underAny(pass.Pkg.RelDir, clockOwners) {
+		return
+	}
+	mod := pass.Module
+	for _, n := range pass.hotNodes() {
+		for _, site := range clockReads(info, n) {
+			pass.Reportf(site.pos, "%s in %s is on the hot kernel path (reachable from entry %s); results would depend on wall-clock timing — record through obs.Trace/obs.Stamp or move the timing to the caller",
+				site.what, mod.funcDisplayName(n.Func), mod.funcDisplayName(n.HotVia.Func))
 		}
-		fn, ok := info.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
-			return true
-		}
-		pass.Reportf(sel.Pos(), "time.%s in package %s makes results depend on wall-clock timing; internal/obs owns the clock — record through obs.Trace/obs.Stamp, or measure in cmd/srdabench or the experiment layer", fn.Name(), pass.Pkg.Path)
-		return true
-	})
+	}
 }

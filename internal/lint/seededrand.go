@@ -15,9 +15,16 @@ import (
 // caller in the process; rand.Seed just trades one global for another.
 // Constructors (rand.New, rand.NewSource, and the math/rand/v2 PCG and
 // ChaCha8 sources) are allowed, as is everything in test files.
+//
+// Inside the hot kernel closure (everything the call graph reaches from
+// a kernel entry point) the rule tightens: even *seeded* draws are
+// banned there.  A kernel whose output consumes randomness mid-flight
+// cannot honor the bitwise par/seq twin contract once work is sharded,
+// so sketching matrices, sampled pivots, and synthetic inputs must be
+// drawn in the setup layer and passed in as data.
 var SeededRand = &Analyzer{
 	Name: "seeded-rand",
-	Doc:  "math/rand must flow through explicitly seeded rand.New(rand.NewSource(...)) sources",
+	Doc:  "math/rand must flow through explicitly seeded sources, and hot kernels must be randomness-free entirely",
 	Run:  runSeededRand,
 }
 
@@ -55,4 +62,15 @@ func runSeededRand(pass *Pass) {
 		pass.Reportf(sel.Pos(), "global math/rand call rand.%s draws from an unseeded shared stream; construct rand.New(rand.NewSource(seed)) with a seed threaded from Options or flags", fn.Name())
 		return true
 	})
+	// Interprocedural: no randomness at all — seeded or not — inside the
+	// hot kernel closure.  The global-stream sites above are already
+	// findings everywhere; what only the call graph can see is a seeded
+	// *rand.Rand method draw buried in a helper a kernel reaches.
+	mod := pass.Module
+	for _, n := range pass.hotNodes() {
+		for _, site := range randMethodCalls(info, n) {
+			pass.Reportf(site.pos, "rand method call %s in %s is inside the hot kernel closure (reachable from entry %s); kernels must be randomness-free — draw in the setup layer with a threaded seed and pass the result in as data",
+				site.what, mod.funcDisplayName(n.Func), mod.funcDisplayName(n.HotVia.Func))
+		}
+	}
 }

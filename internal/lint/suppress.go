@@ -45,15 +45,18 @@ type ignoreComment struct {
 	analyzer   string
 	err        string // non-empty when malformed
 	standalone bool   // nothing but the comment on its line
+	effLine    int    // the code line this suppression covers (well-formed only)
 }
 
 // collectSuppressions walks the parsed comments of every file (test files
 // included), returning the set of (file, line, analyzer) triples the
-// well-formed suppressions cover plus diagnostics for malformed ones.
+// well-formed suppressions cover, diagnostics for malformed ones, and the
+// well-formed comments themselves (with their resolved effective lines)
+// so Run can detect suppressions that no longer silence anything.
 // Working from the ASTs rather than raw text means a marker inside a
 // string literal or quoted in documentation is never mistaken for a
 // suppression.
-func collectSuppressions(mod *Module) (suppressionSet, []Diagnostic) {
+func collectSuppressions(mod *Module) (suppressionSet, []Diagnostic, []ignoreComment) {
 	var comments []ignoreComment
 	// standaloneAt[file] records the lines occupied by standalone
 	// suppression comments, so stacked runs resolve below the whole run.
@@ -98,6 +101,7 @@ func collectSuppressions(mod *Module) (suppressionSet, []Diagnostic) {
 	}
 	set := make(suppressionSet)
 	var malformed []Diagnostic
+	var wellFormed []ignoreComment
 	for _, ic := range comments {
 		if ic.err != "" {
 			malformed = append(malformed, Diagnostic{
@@ -112,7 +116,46 @@ func collectSuppressions(mod *Module) (suppressionSet, []Diagnostic) {
 				eff++
 			}
 		}
+		ic.effLine = eff
 		set.add(ic.file, eff, ic.analyzer)
+		wellFormed = append(wellFormed, ic)
 	}
-	return set, malformed
+	return set, malformed, wellFormed
+}
+
+// staleSuppressions reports the well-formed suppressions that silence
+// nothing: their analyzer ran in this invocation but produced no finding
+// on the covered line.  Such a comment is worse than dead weight — it
+// would invisibly swallow the next genuine finding introduced on that
+// line — so removing it is enforced the same way adding one is.
+// Suppressions naming analyzers outside this run are left alone (a
+// single-analyzer run must not condemn every other analyzer's comments).
+func staleSuppressions(diags []Diagnostic, wellFormed []ignoreComment, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	fired := make(map[key]bool, len(diags))
+	for _, d := range diags {
+		fired[key{d.File, d.Line, d.Analyzer}] = true
+	}
+	var out []Diagnostic
+	for _, ic := range wellFormed {
+		if !ran[ic.analyzer] {
+			continue
+		}
+		if fired[key{ic.file, ic.effLine, ic.analyzer}] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "suppress", File: ic.file, Line: ic.line, Col: ic.col,
+			Message: "stale suppression: " + ic.analyzer + " no longer fires on the covered line; delete this comment",
+		})
+	}
+	return out
 }

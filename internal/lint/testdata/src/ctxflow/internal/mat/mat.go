@@ -1,0 +1,30 @@
+package mat
+
+import "context"
+
+// Apply consults cancellation inside numeric code: a dispatched batch
+// must run to completion.
+func Apply(ctx context.Context, xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if ctx.Err() != nil { // want "ctx.Err consults cancellation inside kernel-path code"
+		return 0
+	}
+	return s
+}
+
+// Mint builds a cancellable context inside numeric code.
+func Mint(ctx context.Context) context.Context {
+	sub, cancel := context.WithCancel(ctx) // want "context.WithCancel mints a cancellable context"
+	cancel()
+	return sub
+}
+
+type spanKey struct{}
+
+// Tag rides a span along: ctx.Value stays legal everywhere.
+func Tag(ctx context.Context) interface{} {
+	return ctx.Value(spanKey{})
+}

@@ -1,0 +1,16 @@
+package pool
+
+// Do is the corpus twin of the worker pool: the spawn loop below is the
+// bounded-fan-out shape the real pool annotates.
+func Do(n int, fn func(int)) {
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { // want "unbounded number of goroutines"
+			fn(i)
+			done <- 0
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+type spanKey struct{}
+
+// Deadline mints a deadline on the serve path; deadlines belong to the
+// HTTP transport.
+func Deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // want "context.WithTimeout on the serve path"
+}
+
+// WithSpan only decorates the context: the span-carrying pattern.
+func WithSpan(ctx context.Context) context.Context {
+	return context.WithValue(ctx, spanKey{}, "span")
+}
+
+// Consult is legal here: the serve path may *check* cancellation it was
+// handed (the transport owns the deadline); it may not mint its own.
+func Consult(ctx context.Context) bool {
+	return ctx.Err() != nil
+}

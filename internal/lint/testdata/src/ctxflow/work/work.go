@@ -1,0 +1,26 @@
+// Package work sits outside every static ctxflow scope; the rule
+// reaches it only through the call graph.
+package work
+
+import "context"
+
+// ProjectBatch is a hot entry by name prefix.
+func ProjectBatch(ctx context.Context, xs []float64) float64 {
+	return helper(ctx, xs)
+}
+
+// helper is inside the hot closure, so consulting cancellation here is
+// a finding even though work is not a kernel package.
+func helper(ctx context.Context, xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if ctx.Err() != nil { // want "ctx.Err consults cancellation inside kernel-path code"
+		return 0
+	}
+	return s
+}
+
+// Cold is unreachable from any entry: cancellation is fine here.
+func Cold(ctx context.Context) error { return ctx.Err() }

@@ -5,7 +5,7 @@ package pool
 func Do(n int, fn func(int)) {
 	done := make(chan struct{}, n)
 	for i := 0; i < n; i++ {
-		go func(i int) {
+		go func(i int) { // want "unbounded number of goroutines"
 			fn(i)
 			done <- struct{}{}
 		}(i)

@@ -1,0 +1,63 @@
+// Package core is the corpus twin of the real model package: its
+// PredictBatch/ProjectBatch surface is the hot-closure root.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"corpus/graphhot/internal/pool"
+	"corpus/graphhot/util"
+)
+
+// Model mirrors the real repo's shape: batch entry points that shard
+// work through the pool.
+type Model struct {
+	W    []float64
+	rng  *rand.Rand
+	rows [][]float64
+	out  []float64
+}
+
+// NewModel threads the seed the way the contract requires.
+func NewModel(w []float64, seed int64) *Model {
+	return &Model{W: w, rng: rand.New(rand.NewSource(seed))}
+}
+
+// PredictBatch is a hot entry.  The closure handed to pool.Do inlines
+// into this node, so util.RowScore (and through it util.drift) is hot;
+// util.Seeded is hot one hop down; and the innermost loop's call to
+// util.Bias reaches a per-iteration allocation the chain reporter must
+// name.
+func (m *Model) PredictBatch(rows [][]float64, out []float64) {
+	scratch := make([]float64, len(m.W))
+	jit := util.Seeded(m.rng)
+	pool.Do(len(rows), func(i int) {
+		out[i] = util.RowScore(rows[i], m.W, scratch) + jit
+	})
+	for i := range out {
+		out[i] += util.Bias() // want "call inside an innermost loop of hot kernel .* reaches a per-iteration allocation: util.Bias allocates"
+	}
+}
+
+// ProjectBatch hands a method value to the pool: the function-value
+// edge must mark projectOne hot.
+func (m *Model) ProjectBatch(rows [][]float64, out []float64) {
+	m.rows, m.out = rows, out
+	pool.Do(len(rows), m.projectOne)
+}
+
+// projectOne is hot purely through the method-value edge above.
+func (m *Model) projectOne(i int) {
+	m.out[i] = float64(time.Now().UnixNano()) * 0 // want "time.Now in .*projectOne is on the hot kernel path"
+	for _, v := range m.rows[i] {
+		m.out[i] += v
+	}
+}
+
+// Report is cold: the same shapes produce no findings here.
+func (m *Model) Report() float64 {
+	buf := make([]float64, 1)
+	buf[0] = float64(util.Cold())
+	return buf[0]
+}

@@ -1,0 +1,42 @@
+// Package util holds helpers the kernel reaches through closures and
+// method values.  util is outside every static analyzer scope — every
+// finding below exists only because the call graph marks these
+// functions hot.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RowScore is reached from the kernel only through the closure handed
+// to pool.Do — exactly the edge an intraprocedural pass cannot see.
+func RowScore(row, w, scratch []float64) float64 {
+	var s float64
+	for i := range row {
+		scratch[i] = row[i] * w[i]
+		s += scratch[i]
+	}
+	return s * drift()
+}
+
+// drift reads the clock two hops below the entry point.
+func drift() float64 {
+	return float64(time.Now().UnixNano())*0 + 1 // want "time.Now in util.drift is on the hot kernel path"
+}
+
+// Seeded draws from an explicitly seeded source — legal cold, banned
+// anywhere in the hot closure.
+func Seeded(r *rand.Rand) float64 {
+	return r.Float64() // want "rand method call .* is inside the hot kernel closure"
+}
+
+// Bias allocates on every call: harmless cold, a per-iteration
+// allocation when an innermost hot loop reaches it.
+func Bias() float64 {
+	buf := make([]float64, 1)
+	return buf[0]
+}
+
+// Cold reads the clock but is unreachable from any entry: no finding.
+func Cold() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,9 @@
+package kernels
+
+// PredictBatchRows is a hot entry by name prefix; locks must never be
+// held across a call into it.
+func PredictBatchRows(x, out []float64) {
+	for i := range x {
+		out[i] = 2 * x[i]
+	}
+}

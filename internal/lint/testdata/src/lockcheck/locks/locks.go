@@ -1,0 +1,129 @@
+package locks
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"corpus/lockcheck/kernels"
+)
+
+// Guarded embeds a mutex, so copying a Guarded forks its lock state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the receiver's lock state on every call.
+func (g Guarded) ByValue() int { // want "receiver passes Guarded by value"
+	return g.n
+}
+
+// TakeMutex copies a bare mutex parameter.
+func TakeMutex(mu sync.Mutex) { // want "parameter passes sync.Mutex by value"
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Pointers reference rather than embed: fine.
+func TakePointer(g *Guarded) int { return g.n }
+
+// Snapshot copies a lock-containing value by assignment.
+func Snapshot(g *Guarded) int {
+	cp := *g // want "assignment copies a value containing lock state"
+	return cp.n
+}
+
+// Each copies lock-containing elements per iteration.
+func Each(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies lock-containing elements"
+		total += g.n
+	}
+	return total
+}
+
+// EachIndex iterates indices: no copy, no finding.
+func EachIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// SleepHeld blocks every contender for the sleep's duration.
+func SleepHeld(g *Guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+	g.mu.Unlock()
+}
+
+// SendHeld holds the lock to function end via the deferred unlock, so
+// the send is under it.
+func SendHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want "channel send while holding g.mu"
+}
+
+// RecvHeld receives under the lock.
+func RecvHeld(g *Guarded, ch chan int) int {
+	g.mu.Lock()
+	v := <-ch // want "channel receive while holding g.mu"
+	g.mu.Unlock()
+	return v
+}
+
+// SelectHeld parks under the lock.
+func SelectHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	select { // want "select while holding g.mu"
+	case <-ch:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+// HTTPHeld makes an outbound call under the lock.
+func HTTPHeld(g *Guarded, url string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, err := http.Get(url) // want "outbound HTTP call while holding g.mu"
+	return err
+}
+
+// WaitHeld waits on a WaitGroup under the lock.
+func WaitHeld(g *Guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want "sync Wait while holding g.mu"
+	g.mu.Unlock()
+}
+
+// KernelHeld invokes a hot kernel under the lock: one slow batch
+// convoys every contender.
+func KernelHeld(g *Guarded, x, out []float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kernels.PredictBatchRows(x, out) // want "hot kernel kernels.PredictBatchRows invoked while holding g.mu"
+}
+
+// SnapshotThenSend is the sanctioned shape: copy what you need under
+// the lock, release, then block.
+func SnapshotThenSend(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+// SpawnHeld starts a goroutine under the lock — the spawn itself does
+// not block this goroutine, so no finding.
+func SpawnHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	go send(ch, n) // want "raw go statement in library package"
+	g.mu.Unlock()
+}
+
+func send(ch chan int, n int) { ch <- n }

@@ -1,0 +1,29 @@
+package obs
+
+import "sort"
+
+// WriteOrder iterates the map directly into the output slice: the
+// exposition order then depends on Go's per-run map seed.
+func WriteOrder(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want "map iteration order is randomized per run"
+		out = append(out, k)
+	}
+	return out
+}
+
+// WriteSorted is the sanctioned shape: collect, sort, then range the
+// slice.  The collection loop is order-free and says so.
+func WriteSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	//srdalint:ignore maprange collect-then-sort: keys are sorted below before any output is built
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

@@ -13,10 +13,11 @@ func Unknown(a float64) bool { return a == 1 }
 func NoReason(a float64) bool { return a == 2 }
 
 // Stacked standalone suppressions both land on the first code line below
-// the run, silencing two analyzers at once.
+// the run, silencing two analyzers at once.  The hotalloc one covers a
+// line hotalloc never fires on, so the staleness detector reports it.
 
 //srdalint:ignore floatcmp exact sentinel comparison checked by the corpus test
-//srdalint:ignore hotalloc not a kernel package, so this one is simply unused
+//srdalint:ignore hotalloc deliberately stale for the corpus test
 func Stacked(a float64) bool { return a == 3 }
 
 // Trailing reaches only its own line.

@@ -152,6 +152,7 @@ func DiffBench(old, cur *BenchReport, tolerance float64) []BenchDelta {
 		}
 		deltas = append(deltas, d)
 	}
+	//srdalint:ignore maprange collect-then-sort: deltas are sorted by name immediately below
 	for name, o := range oldBy {
 		deltas = append(deltas, BenchDelta{Name: name, OldNs: o.NsPerOp, Status: "removed"})
 	}

@@ -248,6 +248,7 @@ func (v *CounterVec) writeProm(w io.Writer) {
 	promHeader(w, v.name, v.help, "counter")
 	v.mu.RLock()
 	entries := make([]*vecEntry, 0, len(v.m))
+	//srdalint:ignore maprange collect-then-sort: entries are sorted by label values before exposition
 	for _, e := range v.m {
 		entries = append(entries, e)
 	}

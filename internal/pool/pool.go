@@ -60,6 +60,7 @@ func (p *Pool) Size() int { return p.size }
 func (p *Pool) startWorkers() {
 	p.once.Do(func() {
 		for i := 0; i < p.size; i++ {
+			//srdalint:ignore ctxflow this IS the bounded worker set: exactly p.size goroutines for the pool's lifetime
 			go func() {
 				for task := range p.tasks {
 					task()

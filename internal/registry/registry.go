@@ -192,11 +192,12 @@ func (r *Registry) evictLocked(keep string) []string {
 	for r.bytes > r.opts.MaxBytes {
 		victim := ""
 		var oldest uint64
+		//srdalint:ignore maprange min-by-(lastUsed, name) selection reads every entry; the name tie-break makes the pick order-free
 		for name, e := range r.models {
 			if name == keep {
 				continue
 			}
-			if u := e.lastUsed.Load(); victim == "" || u < oldest {
+			if u := e.lastUsed.Load(); victim == "" || u < oldest || (u == oldest && name < victim) {
 				victim, oldest = name, u
 			}
 		}
@@ -300,6 +301,7 @@ func (r *Registry) Bytes() int64 {
 func (r *Registry) List() []*Snapshot {
 	r.mu.RLock()
 	out := make([]*Snapshot, 0, len(r.models))
+	//srdalint:ignore maprange collect-then-sort: the slice is sorted by name immediately below
 	for _, e := range r.models {
 		out = append(out, e.live())
 	}

@@ -224,6 +224,7 @@ func (r *Router) Close() {
 // and not draining.  Caller holds r.mu.
 func (r *Router) rebuildRingLocked() {
 	var members []string
+	//srdalint:ignore maprange collect-then-sort: members are sorted immediately below before the ring is built
 	for name, st := range r.replicas {
 		if st.healthy && !st.draining {
 			members = append(members, name)
@@ -246,6 +247,7 @@ func (r *Router) healthyCount() int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var n int64
+	//srdalint:ignore maprange order-free count: every entry contributes at most one increment
 	for _, st := range r.replicas {
 		if st.healthy {
 			n++
@@ -287,6 +289,7 @@ func (r *Router) setDraining(name string, draining bool) error {
 func (r *Router) CheckHealth(ctx context.Context) {
 	r.mu.RLock()
 	backends := make([]Backend, 0, len(r.replicas))
+	//srdalint:ignore maprange probe order is immaterial: each result updates only its own replica's state under the lock below
 	for _, st := range r.replicas {
 		backends = append(backends, st.backend)
 	}
@@ -300,6 +303,7 @@ func (r *Router) CheckHealth(ctx context.Context) {
 	var wg sync.WaitGroup
 	for i, b := range backends {
 		wg.Add(1)
+		//srdalint:ignore ctxflow fan-out is bounded by the configured replica set: one probe goroutine per backend, joined by the WaitGroup
 		go func(i int, b Backend) {
 			defer wg.Done()
 			h, err := b.Health(ctx)
@@ -346,6 +350,7 @@ func (r *Router) healthLoop() {
 	for {
 		select {
 		case <-ticker.C:
+			//srdalint:ignore ctxflow health probes own their deadline by design: a hung replica must not stall the sweep past one interval
 			ctx, cancel := context.WithTimeout(context.Background(), r.opts.HealthInterval)
 			r.CheckHealth(ctx)
 			cancel()
@@ -476,6 +481,7 @@ func (r *Router) HealthSnapshot() *RouterHealth {
 	}
 	r.mu.RLock()
 	names := make([]string, 0, len(r.replicas))
+	//srdalint:ignore maprange collect-then-sort: names are sorted immediately below before the reply is built
 	for name := range r.replicas {
 		names = append(names, name)
 	}

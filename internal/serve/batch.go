@@ -296,6 +296,7 @@ func (s *Server) runModelBatch(name string, batch []*item) {
 		it.p.modelSeq.Store(snap.Version)
 		it.p.settle(1)
 	}
+	//srdalint:ignore maprange each End stamps its own request's span; cross-request event order is scheduler-dependent regardless
 	for _, sp := range batchSpans {
 		sp.End()
 	}

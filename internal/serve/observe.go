@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"srda/internal/obs"
 )
@@ -82,11 +83,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 		if hasDense {
 			err = tr.Observe(ls.Dense, ls.Label)
 		} else {
+			// Sort the columns before absorbing: the trainer's streaming
+			// statistics accumulate in index order, so a map-ordered row
+			// would make the refit depend on Go's per-run map seed.
 			cols := make([]int, 0, len(ls.Sparse))
-			vals := make([]float64, 0, len(ls.Sparse))
-			for j, v := range ls.Sparse {
+			//srdalint:ignore maprange keys are sorted below before the trainer's float accumulation sees them
+			for j := range ls.Sparse {
 				cols = append(cols, j)
-				vals = append(vals, v)
+			}
+			sort.Ints(cols)
+			vals := make([]float64, len(cols))
+			for t, j := range cols {
+				vals[t] = ls.Sparse[j]
 			}
 			err = tr.ObserveSparse(cols, vals, ls.Label)
 		}

@@ -32,6 +32,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -194,6 +195,7 @@ func New(m *core.Model, opts Options) (*Server, error) {
 	}()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
+		//srdalint:ignore ctxflow bounded fan-out: exactly opts.Workers dispatch goroutines, joined on drain
 		go s.worker()
 	}
 	return s, nil
@@ -580,6 +582,7 @@ func buildItem(p *pending, idx int, smp Sample, n int) (*item, error) {
 		return &item{p: p, idx: idx, dense: smp.Dense, width: len(smp.Dense)}, nil
 	}
 	cols := make([]int, 0, len(smp.Sparse))
+	//srdalint:ignore maprange keys are validated then sorted below before any arithmetic sees them
 	for j := range smp.Sparse {
 		if j < 0 {
 			return nil, fmt.Errorf("negative feature index %d", j)
@@ -589,6 +592,9 @@ func buildItem(p *pending, idx int, smp Sample, n int) (*item, error) {
 		}
 		cols = append(cols, j)
 	}
+	// Sort so the CSR row is column-ordered: kernel dot products accumulate
+	// in index order and stay bitwise reproducible across requests.
+	sort.Ints(cols)
 	it := &item{p: p, idx: idx, cols: cols, vals: make([]float64, len(cols))}
 	for t, j := range cols {
 		it.vals[t] = smp.Sparse[j]
