@@ -91,10 +91,15 @@ bench-record:
 
 # Tracing acceptance smoke: the serving path under 100+ concurrent
 # requests must export a request→batch→kernel Chrome trace, quantile
-# gauges on /metrics, and flush both artifacts on SIGTERM.  Runs the two
-# end-to-end trace tests fresh (no cache); `make race` covers them racy.
+# gauges on /metrics, and flush both artifacts on SIGTERM.  The
+# cross-process leg runs a real router + worker pair, merges their
+# per-process trace files with `srdareport tracemerge` into one
+# timeline under a single TraceID, and validates the p99-breach flight
+# bundle against doc/flight_schema.json.  Runs the end-to-end trace
+# tests fresh (no cache); `make race` covers them racy.
 trace-smoke:
-	$(GO) test -run 'TestTraceSmoke|TestConcurrentRequestTracing' -count=1 -v ./cmd/srdaserve ./internal/serve
+	$(GO) test -run 'TestTraceSmoke|TestConcurrentRequestTracing|TestEndToEndTraceAll|TestTwoProcessTraceMergeAndFlight' -count=1 -v ./cmd/srdaserve ./internal/serve
+	$(GO) test -run 'TestTracemergeGolden' -count=1 -v ./cmd/srdareport
 
 # Sharded-tier acceptance smoke (see doc/SHARDING.md): -role=all spawns
 # a router plus two co-located workers sharing one registry, publishes

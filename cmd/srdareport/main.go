@@ -5,11 +5,14 @@
 //
 //	srdareport run.json [more.json ...]
 //	srdareport benchdiff [-tol 0.10] old.json new.json
+//	srdareport tracemerge [-out merged.json] router.json worker0.json ...
 //
 // -q suppresses the summary and only validates.  The benchdiff subcommand
 // compares two bench reports written by srdabench -json-out and exits
 // non-zero when any benchmark slowed down by more than -tol, which is how
 // CI (and `make bench-record` reviewers) catch performance regressions.
+// The tracemerge subcommand stitches the per-process Chrome trace files
+// flushed by srdaserve -trace-out into one Perfetto timeline.
 package main
 
 import (
@@ -25,6 +28,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "benchdiff" {
 		os.Exit(benchdiffMain(os.Stdout, os.Stderr, os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tracemerge" {
+		os.Exit(tracemergeMain(os.Stdout, os.Stderr, os.Args[2:]))
 	}
 	quiet := flag.Bool("q", false, "validate only; print nothing on success")
 	flag.Parse()

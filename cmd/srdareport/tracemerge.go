@@ -1,0 +1,63 @@
+package main
+
+// The tracemerge subcommand stitches per-process Chrome trace artifacts
+// (flushed by srdaserve's -trace-out in each role) into one Perfetto
+// timeline: one pid per input file, timestamps rebased onto the
+// earliest epoch, trace ids preserved bit-exactly so a request that
+// crossed router and worker reads as one aligned trace.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"srda/internal/obs"
+)
+
+// tracemergeMain implements `srdareport tracemerge [-out merged.json]
+// a.json b.json ...`, returning the process exit code: 0 clean, 1 on
+// unreadable or malformed inputs, 2 on usage errors.
+func tracemergeMain(w, ew io.Writer, args []string) int {
+	fs := flag.NewFlagSet("tracemerge", flag.ContinueOnError)
+	fs.SetOutput(ew)
+	out := fs.String("out", "", "write the merged trace here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(ew, "srdareport tracemerge: need at least one per-process trace file; see -h")
+		return 2
+	}
+	artifacts := make([]obs.TraceArtifact, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(ew, "srdareport tracemerge: %v\n", err)
+			return 1
+		}
+		// Basename without .json is the fallback process label for older
+		// artifacts that carry no process field of their own.
+		label := filepath.Base(path)
+		if ext := filepath.Ext(label); ext == ".json" {
+			label = label[:len(label)-len(ext)]
+		}
+		artifacts = append(artifacts, obs.TraceArtifact{Label: label, Data: data})
+	}
+	dst := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(ew, "srdareport tracemerge: %v\n", err)
+			return 1
+		}
+		defer func() { _ = f.Close() }()
+		dst = f
+	}
+	if err := obs.MergeChromeTraces(dst, artifacts); err != nil {
+		fmt.Fprintf(ew, "srdareport tracemerge: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"srda/internal/obs"
+)
+
+// mergedEvent decodes both metadata ("M") and span ("X") events from a
+// merged trace; ids are typed uint64 so epoch-namespaced values survive
+// the round trip bit-exactly.
+type mergedEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	PID  int    `json:"pid"`
+	TID  uint64 `json:"tid"`
+	Args struct {
+		Name     string `json:"name"`
+		TraceID  string `json:"trace_id"`
+		SpanID   uint64 `json:"span_id"`
+		ParentID uint64 `json:"parent_id"`
+	} `json:"args"`
+}
+
+type mergedFile struct {
+	TraceEvents     []mergedEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	EpochMicros     int64         `json:"epochMicros"`
+}
+
+// TestTracemergeGolden builds two per-process artifacts with seeded
+// tracers and frozen clocks — a "router" that opens route→forward and a
+// "worker" that continues the same trace remotely 2.5ms later — merges
+// them, and pins the merged timeline: process metadata first, pids per
+// input, timestamps rebased onto the router's epoch, and the worker
+// span carrying the router's trace id bit-exactly.
+func TestTracemergeGolden(t *testing.T) {
+	clockA := time.Unix(100, 0)
+	ta := obs.NewTracerSeeded(8, 1, func() time.Time {
+		clockA = clockA.Add(time.Millisecond)
+		return clockA
+	})
+	ta.SetProcess("router")
+	_, route := ta.StartRoot(context.Background(), "route")
+	fwd := route.StartChild("forward")
+
+	// The worker's wall clock sits 2.5ms past the router's epoch,
+	// standing in for a second process on the same machine.
+	clockB := time.Unix(100, 0).Add(2500 * time.Microsecond)
+	tb := obs.NewTracerSeeded(8, 2, func() time.Time {
+		clockB = clockB.Add(time.Millisecond)
+		return clockB
+	})
+	tb.SetProcess("worker")
+	_, req := tb.StartRemote(context.Background(), "request", route.TraceID(), fwd.SpanID())
+	req.End()
+	fwd.End()
+	route.End()
+
+	dir := t.TempDir()
+	paths := make([]string, 0, 2)
+	for _, pt := range []struct {
+		name string
+		tr   *obs.Tracer
+	}{{"router.json", ta}, {"worker.json", tb}} {
+		var buf bytes.Buffer
+		if err := pt.tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, pt.name)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := tracemergeMain(&out, &errOut, paths); code != 0 {
+		t.Fatalf("tracemerge exit %d: %s", code, errOut.String())
+	}
+
+	var merged mergedFile
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatalf("merged output does not parse: %v\n%s", err, out.String())
+	}
+	// Router's earliest span started at its first clock tick: 100.001s.
+	if want := time.Unix(100, 0).Add(time.Millisecond).UnixMicro(); merged.EpochMicros != want {
+		t.Fatalf("merged epochMicros = %d, want %d", merged.EpochMicros, want)
+	}
+	ev := merged.TraceEvents
+	if len(ev) != 5 {
+		t.Fatalf("merged event count = %d, want 5 (2 metadata + 3 spans):\n%s", len(ev), out.String())
+	}
+	// Metadata rows come first, one per input, in input order.
+	for i, want := range []struct {
+		pid  int
+		name string
+	}{{1, "router"}, {2, "worker"}} {
+		if ev[i].Ph != "M" || ev[i].Name != "process_name" || ev[i].PID != want.pid || ev[i].Args.Name != want.name {
+			t.Fatalf("metadata event %d = %+v, want pid %d name %q", i, ev[i], want.pid, want.name)
+		}
+	}
+	// Span rows: route (ts 0), forward (+1ms), and the worker's request
+	// rebased +2.5ms onto the shared timeline, all on one trace id.
+	trace := uint64(route.TraceID())
+	wantSpans := []struct {
+		name   string
+		ts     int64
+		pid    int
+		span   uint64
+		parent uint64
+	}{
+		{"route", 0, 1, uint64(route.SpanID()), 0},
+		{"forward", 1000, 1, uint64(fwd.SpanID()), uint64(route.SpanID())},
+		{"request", 2500, 2, uint64(req.SpanID()), uint64(fwd.SpanID())},
+	}
+	for i, want := range wantSpans {
+		got := ev[i+2]
+		if got.Ph != "X" || got.Name != want.name || got.TS != want.ts || got.PID != want.pid {
+			t.Fatalf("span %d = %+v, want name %q ts %d pid %d", i, got, want.name, want.ts, want.pid)
+		}
+		if got.TID != trace || got.Args.TraceID != obs.FormatTraceID(route.TraceID()) {
+			t.Fatalf("span %q trace = %d (%s), want %d", want.name, got.TID, got.Args.TraceID, trace)
+		}
+		if got.Args.SpanID != want.span || got.Args.ParentID != want.parent {
+			t.Fatalf("span %q ids = %d/%d, want %d/%d",
+				want.name, got.Args.SpanID, got.Args.ParentID, want.span, want.parent)
+		}
+	}
+	// Worker ids live in a different epoch namespace than router ids, so
+	// a merge can never alias spans across processes.
+	if ev[4].Args.SpanID>>32 == ev[2].Args.SpanID>>32 {
+		t.Fatal("worker and router span ids share an epoch namespace")
+	}
+
+	// -out writes the same bytes, and a rerun is byte-identical: the
+	// merge is deterministic end to end.
+	outPath := filepath.Join(dir, "merged.json")
+	if code := tracemergeMain(&bytes.Buffer{}, &errOut, append([]string{"-out", outPath}, paths...)); code != 0 {
+		t.Fatalf("tracemerge -out exit %d: %s", code, errOut.String())
+	}
+	fromFile, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile, out.Bytes()) {
+		t.Fatal("-out file differs from stdout merge of the same inputs")
+	}
+}
+
+// TestTracemergeErrors pins the exit-code contract: 2 on usage, 1 on
+// unreadable or malformed inputs.
+func TestTracemergeErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := tracemergeMain(&out, &errOut, nil); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "need at least one") {
+		t.Fatalf("usage message = %q", errOut.String())
+	}
+
+	errOut.Reset()
+	if code := tracemergeMain(&out, &errOut, []string{filepath.Join(t.TempDir(), "absent.json")}); code != 1 {
+		t.Fatalf("missing-file exit = %d, want 1", code)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := tracemergeMain(&out, &errOut, []string{bad}); code != 1 {
+		t.Fatalf("malformed-file exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "bad") {
+		t.Fatalf("malformed-file error does not name the artifact: %q", errOut.String())
+	}
+}

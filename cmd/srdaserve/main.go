@@ -43,11 +43,18 @@
 // -debug-addr starts a second, operator-only listener exposing
 // /debug/pprof/ (net/http/pprof), /debug/vars (expvar), /debug/traces
 // (the request tracer's ring as Chrome trace-event JSON, openable in
-// Perfetto), and /metrics (the server's Prometheus registry plus the
-// process-wide one with the worker-pool gauges).  Keep it bound to
-// localhost; it is never meant to face prediction traffic.  On shutdown
-// -trace-out and -metrics-out flush the trace ring and a final metrics
-// snapshot to files.  See doc/OBSERVABILITY.md.
+// Perfetto), /debug/exemplars (outlier metric observations with the
+// trace ids that produced them), and /metrics (the server's Prometheus
+// registry plus the process-wide one with the worker-pool gauges).
+// Keep it bound to localhost; it is never meant to face prediction
+// traffic.  On shutdown -trace-out and -metrics-out flush the trace
+// ring and a final metrics snapshot to files; per-process trace files
+// from several roles merge into one timeline with `srdareport
+// tracemerge`.  -flight-dir arms the always-on flight recorder to dump
+// anomaly bundles (spans, logs, metric snapshots, exemplars, numeric
+// fit health) on triggers such as a p99 SLO breach (-flight-p99), a
+// full queue, a shed storm, or a refit rollback.  See
+// doc/OBSERVABILITY.md.
 package main
 
 import (
@@ -98,6 +105,8 @@ type config struct {
 	traceCap     int
 	traceOut     string
 	metricsOut   string
+	flightDir    string
+	flightP99    time.Duration
 	logLevel     string
 	logJSON      bool
 
@@ -133,6 +142,8 @@ func main() {
 	flag.IntVar(&cfg.traceCap, "trace-capacity", 0, "completed spans the request-trace ring retains (0 = default)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the trace ring as Chrome trace-event JSON here on shutdown")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a final Prometheus metrics snapshot here on shutdown")
+	flag.StringVar(&cfg.flightDir, "flight-dir", "", "dump flight-recorder bundles (spans, logs, metrics, exemplars, numeric health) into this directory on anomaly triggers; empty keeps the rings in memory only")
+	flag.DurationVar(&cfg.flightP99, "flight-p99", 0, "p99 latency SLO for the flight recorder's p99_breach trigger (0 = off)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit JSON-lines logs instead of text")
 	flag.BoolVar(&cfg.online, "online", false, "co-locate a streaming trainer: POST /v1/observe feeds it labeled samples and refits publish into the live registry")
@@ -221,11 +232,43 @@ func buildRegistry(cfg config, logger *obs.Logger) (*registry.Registry, error) {
 	return reg, nil
 }
 
+// obsKit is the per-process observability plumbing every role shares:
+// one request tracer (so a co-located tier exports one span ring), one
+// exemplar store linking outlier metric observations to trace ids, and
+// an always-on flight recorder whose rings capture the moments before
+// an anomaly.  Bundles only hit disk when -flight-dir is set.
+type obsKit struct {
+	tracer    *obs.Tracer
+	flight    *obs.FlightRecorder
+	exemplars *obs.ExemplarStore
+}
+
+// newObsKit assembles the kit for one role.  The returned logger tees
+// every record (including ones below the sink's level) into the flight
+// ring, so bundles carry debug context a quiet production sink dropped.
+func newObsKit(cfg config, role string, logger *obs.Logger) (*obsKit, *obs.Logger) {
+	kit := &obsKit{
+		tracer: obs.NewTracer(cfg.traceCap),
+		flight: obs.NewFlightRecorder(obs.FlightOptions{
+			Dir:     cfg.flightDir,
+			Process: role,
+			P99SLO:  cfg.flightP99.Seconds(),
+			Logger:  logger,
+		}),
+		exemplars: obs.NewExemplarStore(0, cfg.flightP99.Seconds()),
+	}
+	kit.tracer.SetProcess(role)
+	kit.flight.AttachTracer(kit.tracer)
+	kit.flight.AttachExemplars(kit.exemplars)
+	kit.flight.AttachRegistry("process", obs.Default())
+	return kit, kit.flight.CaptureLogs(logger)
+}
+
 // buildTrainer assembles the -online streaming trainer against the live
 // registry, shaped after the published default model (feature count,
 // classes, and ridge penalty carry over, so observed samples must match
 // what the served model was trained on).
-func buildTrainer(cfg config, reg *registry.Registry, logger *obs.Logger) (serve.Trainer, error) {
+func buildTrainer(cfg config, reg *registry.Registry, kit *obsKit, logger *obs.Logger) (serve.Trainer, error) {
 	if !cfg.online {
 		return nil, nil
 	}
@@ -253,6 +296,7 @@ func buildTrainer(cfg config, reg *registry.Registry, logger *obs.Logger) (serve
 		ModelName: serve.DefaultModelName,
 		Clock:     srda.SystemClock(),
 		Logger:    logger,
+		Flight:    kit.flight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("building streaming trainer: %w", err)
@@ -329,26 +373,34 @@ func serveUntilShutdown(cfg config, handler http.Handler, logger *obs.Logger, re
 // runWorker is the single-replica serving path: one serve.Server over a
 // registry built from -model / -models-dir.
 func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, shutdown <-chan os.Signal) error {
+	kit, logger := newObsKit(cfg, "worker", logger)
 	reg, err := buildRegistry(cfg, logger)
 	if err != nil {
 		return err
 	}
-	trainer, err := buildTrainer(cfg, reg, logger)
+	trainer, err := buildTrainer(cfg, reg, kit, logger)
 	if err != nil {
 		return err
 	}
 	s, err := serve.New(nil, serve.Options{
-		MaxBatch:      cfg.maxBatch,
-		MaxWait:       cfg.maxWait,
-		Workers:       cfg.workers,
-		QueueDepth:    cfg.queueDepth,
-		Registry:      reg,
-		TraceCapacity: cfg.traceCap,
-		Logger:        logger,
-		Trainer:       trainer,
+		MaxBatch:   cfg.maxBatch,
+		MaxWait:    cfg.maxWait,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queueDepth,
+		Registry:   reg,
+		Tracer:     kit.tracer,
+		Logger:     logger,
+		Trainer:    trainer,
+		Flight:     kit.flight,
+		Exemplars:  kit.exemplars,
 	})
 	if err != nil {
 		return err
+	}
+	kit.flight.AttachRegistry("serve", s.Registry())
+	kit.flight.AttachRegistry("registry", reg.Metrics())
+	if trainer != nil {
+		kit.flight.AttachRegistry("online", trainer.Metrics())
 	}
 	stopReload := watchAndReload(cfg, s, logger)
 
@@ -358,14 +410,14 @@ func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debugSrv = &http.Server{Handler: debugMux(s), ReadHeaderTimeout: readHeaderTimeout}
+		debugSrv = &http.Server{Handler: debugMux(s, kit), ReadHeaderTimeout: readHeaderTimeout}
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug listener failed", "err", err.Error())
 			}
 		}()
 		logger.Info("debug listener up", "addr", dln.Addr().String(),
-			"endpoints", "/debug/pprof/ /debug/vars /debug/traces /metrics")
+			"endpoints", "/debug/pprof/ /debug/vars /debug/traces /debug/exemplars /metrics")
 		if debugReady != nil {
 			debugReady <- dln.Addr()
 		}
@@ -386,7 +438,7 @@ func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr
 	// truncated trace of a wedged server is exactly what the operator
 	// needs, and the drain error still decides the exit status.
 	closeErr := s.Close(ctx)
-	flushArtifacts(cfg, s, logger)
+	flushArtifacts(cfg, kit.tracer, logger, s.Registry())
 	if closeErr != nil {
 		return closeErr
 	}
@@ -394,8 +446,9 @@ func runWorker(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr
 	return nil
 }
 
-// routerOptions maps the router flag set onto router.Options.
-func routerOptions(cfg config, logger *obs.Logger) router.Options {
+// routerOptions maps the router flag set onto router.Options, wiring in
+// the process observability kit.
+func routerOptions(cfg config, kit *obsKit, logger *obs.Logger) router.Options {
 	return router.Options{
 		VNodes:         cfg.vnodes,
 		Seed:           cfg.ringSeed,
@@ -405,11 +458,15 @@ func routerOptions(cfg config, logger *obs.Logger) router.Options {
 		ShedQueue:      cfg.shedQueue,
 		HealthInterval: cfg.healthEvery,
 		Logger:         logger,
+		Tracer:         kit.tracer,
+		Flight:         kit.flight,
+		Exemplars:      kit.exemplars,
 	}
 }
 
 // runRouter fronts remote workers listed in -replicas over HTTP.
 func runRouter(cfg config, logger *obs.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
+	kit, logger := newObsKit(cfg, "router", logger)
 	var backends []router.Backend
 	for _, u := range strings.Split(cfg.replicas, ",") {
 		u = strings.TrimSpace(u)
@@ -421,10 +478,11 @@ func runRouter(cfg config, logger *obs.Logger, ready chan<- net.Addr, shutdown <
 	if len(backends) == 0 {
 		return fmt.Errorf("-role=router needs -replicas with at least one worker URL")
 	}
-	r, err := router.New(backends, routerOptions(cfg, logger))
+	r, err := router.New(backends, routerOptions(cfg, kit, logger))
 	if err != nil {
 		return err
 	}
+	kit.flight.AttachRegistry("router", r.Registry())
 	r.CheckHealth(context.Background()) // seed overload snapshots before traffic
 	logger.Info("router up", "replicas", len(backends), "ring", strings.Join(r.Ring(), ","))
 	_, cancel, err := serveUntilShutdown(cfg, r.Handler(), logger, ready, shutdown)
@@ -434,6 +492,7 @@ func runRouter(cfg config, logger *obs.Logger, ready chan<- net.Addr, shutdown <
 	}
 	defer cancel()
 	r.Close()
+	flushArtifacts(cfg, kit.tracer, logger, r.Registry())
 	logger.Info("drained, bye")
 	return nil
 }
@@ -449,25 +508,31 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 			return fmt.Errorf("-role=all needs -replicas as a worker count, got %q", cfg.replicas)
 		}
 	}
+	kit, logger := newObsKit(cfg, "all", logger)
 	reg, err := buildRegistry(cfg, logger)
 	if err != nil {
 		return err
 	}
-	trainer, err := buildTrainer(cfg, reg, logger)
+	trainer, err := buildTrainer(cfg, reg, kit, logger)
 	if err != nil {
 		return err
 	}
 	workers := make([]*serve.Server, n)
 	backends := make([]router.Backend, n)
 	for i := range workers {
+		// Every worker shares the kit's tracer, so a request's route →
+		// forward → request → batch → kernel spans land in one ring and
+		// export as one timeline regardless of which replica served it.
 		opts := serve.Options{
-			MaxBatch:      cfg.maxBatch,
-			MaxWait:       cfg.maxWait,
-			Workers:       cfg.workers,
-			QueueDepth:    cfg.queueDepth,
-			Registry:      reg,
-			TraceCapacity: cfg.traceCap,
-			Logger:        logger,
+			MaxBatch:   cfg.maxBatch,
+			MaxWait:    cfg.maxWait,
+			Workers:    cfg.workers,
+			QueueDepth: cfg.queueDepth,
+			Registry:   reg,
+			Tracer:     kit.tracer,
+			Logger:     logger,
+			Flight:     kit.flight,
+			Exemplars:  kit.exemplars,
 		}
 		if i == 0 {
 			// One trainer for the whole tier: it publishes into the shared
@@ -482,9 +547,15 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 		workers[i] = s
 		backends[i] = &router.LocalBackend{ReplicaName: fmt.Sprintf("worker-%d", i), Server: s}
 	}
-	r, err := router.New(backends, routerOptions(cfg, logger))
+	r, err := router.New(backends, routerOptions(cfg, kit, logger))
 	if err != nil {
 		return err
+	}
+	kit.flight.AttachRegistry("router", r.Registry())
+	kit.flight.AttachRegistry("serve", workers[0].Registry())
+	kit.flight.AttachRegistry("registry", reg.Metrics())
+	if trainer != nil {
+		kit.flight.AttachRegistry("online", trainer.Metrics())
 	}
 	r.CheckHealth(context.Background())
 	logger.Info("co-located tier up", "workers", n, "ring", strings.Join(r.Ring(), ","))
@@ -498,7 +569,7 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debugSrv = &http.Server{Handler: debugMux(workers[0]), ReadHeaderTimeout: readHeaderTimeout}
+		debugSrv = &http.Server{Handler: debugMux(workers[0], kit), ReadHeaderTimeout: readHeaderTimeout}
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug listener failed", "err", err.Error())
@@ -559,7 +630,7 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 			closeErr = err
 		}
 	}
-	flushArtifacts(cfg, workers[0], logger)
+	flushArtifacts(cfg, kit.tracer, logger, r.Registry(), workers[0].Registry())
 	if closeErr != nil {
 		return closeErr
 	}
@@ -567,24 +638,27 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 	return nil
 }
 
-// flushArtifacts writes the trace ring (-trace-out) and a final combined
-// metrics snapshot (-metrics-out) at shutdown.
-func flushArtifacts(cfg config, s *serve.Server, logger *obs.Logger) {
+// flushArtifacts writes the trace ring (-trace-out) and a final metrics
+// snapshot (-metrics-out, the process-wide registry followed by the
+// role's own) at shutdown.
+func flushArtifacts(cfg config, tracer *obs.Tracer, logger *obs.Logger, regs ...*obs.Registry) {
 	if cfg.traceOut != "" {
 		var buf bytes.Buffer
-		if err := s.Tracer().WriteChromeTrace(&buf); err != nil {
+		if err := tracer.WriteChromeTrace(&buf); err != nil {
 			logger.Error("trace export failed", "err", err.Error())
 		} else if err := os.WriteFile(cfg.traceOut, buf.Bytes(), 0o644); err != nil {
 			logger.Error("trace flush failed", "path", cfg.traceOut, "err", err.Error())
 		} else {
 			logger.Info("trace flushed", "path", cfg.traceOut,
-				"spans", s.Tracer().SpanCount(), "evicted", s.Tracer().Evicted())
+				"spans", tracer.SpanCount(), "evicted", tracer.Evicted())
 		}
 	}
 	if cfg.metricsOut != "" {
 		var buf bytes.Buffer
 		obs.Default().WritePrometheus(&buf)
-		s.Registry().WritePrometheus(&buf)
+		for _, reg := range regs {
+			reg.WritePrometheus(&buf)
+		}
 		if err := os.WriteFile(cfg.metricsOut, buf.Bytes(), 0o644); err != nil {
 			logger.Error("metrics flush failed", "path", cfg.metricsOut, "err", err.Error())
 		} else {
@@ -598,8 +672,9 @@ func flushArtifacts(cfg config, s *serve.Server, logger *obs.Logger) {
 // http.DefaultServeMux or the prediction listener) plus the combined
 // Prometheus exposition — the process-wide registry first (worker-pool
 // instruments), then the server's own.
-func debugMux(s *serve.Server) *http.ServeMux {
+func debugMux(s *serve.Server, kit *obsKit) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.Handle("/debug/exemplars", kit.exemplars.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -211,6 +211,7 @@ func FitStats(s *SuffStats, opt Options) (*Model, error) {
 		model.B[j] = wAug.At(s.n, j)
 	}
 	model.Stats.Strategy = regress.Primal
+	model.Stats.CondEstimate = ch.CondEstimate()
 	setStatsCentroids(model, s)
 	return model, nil
 }

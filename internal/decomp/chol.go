@@ -103,6 +103,32 @@ func (c *Cholesky) Solve(b *mat.Dense) *mat.Dense {
 	return x
 }
 
+// CondEstimate returns a cheap 2-norm condition-number estimate of the
+// factored matrix A = RᵀR: (max_i R_ii / min_i R_ii)².  The diagonal of
+// the Cholesky factor brackets A's spectrum — max R_ii² ≤ λ_max and
+// min R_ii² ≥ λ_min / n — so the square of the diagonal ratio tracks
+// κ₂(A) to within a factor of n, which is all the refit health gauges
+// need (they watch orders of magnitude, not digits).  Returns 1 for an
+// empty factor.
+func (c *Cholesky) CondEstimate() float64 {
+	n := c.R.Rows
+	if n == 0 {
+		return 1
+	}
+	lo, hi := c.R.At(0, 0), c.R.At(0, 0)
+	for i := 1; i < n; i++ {
+		d := c.R.At(i, i)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	r := hi / lo
+	return r * r
+}
+
 // LogDet returns the log-determinant of A (twice the log of the product of
 // R's diagonal).
 func (c *Cholesky) LogDet() float64 {

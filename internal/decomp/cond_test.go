@@ -1,0 +1,40 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+
+	"srda/internal/mat"
+)
+
+// TestCondEstimateDiagonal: for a diagonal SPD matrix the diagonal-ratio
+// estimate is the exact 2-norm condition number.
+func TestCondEstimateDiagonal(t *testing.T) {
+	a := mat.NewDense(3, 3)
+	a.Set(0, 0, 100)
+	a.Set(1, 1, 4)
+	a.Set(2, 2, 1)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R = diag(10, 2, 1): estimate = (10/1)² = 100 = κ₂(A).
+	if got := ch.CondEstimate(); math.Abs(got-100) > 1e-12 {
+		t.Fatalf("CondEstimate = %v, want 100", got)
+	}
+}
+
+// TestCondEstimateIdentityIsOne: a perfectly conditioned matrix reports 1.
+func TestCondEstimateIdentityIsOne(t *testing.T) {
+	a := mat.NewDense(4, 4)
+	for i := 0; i < 4; i++ {
+		a.Set(i, i, 2)
+	}
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.CondEstimate(); got != 1 {
+		t.Fatalf("CondEstimate = %v, want 1", got)
+	}
+}

@@ -7,7 +7,7 @@
 // bitwise-identical to their sequential versions, and every source of
 // nondeterminism (goroutines, clocks, unseeded randomness) is confined to
 // the few packages allowed to own it.  doc/PERFORMANCE.md states that
-// contract in prose; this package states it as eleven analyzers that run
+// contract in prose; this package states it as twelve analyzers that run
 // over the whole module on every `make check`:
 //
 //   - goroutine-discipline: no raw go statements outside internal/pool,
@@ -44,6 +44,10 @@
 //   - ctxflow: serve- and kernel-path contexts carry spans only — no
 //     cancellation-sensitive calls in kernels, no cancellable context
 //     construction on the serve path, no go-in-loop spawns.
+//   - traceheader: the W3C Traceparent propagation header is written
+//     only by obs.InjectTrace; an ad-hoc Header.Set/Add with that key
+//     detaches the downstream subtree from the request's trace.
+//     internal/obs, as the propagation implementation, is exempt.
 //
 // Several rules are interprocedural.  internal/lint/graph builds a
 // module-wide call graph (direct calls, method calls with interface
@@ -127,6 +131,7 @@ var Analyzers = []*Analyzer{
 	MapRange,
 	LockCheck,
 	CtxFlow,
+	TraceHeader,
 }
 
 // AnalyzerByName returns the analyzer with the given name, or nil.

@@ -1,0 +1,14 @@
+// Command tool shows that main packages are NOT exempt: a binary
+// hand-writing the propagation header detaches traces just the same.
+package main
+
+import "net/http"
+
+func main() {
+	req, err := http.NewRequest(http.MethodGet, "http://localhost", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set("Traceparent", "00-0-0-01") // want "ad-hoc Header.Set of the Traceparent header"
+	_ = req
+}

@@ -1,0 +1,16 @@
+// Package obs stands in for the propagation implementation: the one
+// owner allowed to write the Traceparent header raw.
+package obs
+
+import "net/http"
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "Traceparent"
+
+// InjectTrace writes the active span's coordinates onto an outgoing hop.
+func InjectTrace(h http.Header, v string) {
+	if v == "" {
+		return
+	}
+	h.Set(TraceparentHeader, v)
+}

@@ -1,0 +1,29 @@
+// Package work is a library hop on the request path: trace propagation
+// must go through the obs injection helper, never raw header writes.
+package work
+
+import "net/http"
+
+// header shadows the canonical constant the way a well-meaning caller
+// would; constant folding still catches it.
+const header = "Traceparent"
+
+// Forward writes the propagation header every wrong way.
+func Forward(req *http.Request, v string) {
+	req.Header.Set("Traceparent", v) // want "ad-hoc Header.Set of the Traceparent header"
+	req.Header.Add("traceparent", v) // want "ad-hoc Header.Add of the Traceparent header"
+	req.Header.Set(header, v)        // want "ad-hoc Header.Set of the Traceparent header"
+}
+
+// Decorate sets unrelated headers, which is fine, and one with a
+// non-constant key, which the analyzer cannot (and should not) judge.
+func Decorate(h http.Header, key, v string) {
+	h.Set("Content-Type", "application/json")
+	h.Add("Accept", "application/json")
+	h.Set(key, v)
+}
+
+// Inspect only reads the header; reads are untouched.
+func Inspect(h http.Header) string {
+	return h.Get("Traceparent")
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TraceHeader bans ad-hoc writes of the trace-propagation header: any
+// net/http.Header Set/Add whose key is a string constant equal (case
+// insensitively) to "traceparent" outside internal/obs.  Cross-process
+// trace continuity depends on every hop injecting the active span's
+// coordinates in the exact W3C format obs.ExtractTrace parses; a stray
+// req.Header.Set("Traceparent", ...) freezes a stale or hand-built value
+// into the hop, silently detaching the downstream subtree from the
+// request's trace.  Injection goes through obs.InjectTrace, which also
+// keeps the nil-span and zero-trace no-op discipline in one place.
+//
+// internal/obs is exempt as the propagation implementation itself.
+// Reading the header (Header.Get) is untouched, and test files are not
+// checked — tests hand-craft traceparent values to probe the parser.
+var TraceHeader = &Analyzer{
+	Name: "traceheader",
+	Doc:  "the Traceparent header is written only by obs.InjectTrace; ad-hoc Header.Set/Add detaches downstream spans",
+	Run:  runTraceHeader,
+}
+
+// traceHeaderOwners are the packages allowed to write the header raw:
+// the propagation implementation itself.
+var traceHeaderOwners = []string{"internal/obs"}
+
+func runTraceHeader(pass *Pass) {
+	if underAny(pass.Pkg.RelDir, traceHeaderOwners) {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.inspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || (fn.Name() != "Set" && fn.Name() != "Add") {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !isHTTPHeader(sig.Recv().Type()) {
+			return true
+		}
+		tv, ok := info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		if strings.EqualFold(constant.StringVal(tv.Value), "traceparent") {
+			pass.Reportf(call.Pos(), "ad-hoc Header.%s of the Traceparent header in %s detaches downstream spans from the request's trace; inject through obs.InjectTrace", fn.Name(), pass.Pkg.Path)
+		}
+		return true
+	})
+}
+
+// isHTTPHeader reports whether t is net/http.Header.
+func isHTTPHeader(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Header"
+}

@@ -1,0 +1,112 @@
+package obs
+
+// Merging per-process Chrome trace artifacts.  Each process in the
+// sharded tier (router, workers, trainer host) flushes its own
+// WriteChromeTrace file with timestamps relative to its own earliest
+// span plus an absolute epochMicros base.  MergeChromeTraces rebases
+// them onto one shared timeline — earliest epoch across the inputs —
+// and assigns one Perfetto pid per input with a process_name metadata
+// event, so a request that crossed processes reads as aligned slices in
+// separate process groups sharing a trace id.
+//
+// Span and trace ids are decoded into uint64 fields, never float64:
+// epoch-namespaced ids use the full 64 bits and would lose precision
+// past 2^53 in a generic JSON decode.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceArtifact is one per-process Chrome trace file to merge.
+type TraceArtifact struct {
+	// Label is the fallback process label when the file itself carries no
+	// process field (older exports).
+	Label string
+	// Data is the raw file contents.
+	Data []byte
+}
+
+// chromeMeta is a "M" process_name metadata event in the merged output.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
+// MergeChromeTraces stitches the artifacts into one Chrome trace-event
+// file on w: pid i+1 per input, timestamps rebased onto the earliest
+// epoch across all inputs, span events sorted by (ts, pid, span id) so
+// the merged timeline reads chronologically and deterministically.
+func MergeChromeTraces(w io.Writer, artifacts []TraceArtifact) error {
+	if len(artifacts) == 0 {
+		return fmt.Errorf("obs: no trace artifacts to merge")
+	}
+	files := make([]chromeFile, len(artifacts))
+	for i, a := range artifacts {
+		if err := json.Unmarshal(a.Data, &files[i]); err != nil {
+			return fmt.Errorf("obs: artifact %d (%s): %w", i, a.Label, err)
+		}
+	}
+	// The merged zero point: the earliest absolute epoch among inputs
+	// that carry one.  Inputs without an epoch (empty rings, older
+	// exports) keep their relative timestamps.
+	var minEpoch int64
+	for _, f := range files {
+		if f.EpochMicros != 0 && (minEpoch == 0 || f.EpochMicros < minEpoch) {
+			minEpoch = f.EpochMicros
+		}
+	}
+	var metas []any
+	var events []chromeEvent
+	for i, f := range files {
+		pid := i + 1
+		label := f.Process
+		if label == "" {
+			label = artifacts[i].Label
+		}
+		if label == "" {
+			label = fmt.Sprintf("process-%d", pid)
+		}
+		metas = append(metas, chromeMeta{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": label},
+		})
+		for _, ev := range f.TraceEvents {
+			ev.PID = pid
+			if f.EpochMicros != 0 && minEpoch != 0 {
+				ev.TS += f.EpochMicros - minEpoch
+			}
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		return a.Args.SpanID < b.Args.SpanID
+	})
+	all := make([]any, 0, len(metas)+len(events))
+	all = append(all, metas...)
+	for _, ev := range events {
+		all = append(all, ev)
+	}
+	out := struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		EpochMicros     int64  `json:"epochMicros,omitempty"`
+	}{TraceEvents: all, DisplayTimeUnit: "ms", EpochMicros: minEpoch}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

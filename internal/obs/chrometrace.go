@@ -38,10 +38,16 @@ type chromeArgs struct {
 	ParentID uint64 `json:"parent_id"`
 }
 
-// chromeFile is the top-level trace-event JSON object.
+// chromeFile is the top-level trace-event JSON object.  Process and
+// EpochMicros are srda extensions (ignored by Perfetto itself): the
+// tracer's process label and the absolute wall-clock microsecond the
+// relative timestamps are measured from, which is what lets srdareport
+// tracemerge rebase several per-process files onto one timeline.
 type chromeFile struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Process         string        `json:"process,omitempty"`
+	EpochMicros     int64         `json:"epochMicros,omitempty"`
 }
 
 // FormatTraceID renders a TraceID the way the exporter does ("t%016x").
@@ -79,7 +85,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			},
 		})
 	}
-	data, err := json.Marshal(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+	file := chromeFile{TraceEvents: events, DisplayTimeUnit: "ms", Process: t.Process()}
+	if len(spans) > 0 {
+		file.EpochMicros = epoch
+	}
+	data, err := json.Marshal(file)
 	if err != nil {
 		return err
 	}

@@ -180,6 +180,54 @@ func (g *gaugeFloatFunc) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "%s %g\n", g.name, g.fn())
 }
 
+// GaugeSample is one labeled sample returned by a NewGaugeVecFunc
+// callback: Value under the registered label names bound to Labels.
+type GaugeSample struct {
+	Labels []string
+	Value  float64
+}
+
+// gaugeVecFunc samples a labeled family of float gauges at exposition
+// time (per-tenant latency quantiles — state a sketch map already owns).
+type gaugeVecFunc struct {
+	name, help string
+	labels     []string
+	fn         func() []GaugeSample
+}
+
+// NewGaugeVecFunc registers a labeled float gauge family whose samples
+// are produced by calling fn at exposition time.  fn must be safe for
+// concurrent use and return samples in a deterministic order (exposition
+// order is sample order); values render with %g like the other float
+// gauges, so dyadic values stay exact and exposition stays
+// golden-testable.
+func (r *Registry) NewGaugeVecFunc(name, help string, labels []string, fn func() []GaugeSample) {
+	if len(labels) == 0 {
+		panic("obs: GaugeVecFunc needs at least one label")
+	}
+	r.register(&gaugeVecFunc{name: name, help: help, labels: append([]string(nil), labels...), fn: fn})
+}
+
+func (g *gaugeVecFunc) metricName() string { return g.name }
+
+func (g *gaugeVecFunc) writeProm(w io.Writer) {
+	promHeader(w, g.name, g.help, "gauge")
+	var sb strings.Builder
+	for _, s := range g.fn() {
+		if len(s.Labels) != len(g.labels) {
+			continue // malformed sample; drop rather than emit bad labels
+		}
+		sb.Reset()
+		for k, lname := range g.labels {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%s=%q", lname, s.Labels[k])
+		}
+		fmt.Fprintf(w, "%s{%s} %g\n", g.name, sb.String(), s.Value)
+	}
+}
+
 // CounterVec is a set of counters keyed by a fixed tuple of label values.
 // Lookup of an existing label tuple is a read-lock plus one atomic; only
 // first-time insertion takes the write lock.
@@ -284,6 +332,7 @@ type Histogram struct {
 	counts     []atomic.Int64
 	sumBits    atomic.Uint64
 	count      atomic.Int64
+	exemplars  *ExemplarStore // set once via AttachExemplars before use
 }
 
 // NewHistogram registers and returns a histogram with the given ascending

@@ -1,0 +1,81 @@
+package obs
+
+// W3C-traceparent-style context propagation.  One logical request fans
+// out across the router, worker, and trainer processes; without a wire
+// format the ReqSpan tree dies at each HTTP hop and a cross-process
+// request reads as disconnected traces.  InjectTrace stamps the active
+// span onto outgoing request headers and ExtractTrace recovers the
+// (TraceID, parent SpanID) pair on the receiving side, where
+// Tracer.StartRemote continues the tree.
+//
+// The header follows the W3C Trace Context traceparent shape —
+// version "00", a 32-hex-digit trace id, a 16-hex-digit parent span id,
+// and the sampled flag — with our 64-bit TraceID zero-padded into the
+// 128-bit field.  All injection goes through InjectTrace; the traceheader
+// lint analyzer rejects ad-hoc Header.Set calls elsewhere.
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// TraceparentHeader is the canonical propagation header name.
+const TraceparentHeader = "Traceparent"
+
+// traceparentLen is the fixed length of a well-formed value:
+// "00-" + 32 hex + "-" + 16 hex + "-01".
+const traceparentLen = 55
+
+// InjectTrace stamps s's trace coordinates onto h as a traceparent
+// header.  A nil span (tracing disabled, or no span on the context) is a
+// no-op, so clients inject unconditionally.
+func InjectTrace(h http.Header, s *ReqSpan) {
+	if s == nil || s.trace == 0 || s.id == 0 {
+		return
+	}
+	buf := make([]byte, 0, traceparentLen)
+	buf = append(buf, "00-0000000000000000"...)
+	buf = appendHex16(buf, uint64(s.trace))
+	buf = append(buf, '-')
+	buf = appendHex16(buf, uint64(s.id))
+	buf = append(buf, "-01"...)
+	h.Set(TraceparentHeader, string(buf))
+}
+
+// ExtractTrace parses the traceparent header on h, returning the remote
+// trace and parent span IDs and whether a well-formed header was present.
+// Malformed or all-zero values are ignored (ok=false), so a bad client
+// header degrades to a fresh local root rather than an error.
+func ExtractTrace(h http.Header) (TraceID, SpanID, bool) {
+	v := h.Get(TraceparentHeader)
+	if len(v) != traceparentLen || v[0:3] != "00-" || v[35] != '-' || v[52] != '-' {
+		return 0, 0, false
+	}
+	// Only the low 64 bits of the 128-bit trace field are ours; a foreign
+	// high half would not round-trip, so reject it.
+	if v[3:19] != "0000000000000000" {
+		return 0, 0, false
+	}
+	trace, err := strconv.ParseUint(v[19:35], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	parent, err := strconv.ParseUint(v[36:52], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	if trace == 0 || parent == 0 {
+		return 0, 0, false
+	}
+	return TraceID(trace), SpanID(parent), true
+}
+
+// appendHex16 appends v as exactly 16 lowercase hex digits.
+func appendHex16(dst []byte, v uint64) []byte {
+	var tmp [16]byte
+	b := strconv.AppendUint(tmp[:0], v, 16)
+	for i := len(b); i < 16; i++ {
+		dst = append(dst, '0')
+	}
+	return append(dst, b...)
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestInjectExtractRoundTrip pins the traceparent wire format and the
+// round trip through it, including epoch-namespaced (high-bit) IDs.
+func TestInjectExtractRoundTrip(t *testing.T) {
+	tr := NewTracerSeeded(16, 42, (&fakeClock{now: time.Unix(0, 0), step: time.Millisecond}).read)
+	_, sp := tr.StartRoot(context.Background(), "route")
+
+	h := http.Header{}
+	InjectTrace(h, sp)
+	v := h.Get(TraceparentHeader)
+	if len(v) != traceparentLen {
+		t.Fatalf("header %q has length %d, want %d", v, len(v), traceparentLen)
+	}
+	if v[:3] != "00-" || v[52:] != "-01" {
+		t.Fatalf("header %q lacks version/flags framing", v)
+	}
+	trace, parent, ok := ExtractTrace(h)
+	if !ok {
+		t.Fatalf("round trip failed for %q", v)
+	}
+	if trace != sp.TraceID() || parent != sp.SpanID() {
+		t.Fatalf("extracted (%d,%d), want (%d,%d)", trace, parent, sp.TraceID(), sp.SpanID())
+	}
+}
+
+// TestInjectNilSpanIsNoOp: clients inject unconditionally, so a nil span
+// must leave the header set untouched.
+func TestInjectNilSpanIsNoOp(t *testing.T) {
+	h := http.Header{}
+	InjectTrace(h, nil)
+	if got := h.Get(TraceparentHeader); got != "" {
+		t.Fatalf("nil span injected %q", got)
+	}
+}
+
+// TestExtractRejectsMalformed: bad values degrade to (0,0,false) — a
+// fresh local root — never an error.
+func TestExtractRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-zz",
+		"00-00000000000000000000000000000001-0000000000000001-01x", // too long
+		"01-00000000000000000000000000000001-0000000000000001-01",  // bad version
+		"00-00000000000000000000000000000000-0000000000000001-01",  // zero trace
+		"00-00000000000000000000000000000001-0000000000000000-01",  // zero parent
+		"00-00000000000000000000000000000001_0000000000000001-01",  // bad dash
+		"00-0000000000000001000000000000beef-0000000000000001-01",  // foreign high half
+		"00-000000000000000000000000000000zz-0000000000000001-01",  // bad hex
+		"00-00000000000000000000000000000001-00000000000000zz-01",  // bad hex parent
+	}
+	for _, v := range cases {
+		h := http.Header{}
+		if v != "" {
+			h.Set(TraceparentHeader, v)
+		}
+		if trace, parent, ok := ExtractTrace(h); ok {
+			t.Errorf("ExtractTrace accepted %q as (%d,%d)", v, trace, parent)
+		}
+	}
+}
+
+// TestExtractAcceptsWellFormed pins the exact header bytes for a known
+// pair, so the format cannot drift from what InjectTrace writes.
+func TestExtractAcceptsWellFormed(t *testing.T) {
+	h := http.Header{}
+	h.Set(TraceparentHeader, "00-0000000000000000deadbeef00000001-00000000000000a1-01")
+	trace, parent, ok := ExtractTrace(h)
+	if !ok || trace != 0xdeadbeef00000001 || parent != 0xa1 {
+		t.Fatalf("got (%#x,%#x,%v)", uint64(trace), uint64(parent), ok)
+	}
+}

@@ -57,6 +57,10 @@ type QuantileSketch struct {
 	samples []ckmsSample
 	buf     []float64
 	n       int
+
+	// exemplar link, set once via AttachExemplars before concurrent use
+	exName    string
+	exemplars *ExemplarStore
 }
 
 // NewQuantileSketch creates a sketch tracking the given targets; with no
@@ -79,6 +83,21 @@ func (s *QuantileSketch) Observe(v float64) {
 		s.flush()
 	}
 	s.mu.Unlock()
+}
+
+// AttachExemplars links the sketch to an exemplar store under the given
+// metric name (sketches have no name of their own); ObserveTraced then
+// records outliers there.
+func (s *QuantileSketch) AttachExemplars(name string, store *ExemplarStore) {
+	s.exName = name
+	s.exemplars = store
+}
+
+// ObserveTraced records one value like Observe and forwards it with its
+// trace to the attached exemplar store (no-op without one).
+func (s *QuantileSketch) ObserveTraced(v float64, trace TraceID) {
+	s.Observe(v)
+	s.exemplars.Observe(s.exName, v, trace)
 }
 
 // Count returns the number of observed values.

@@ -17,14 +17,17 @@ package obs
 
 import (
 	"context"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // TraceID correlates every span of one logical request.  IDs are assigned
-// from a per-tracer counter, so they are deterministic under a
-// deterministic request order (and merely unique otherwise).
+// from a per-tracer counter in the low 32 bits, namespaced by a
+// per-process epoch in the high 32 bits (see NewTracerSeeded), so they
+// are deterministic under a deterministic request order and seed — and
+// never collide when traces from several processes are merged.
 type TraceID uint64
 
 // SpanID identifies one span within a tracer.  0 is reserved to mean
@@ -46,25 +49,38 @@ type SpanRecord struct {
 // concurrent use; a nil *Tracer is a valid no-op.
 type Tracer struct {
 	clock    Clock
+	epoch    uint64 // high-32-bit ID namespace; 0 under NewTracerClock
 	traceIDs atomic.Uint64
 	spanIDs  atomic.Uint64
 	evicted  atomic.Uint64
 
-	mu   sync.Mutex
-	ring []SpanRecord
-	next int  // ring slot the next record lands in
-	full bool // the ring has wrapped at least once
+	mu      sync.Mutex
+	process string // export label for merged multi-process timelines
+	ring    []SpanRecord
+	next    int  // ring slot the next record lands in
+	full    bool // the ring has wrapped at least once
 }
 
 // DefaultTraceCapacity is the ring size NewTracer uses for capacity <= 0.
 const DefaultTraceCapacity = 16384
 
+// tracerSeeds distinguishes tracers created inside one process so two
+// NewTracer calls in the same nanosecond still derive distinct epochs.
+var tracerSeeds atomic.Uint64
+
 // NewTracer creates a tracer on the wall clock whose ring holds capacity
-// completed spans (DefaultTraceCapacity when capacity <= 0).
-func NewTracer(capacity int) *Tracer { return NewTracerClock(capacity, time.Now) }
+// completed spans (DefaultTraceCapacity when capacity <= 0).  Its ID
+// namespace is seeded from the wall clock and pid, so traces exported by
+// different processes never share IDs after a tracemerge.
+func NewTracer(capacity int) *Tracer {
+	seed := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32 ^ tracerSeeds.Add(1)
+	return NewTracerSeeded(capacity, seed, time.Now)
+}
 
 // NewTracerClock creates a tracer on an injected clock; tests use a fake
-// clock to make exported timestamps and durations deterministic.
+// clock to make exported timestamps and durations deterministic.  The ID
+// namespace is the zero epoch (IDs are the bare counters), which keeps
+// single-process exports and goldens stable.
 func NewTracerClock(capacity int, clock Clock) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
@@ -73,6 +89,63 @@ func NewTracerClock(capacity int, clock Clock) *Tracer {
 		clock = time.Now
 	}
 	return &Tracer{clock: clock, ring: make([]SpanRecord, capacity)}
+}
+
+// NewTracerSeeded creates a tracer whose trace/span IDs live in a
+// namespace derived deterministically from seed: the high 32 bits of
+// every ID are a nonzero epoch mixed from the seed, the low 32 bits the
+// per-tracer counter.  Distinct seeds give disjoint ID spaces, so traces
+// recorded by different processes can be merged without collisions while
+// staying reproducible under an injected seed.
+func NewTracerSeeded(capacity int, seed uint64, clock Clock) *Tracer {
+	t := NewTracerClock(capacity, clock)
+	epoch := splitmix64(seed) >> 32
+	if epoch == 0 {
+		epoch = 1
+	}
+	t.epoch = epoch << 32
+	return t
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mix used only for epoch derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextTraceID assigns the next trace identifier in the tracer's namespace.
+func (t *Tracer) nextTraceID() TraceID {
+	return TraceID(t.epoch | t.traceIDs.Add(1)&0xffffffff)
+}
+
+// nextSpanID assigns the next span identifier in the tracer's namespace.
+func (t *Tracer) nextSpanID() SpanID {
+	return SpanID(t.epoch | t.spanIDs.Add(1)&0xffffffff)
+}
+
+// SetProcess labels the tracer's Chrome-trace export with a process name,
+// which srdareport tracemerge surfaces as the Perfetto process row.
+// No-op on nil.
+func (t *Tracer) SetProcess(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.process = name
+	t.mu.Unlock()
+}
+
+// Process returns the export label set by SetProcess ("" on nil).
+func (t *Tracer) Process() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.process
 }
 
 // ReqSpan is one open span of a request-scoped trace.  End completes it;
@@ -110,8 +183,32 @@ func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *
 	}
 	s := &ReqSpan{
 		tracer: t,
-		trace:  TraceID(t.traceIDs.Add(1)),
-		id:     SpanID(t.spanIDs.Add(1)),
+		trace:  t.nextTraceID(),
+		id:     t.nextSpanID(),
+		name:   name,
+		start:  t.clock(),
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartRemote opens a span that continues a trace started in another
+// process: the span keeps the remote TraceID and hangs under the remote
+// parent SpanID while drawing its own SpanID from this tracer's
+// namespace.  This is how an extracted traceparent header becomes the
+// local root of the request's subtree.  A zero trace or parent falls back
+// to StartRoot (nothing to continue); nil Tracer returns (ctx, nil).
+func (t *Tracer) StartRemote(ctx context.Context, name string, trace TraceID, parent SpanID) (context.Context, *ReqSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	if trace == 0 || parent == 0 {
+		return t.StartRoot(ctx, name)
+	}
+	s := &ReqSpan{
+		tracer: t,
+		trace:  trace,
+		id:     t.nextSpanID(),
+		parent: parent,
 		name:   name,
 		start:  t.clock(),
 	}
@@ -143,7 +240,7 @@ func (s *ReqSpan) StartChild(name string) *ReqSpan {
 	return &ReqSpan{
 		tracer: t,
 		trace:  s.trace,
-		id:     SpanID(t.spanIDs.Add(1)),
+		id:     t.nextSpanID(),
 		parent: s.id,
 		name:   name,
 		start:  t.clock(),

@@ -151,14 +151,14 @@ func TestChromeTraceGolden(t *testing.T) {
 	clk := &fakeClock{now: time.UnixMicro(1_000_000), step: time.Millisecond}
 	tr := NewTracerClock(16, clk.read)
 
-	ctx, r1 := tr.StartRoot(context.Background(), "request") // start 1.001s
-	_, b1 := StartSpan(ctx, "batch")                         // start 1.002s
-	b1.End()                                                 // end   1.003s
-	r1.End()                                                 // end   1.004s
+	ctx, r1 := tr.StartRoot(context.Background(), "request")  // start 1.001s
+	_, b1 := StartSpan(ctx, "batch")                          // start 1.002s
+	b1.End()                                                  // end   1.003s
+	r1.End()                                                  // end   1.004s
 	ctx2, r2 := tr.StartRoot(context.Background(), "request") // start 1.005s
-	_, b2 := StartSpan(ctx2, "batch")                        // start 1.006s
-	b2.End()                                                 // end   1.007s
-	r2.End()                                                 // end   1.008s
+	_, b2 := StartSpan(ctx2, "batch")                         // start 1.006s
+	b2.End()                                                  // end   1.007s
+	r2.End()                                                  // end   1.008s
 
 	var sb strings.Builder
 	if err := tr.WriteChromeTrace(&sb); err != nil {
@@ -169,8 +169,100 @@ func TestChromeTraceGolden(t *testing.T) {
 		`{"name":"batch","cat":"srda","ph":"X","ts":1000,"dur":1000,"pid":1,"tid":1,"args":{"trace_id":"t0000000000000001","span_id":2,"parent_id":1}},` +
 		`{"name":"request","cat":"srda","ph":"X","ts":4000,"dur":3000,"pid":1,"tid":2,"args":{"trace_id":"t0000000000000002","span_id":3,"parent_id":0}},` +
 		`{"name":"batch","cat":"srda","ph":"X","ts":5000,"dur":1000,"pid":1,"tid":2,"args":{"trace_id":"t0000000000000002","span_id":4,"parent_id":3}}` +
-		`],"displayTimeUnit":"ms"}` + "\n"
+		`],"displayTimeUnit":"ms","epochMicros":1001000}` + "\n"
 	if sb.String() != golden {
 		t.Fatalf("exporter regression.\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
+	}
+}
+
+// TestSeededEpochNamespace pins the per-process ID namespace: seeded
+// tracers are deterministic, distinct seeds give disjoint high-32-bit
+// epochs, and the zero-epoch clock constructor keeps bare counter IDs.
+func TestSeededEpochNamespace(t *testing.T) {
+	clk := func() *fakeClock { return &fakeClock{now: time.Unix(0, 0), step: time.Millisecond} }
+	a1 := NewTracerSeeded(16, 7, clk().read)
+	a2 := NewTracerSeeded(16, 7, clk().read)
+	b := NewTracerSeeded(16, 8, clk().read)
+
+	_, sa1 := a1.StartRoot(context.Background(), "request")
+	_, sa2 := a2.StartRoot(context.Background(), "request")
+	_, sb := b.StartRoot(context.Background(), "request")
+	if sa1.TraceID() != sa2.TraceID() {
+		t.Fatalf("same seed, different trace ids: %d vs %d", sa1.TraceID(), sa2.TraceID())
+	}
+	if sa1.TraceID()>>32 == 0 || sa1.TraceID()&0xffffffff != 1 {
+		t.Fatalf("seeded trace id %#x lacks epoch-high/counter-low shape", uint64(sa1.TraceID()))
+	}
+	if sa1.TraceID()>>32 == sb.TraceID()>>32 {
+		t.Fatalf("seeds 7 and 8 share epoch %#x", uint64(sa1.TraceID())>>32)
+	}
+	if uint64(sa1.SpanID())>>32 != uint64(sa1.TraceID())>>32 {
+		t.Fatalf("span id %#x not in the tracer's namespace", uint64(sa1.SpanID()))
+	}
+	_, plain := NewTracerClock(16, clk().read).StartRoot(context.Background(), "request")
+	if plain.TraceID() != 1 || plain.SpanID() != 1 {
+		t.Fatalf("zero-epoch tracer assigned (%d,%d), want (1,1)", plain.TraceID(), plain.SpanID())
+	}
+}
+
+// TestStartRemoteContinuesTrace checks the cross-process hop: the remote
+// span keeps the extracted TraceID, hangs under the remote parent, and
+// draws its own SpanID from the local namespace; zero coordinates fall
+// back to a fresh root.
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	remote := NewTracerSeeded(16, 1, (&fakeClock{now: time.Unix(0, 0), step: time.Millisecond}).read)
+	local := NewTracerSeeded(16, 2, (&fakeClock{now: time.Unix(0, 0), step: time.Millisecond}).read)
+
+	_, up := remote.StartRoot(context.Background(), "route")
+	ctx, cont := local.StartRemote(context.Background(), "request", up.TraceID(), up.SpanID())
+	if cont.TraceID() != up.TraceID() {
+		t.Fatalf("remote span trace %d, want %d", cont.TraceID(), up.TraceID())
+	}
+	if cont.SpanID()>>32 != SpanID(local.epoch>>32) {
+		t.Fatalf("remote span id %#x not from the local namespace", uint64(cont.SpanID()))
+	}
+	_, child := StartSpan(ctx, "batch")
+	child.End()
+	cont.End()
+	spans := local.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("local ring holds %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Trace != up.TraceID() {
+			t.Errorf("span %q on trace %d, want %d", sp.Name, sp.Trace, up.TraceID())
+		}
+	}
+	if spans[1].Parent != up.SpanID() {
+		t.Errorf("continued span parent %d, want remote parent %d", spans[1].Parent, up.SpanID())
+	}
+
+	_, root := local.StartRemote(context.Background(), "request", 0, 0)
+	if root.TraceID() == up.TraceID() || root.TraceID() == 0 {
+		t.Fatalf("zero coordinates did not fall back to a fresh root (trace %d)", root.TraceID())
+	}
+	var nilT *Tracer
+	if _, sp := nilT.StartRemote(context.Background(), "x", 1, 1); sp != nil {
+		t.Fatal("nil tracer produced a remote span")
+	}
+}
+
+// TestProcessLabelExport checks SetProcess reaches the export envelope.
+func TestProcessLabelExport(t *testing.T) {
+	tr := NewTracerClock(4, (&fakeClock{now: time.UnixMicro(1_000_000), step: time.Millisecond}).read)
+	tr.SetProcess("worker-0")
+	_, sp := tr.StartRoot(context.Background(), "request")
+	sp.End()
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"process":"worker-0"`) {
+		t.Fatalf("export missing process label: %s", sb.String())
+	}
+	var nilT *Tracer
+	nilT.SetProcess("x") // must not panic
+	if nilT.Process() != "" {
+		t.Fatal("nil tracer has a process label")
 	}
 }

@@ -41,4 +41,13 @@ func (m *metrics) bind(t *StreamTrainer) {
 	m.reg.NewGaugeFloatFunc("srdaonline_drift_score",
 		"Current windowed class-mean drift score against the last refit's means.",
 		t.DriftScore)
+	m.reg.NewGaugeFloatFunc("srdafit_cond_estimate",
+		"Condition-number estimate of the last refit's normal equations (Cholesky diagonal ratio squared).",
+		t.CondEstimate)
+	m.reg.NewGaugeFloatFunc("srdafit_holdout_accuracy",
+		"Holdout accuracy of the last validated refit candidate.",
+		func() float64 { c, _ := t.HoldoutAccuracies(); return c })
+	m.reg.NewGaugeFloatFunc("srdafit_prev_accuracy",
+		"Holdout accuracy of the previous live model at the last validation.",
+		func() float64 { _, p := t.HoldoutAccuracies(); return p })
 }

@@ -38,6 +38,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -133,6 +134,11 @@ type Config struct {
 	Trace *obs.Trace
 	// Logger receives refit/publish/rollback outcomes.  Nil disables.
 	Logger *obs.Logger
+	// Flight, when non-nil, is the process flight recorder: every refit
+	// appends a numeric-health record (conditioning, holdout comparison,
+	// outcome), a rollback fires the registry_rollback trigger, and a
+	// failed solve or publish fires refit_validation.  Nil disables.
+	Flight *obs.FlightRecorder
 }
 
 // holdoutSample is one diverted validation sample.
@@ -164,7 +170,13 @@ type StreamTrainer struct {
 
 	seen      atomic.Int64 // mirrors total for lock-free reads
 	driftBits atomic.Uint64
-	mx        *metrics
+	// Numeric health of the last refit, published as srdafit_* gauges:
+	// Cholesky conditioning, and the holdout accuracies of the last
+	// validated candidate versus the model it replaced.
+	condBits     atomic.Uint64
+	holdCandBits atomic.Uint64
+	holdPrevBits atomic.Uint64
+	mx           *metrics
 }
 
 // NewStreamTrainer validates cfg and returns an empty trainer.
@@ -229,6 +241,21 @@ func (t *StreamTrainer) Model() *core.Model {
 	return t.model
 }
 
+// CondEstimate returns the condition-number estimate of the last
+// successful refit's normal equations (0 before the first refit) — the
+// srdafit_cond_estimate gauge.
+func (t *StreamTrainer) CondEstimate() float64 {
+	return math.Float64frombits(t.condBits.Load())
+}
+
+// HoldoutAccuracies returns the holdout accuracy of the last validated
+// candidate and of the model it was compared against (0,0 before the
+// first validated refit) — the srdafit_holdout_accuracy and
+// srdafit_prev_accuracy gauges.
+func (t *StreamTrainer) HoldoutAccuracies() (candidate, previous float64) {
+	return math.Float64frombits(t.holdCandBits.Load()), math.Float64frombits(t.holdPrevBits.Load())
+}
+
 // DriftScore returns the current windowed class-mean drift score: the
 // maximum over classes of ‖windowMean_c − refMean_c‖ / (‖refMean_c‖+1),
 // where the reference means are the cumulative class means captured at
@@ -242,13 +269,27 @@ func (t *StreamTrainer) DriftScore() float64 {
 // before Observe returns; in async mode it is handed to a background
 // goroutine and Observe returns immediately.
 func (t *StreamTrainer) Observe(x []float64, label int) error {
-	return t.observe(func(s *core.SuffStats) error { return s.Absorb(x, label) }, x, nil, nil, label)
+	return t.ObserveCtx(context.Background(), x, label)
+}
+
+// ObserveCtx is Observe carrying trace context: when the sample trips a
+// refit trigger, the refit runs under a "refit" child of whatever request
+// span ctx holds, so a cross-process trace shows which /v1/observe call
+// paid for the solve.
+func (t *StreamTrainer) ObserveCtx(ctx context.Context, x []float64, label int) error {
+	return t.observe(ctx, func(s *core.SuffStats) error { return s.Absorb(x, label) }, x, nil, nil, label)
 }
 
 // ObserveSparse absorbs one CSR-form sample; the statistics are bitwise
 // identical to Observe on the densified row.
 func (t *StreamTrainer) ObserveSparse(cols []int, vals []float64, label int) error {
-	return t.observe(func(s *core.SuffStats) error { return s.AbsorbSparse(cols, vals, label) }, nil, cols, vals, label)
+	return t.ObserveSparseCtx(context.Background(), cols, vals, label)
+}
+
+// ObserveSparseCtx is ObserveSparse carrying trace context, like
+// ObserveCtx.
+func (t *StreamTrainer) ObserveSparseCtx(ctx context.Context, cols []int, vals []float64, label int) error {
+	return t.observe(ctx, func(s *core.SuffStats) error { return s.AbsorbSparse(cols, vals, label) }, nil, cols, vals, label)
 }
 
 // ObserveBatch absorbs every row of x in order — equivalent to calling
@@ -283,7 +324,7 @@ func (t *StreamTrainer) ObserveCSR(x *sparse.CSR, labels []int) error {
 
 // observe is the shared ingestion path: divert to holdout or absorb,
 // update the drift window, then evaluate triggers.
-func (t *StreamTrainer) observe(absorb func(*core.SuffStats) error, dense []float64, cols []int, vals []float64, label int) error {
+func (t *StreamTrainer) observe(ctx context.Context, absorb func(*core.SuffStats) error, dense []float64, cols []int, vals []float64, label int) error {
 	t.mu.Lock()
 	if err := t.validateSample(dense, cols, vals, label); err != nil {
 		t.mu.Unlock()
@@ -337,7 +378,7 @@ func (t *StreamTrainer) observe(absorb func(*core.SuffStats) error, dense []floa
 	}
 	if !t.cfg.Async {
 		defer t.mu.Unlock()
-		_, _, err := t.refitLocked(trigger)
+		_, _, err := t.refitLocked(ctx, trigger)
 		return err
 	}
 	// Async: clone under the lock, solve off it.  One in flight at most.
@@ -352,7 +393,7 @@ func (t *StreamTrainer) observe(absorb func(*core.SuffStats) error, dense []floa
 	go func() {
 		defer t.wg.Done()
 		defer t.refitting.Store(false)
-		if _, _, err := t.refitFrom(snap, trigger, false); err != nil {
+		if _, _, err := t.refitFrom(ctx, snap, trigger, false); err != nil {
 			t.cfg.Logger.Warn("async refit failed", "err", err.Error())
 		}
 	}()
@@ -406,7 +447,7 @@ func (t *StreamTrainer) triggerLocked() string {
 func (t *StreamTrainer) Refit() (*core.Model, uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.refitLocked("manual")
+	return t.refitLocked(context.Background(), "manual")
 }
 
 // noteRefitStartedLocked resets the trigger bookkeeping; called when a
@@ -421,16 +462,21 @@ func (t *StreamTrainer) noteRefitStartedLocked() {
 // refitLocked runs a synchronous refit with t.mu held for its whole
 // duration — the solve blocks concurrent Observes, which is the sync
 // mode's contract (Async trades that latency for a stats clone).
-func (t *StreamTrainer) refitLocked(trigger string) (*core.Model, uint64, error) {
+func (t *StreamTrainer) refitLocked(ctx context.Context, trigger string) (*core.Model, uint64, error) {
 	t.noteRefitStartedLocked()
-	return t.refitFrom(t.stats, trigger, true)
+	return t.refitFrom(ctx, t.stats, trigger, true)
 }
 
 // refitFrom fits stats, publishes, validates, and rolls back on
 // regression.  locked reports whether the caller already holds t.mu (the
 // sync path); the async path passes a private clone and locked=false, so
-// result write-backs retake the lock themselves.
-func (t *StreamTrainer) refitFrom(stats *core.SuffStats, trigger string, locked bool) (*core.Model, uint64, error) {
+// result write-backs retake the lock themselves.  When ctx carries a
+// request span (an /v1/observe call tripped the trigger), the refit runs
+// under a "refit" child so the distributed trace shows the solve.
+func (t *StreamTrainer) refitFrom(ctx context.Context, stats *core.SuffStats, trigger string, locked bool) (*core.Model, uint64, error) {
+	_, rsp := obs.StartSpan(ctx, "refit")
+	defer rsp.End()
+	trace := rsp.TraceID()
 	sp := t.cfg.Trace.Start("refit")
 	defer sp.End()
 	t.mx.refits.Inc()
@@ -443,16 +489,35 @@ func (t *StreamTrainer) refitFrom(stats *core.SuffStats, trigger string, locked 
 		t.mx.refitFailures.Inc()
 		t.cfg.Logger.Warn("refit failed; keeping current model",
 			"trigger", trigger, "err", err.Error())
+		t.cfg.Flight.RecordHealth(obs.HealthRecord{
+			Time: t.now(), Model: t.cfg.ModelName, Trigger: trigger, Err: err.Error(),
+		})
+		t.cfg.Flight.NoteRefitFailure(trace)
 		return nil, 0, fmt.Errorf("online: refit (trigger=%s): %w", trigger, err)
 	}
+	t.condBits.Store(math.Float64bits(candidate.Stats.CondEstimate))
 	t.finishRefit(stats, candidate, locked)
 	if t.cfg.Registry == nil {
 		t.cfg.Logger.Info("refit done (standalone)", "trigger", trigger,
 			"samples", stats.Seen())
+		t.cfg.Flight.RecordHealth(obs.HealthRecord{
+			Time: t.now(), Model: t.cfg.ModelName, Trigger: trigger,
+			CondEstimate: candidate.Stats.CondEstimate,
+		})
 		return candidate, 0, nil
 	}
-	version, err := t.publishAndValidate(candidate, trigger, locked)
+	version, err := t.publishAndValidate(ctx, candidate, trigger, locked)
 	return candidate, version, err
+}
+
+// now reads the injected clock when one is configured; this package never
+// touches package time itself (noclock), so without a clock health
+// records carry the zero time.
+func (t *StreamTrainer) now() time.Time {
+	if t.cfg.Clock != nil {
+		return t.cfg.Clock()
+	}
+	return time.Time{}
 }
 
 // finishRefit records the candidate and re-anchors drift references.
@@ -471,13 +536,20 @@ func (t *StreamTrainer) finishRefit(stats *core.SuffStats, candidate *core.Model
 
 // publishAndValidate pushes the candidate into the registry, scores it
 // on the holdout against the previous live model, and rolls back on
-// regression or a Validate-hook error.
-func (t *StreamTrainer) publishAndValidate(candidate *core.Model, trigger string, locked bool) (uint64, error) {
+// regression or a Validate-hook error.  Every outcome lands in the
+// flight recorder's health ring; a rollback fires its trigger.
+func (t *StreamTrainer) publishAndValidate(ctx context.Context, candidate *core.Model, trigger string, locked bool) (uint64, error) {
+	trace := obs.SpanFromContext(ctx).TraceID()
 	reg, name := t.cfg.Registry, t.cfg.ModelName
 	prev, hadPrev := reg.Get(name)
 	snap, err := reg.Publish(name, candidate)
 	if err != nil {
 		t.mx.refitFailures.Inc()
+		t.cfg.Flight.RecordHealth(obs.HealthRecord{
+			Time: t.now(), Model: name, Trigger: trigger,
+			CondEstimate: candidate.Stats.CondEstimate, Err: err.Error(),
+		})
+		t.cfg.Flight.NoteRefitFailure(trace)
 		return 0, fmt.Errorf("online: publishing refit: %w", err)
 	}
 	t.mx.publishes.Inc()
@@ -485,9 +557,19 @@ func (t *StreamTrainer) publishAndValidate(candidate *core.Model, trigger string
 	t.cfg.Logger.Info("refit published", "trigger", trigger,
 		"model", name, "version", snap.Version)
 
+	health := obs.HealthRecord{
+		Time: t.now(), Model: name, Trigger: trigger, Version: snap.Version,
+		CondEstimate: candidate.Stats.CondEstimate,
+	}
 	reason := ""
 	if hadPrev {
 		candAcc, prevAcc, scored := t.holdoutAccuracy(candidate, prev.Model, locked)
+		if scored > 0 {
+			health.HoldoutAccuracy, health.PrevAccuracy = candAcc, prevAcc
+			health.HoldoutDelta = candAcc - prevAcc
+			t.holdCandBits.Store(math.Float64bits(candAcc))
+			t.holdPrevBits.Store(math.Float64bits(prevAcc))
+		}
 		if scored > 0 && prevAcc-candAcc > t.cfg.Policy.MaxRegression {
 			reason = fmt.Sprintf("holdout accuracy %.3f vs %.3f on %d samples", candAcc, prevAcc, scored)
 		}
@@ -498,16 +580,22 @@ func (t *StreamTrainer) publishAndValidate(candidate *core.Model, trigger string
 		}
 	}
 	if reason == "" {
+		t.cfg.Flight.RecordHealth(health)
 		return snap.Version, nil
 	}
+	health.RolledBack = true
+	health.Err = reason
 	rb, err := reg.Rollback(name)
 	if err != nil {
+		t.cfg.Flight.RecordHealth(health)
 		return snap.Version, fmt.Errorf("online: rollback after failed validation (%s): %w", reason, err)
 	}
 	t.mx.rollbacks.Inc()
 	t.setVersion(rb.Version, locked)
 	t.cfg.Logger.Warn("refit rolled back", "trigger", trigger, "model", name,
 		"bad_version", snap.Version, "restored_as", rb.Version, "reason", reason)
+	t.cfg.Flight.RecordHealth(health)
+	t.cfg.Flight.NoteRollback(trace)
 	return rb.Version, fmt.Errorf("online: refit v%d rolled back: %s", snap.Version, reason)
 }
 

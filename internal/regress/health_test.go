@@ -1,0 +1,74 @@
+package regress
+
+import (
+	"math/rand"
+	"testing"
+
+	"srda/internal/mat"
+)
+
+func randomProblem(seed int64, m, n, k int) (*mat.Dense, *mat.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.NewDense(m, n)
+	y := mat.NewDense(m, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		for j := 0; j < k; j++ {
+			y.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return x, y
+}
+
+// TestFitStampsCondEstimate: both direct paths surface the Cholesky
+// conditioning; the LSQR path (no Gram matrix) leaves it zero.
+func TestFitStampsCondEstimate(t *testing.T) {
+	x, y := randomProblem(1, 40, 8, 2)
+	for _, strat := range []Strategy{Primal, Dual} {
+		m, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: strat, Intercept: true})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if m.Stats.CondEstimate < 1 {
+			t.Errorf("%v: CondEstimate = %v, want >= 1", strat, m.Stats.CondEstimate)
+		}
+	}
+	m, err := FitDense(x, y, Options{Alpha: 0.5, Strategy: IterLSQR, LSQRIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CondEstimate != 0 {
+		t.Errorf("LSQR path stamped CondEstimate %v", m.Stats.CondEstimate)
+	}
+}
+
+// TestRecordResidualTrajectories: under RecordResiduals the LSQR path
+// keeps one monotone-ish curve per response with Iters points each.
+func TestRecordResidualTrajectories(t *testing.T) {
+	x, y := randomProblem(2, 30, 6, 3)
+	m, err := FitDense(x, y, Options{Alpha: 0.1, Strategy: IterLSQR, LSQRIter: 12, RecordResiduals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stats.ResidualCurves) != 3 {
+		t.Fatalf("got %d curves, want 3", len(m.Stats.ResidualCurves))
+	}
+	for j, curve := range m.Stats.ResidualCurves {
+		if len(curve) != m.Stats.IterCounts[j] {
+			t.Errorf("response %d: curve has %d points, iters %d", j, len(curve), m.Stats.IterCounts[j])
+		}
+		if len(curve) > 0 && curve[len(curve)-1] > curve[0] {
+			t.Errorf("response %d: residuals grew from %v to %v", j, curve[0], curve[len(curve)-1])
+		}
+	}
+	// Off by default: no curves retained.
+	m2, err := FitDense(x, y, Options{Alpha: 0.1, Strategy: IterLSQR, LSQRIter: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats.ResidualCurves != nil {
+		t.Error("curves retained without RecordResiduals")
+	}
+}

@@ -85,6 +85,10 @@ type Options struct {
 	// caller-provided trace, keeping this package inside the noclock
 	// contract.  nil disables tracing at zero cost.
 	Trace *obs.Trace
+	// RecordResiduals, for the LSQR path, keeps each response's full
+	// per-iteration residual-norm trajectory in Stats.ResidualCurves
+	// (observability only; costs one float per iteration per response).
+	RecordResiduals bool
 }
 
 // Stats reports how a fit was solved.  Unlike the model weights it is
@@ -103,6 +107,13 @@ type Stats struct {
 	// Residuals[j] is response j's final damped residual-norm estimate
 	// ‖[A; √α·I] x − [y_j; 0]‖; nil for direct solves.
 	Residuals []float64
+	// ResidualCurves[j] is response j's per-iteration residual trajectory;
+	// only populated by the LSQR path under Options.RecordResiduals.
+	ResidualCurves [][]float64
+	// CondEstimate is the diagonal-ratio condition estimate of the factored
+	// normal-equations matrix (decomp.Cholesky.CondEstimate); zero for the
+	// LSQR path, which never forms the Gram matrix.
+	CondEstimate float64
 }
 
 // Model is a fitted multi-response ridge regressor: Yhat = X·W + 1·bᵀ.
@@ -177,6 +188,11 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 	// mutable state at all.
 	iterCounts := make([]int, k)
 	residuals := make([]float64, k)
+	var curves [][]float64
+	if opt.RecordResiduals {
+		params.RecordResiduals = true
+		curves = make([][]float64, k)
+	}
 	lsqrSpan := opt.Trace.Start("lsqr")
 	pool.Do(opt.Workers, k, func(lo, hi int) {
 		rhs := make([]float64, m)
@@ -185,6 +201,9 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 			res := solver.LSQR(work, rhs, params)
 			iterCounts[j] = res.Iters
 			residuals[j] = res.ResNorm
+			if curves != nil {
+				curves[j] = res.Residuals
+			}
 			if opt.Intercept {
 				model.W.SetCol(j, res.X[:n])
 				model.B[j] = res.X[n]
@@ -199,7 +218,7 @@ func FitOperator(op solver.Operator, y *mat.Dense, opt Options) (*Model, error) 
 		total += c
 	}
 	model.Iters = total
-	model.Stats = Stats{Strategy: IterLSQR, Iters: total, IterCounts: iterCounts, Residuals: residuals}
+	model.Stats = Stats{Strategy: IterLSQR, Iters: total, IterCounts: iterCounts, Residuals: residuals, ResidualCurves: curves}
 	return model, nil
 }
 
@@ -226,7 +245,9 @@ func fitPrimal(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	sp = opt.Trace.Start("solve")
 	w := ch.Solve(xty)
 	sp.End()
-	return splitIntercept(w, opt.Intercept, Primal), nil
+	model := splitIntercept(w, opt.Intercept, Primal)
+	model.Stats.CondEstimate = ch.CondEstimate()
+	return model, nil
 }
 
 // fitDual implements eq. (21): factor the m×m matrix XXᵀ + αI, solve for
@@ -259,7 +280,9 @@ func fitDual(x *mat.Dense, y *mat.Dense, opt Options) (*Model, error) {
 	sp = opt.Trace.Start("xty")
 	w := mat.ParMulTA(opt.Workers, xa, z)
 	sp.End()
-	return splitIntercept(w, opt.Intercept, Dual), nil
+	model := splitIntercept(w, opt.Intercept, Dual)
+	model.Stats.CondEstimate = ch.CondEstimate()
+	return model, nil
 }
 
 // augment appends a constant-1 column when intercept is requested.

@@ -34,3 +34,15 @@ func newMetrics(ringMembers, healthy func() int64) *metrics {
 		"Replicas passing their health checks, including draining ones.", healthy)
 	return mx
 }
+
+// bindTenantLatency registers the per-tenant forward-latency quantile
+// gauge families; separate from newMetrics because the router (which
+// owns the sketches) must exist first.
+func (m *metrics) bindTenantLatency(r *Router) {
+	m.reg.NewGaugeVecFunc("srdaroute_tenant_latency_p50",
+		"Streaming median routed-predict latency per tenant in seconds (CKMS sketch).",
+		[]string{"tenant"}, func() []obs.GaugeSample { return r.tenantLatencySamples(0.5) })
+	m.reg.NewGaugeVecFunc("srdaroute_tenant_latency_p99",
+		"Streaming 99th-percentile routed-predict latency per tenant in seconds (CKMS sketch).",
+		[]string{"tenant"}, func() []obs.GaugeSample { return r.tenantLatencySamples(0.99) })
+}

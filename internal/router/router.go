@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -114,6 +115,19 @@ type Options struct {
 	// Logger receives membership changes and shed warnings.  Nil disables
 	// logging.
 	Logger *obs.Logger
+	// Tracer, when non-nil, records the router-side span tree: a "route"
+	// root (or remote continuation when the request carries a traceparent
+	// header) around admission, and a "forward" child around the backend
+	// call.  The forward span rides the context, so the HTTP backend's
+	// client stamps it onto the outgoing request and a co-located worker
+	// parents its "request" span under it — one TraceID across the tier.
+	Tracer *obs.Tracer
+	// Flight, when non-nil, is the process flight recorder: shed requests
+	// feed its shed-storm trigger.  Nil disables.
+	Flight *obs.FlightRecorder
+	// Exemplars, when non-nil, links the forward-latency histogram to an
+	// exemplar store so routed-latency outliers carry their TraceID.
+	Exemplars *obs.ExemplarStore
 }
 
 func (o Options) withDefaults() Options {
@@ -156,10 +170,16 @@ type Router struct {
 	mx       *metrics
 	mux      *http.ServeMux
 	logger   *obs.Logger
+	tracer   *obs.Tracer
 	stop     chan struct{}
 	stopped  atomic.Bool
 	wg       sync.WaitGroup
 	start    time.Time
+
+	// tenantMu guards tenantLat, the per-tenant forward-latency sketches
+	// behind the srdaroute_tenant_latency_{p50,p99} gauge families.
+	tenantMu  sync.Mutex
+	tenantLat map[string]*obs.QuantileSketch
 }
 
 // New builds a router over the given replicas, all initially healthy and
@@ -171,13 +191,15 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		return nil, fmt.Errorf("router: no backends")
 	}
 	r := &Router{
-		opts:     opts,
-		replicas: make(map[string]*replicaState, len(backends)),
-		quotas:   newQuotas(opts.QuotaRPS, opts.QuotaBurst, opts.Clock),
-		mux:      http.NewServeMux(),
-		logger:   opts.Logger,
-		stop:     make(chan struct{}),
-		start:    time.Now(),
+		opts:      opts,
+		replicas:  make(map[string]*replicaState, len(backends)),
+		quotas:    newQuotas(opts.QuotaRPS, opts.QuotaBurst, opts.Clock),
+		mux:       http.NewServeMux(),
+		logger:    opts.Logger,
+		tracer:    opts.Tracer,
+		stop:      make(chan struct{}),
+		start:     time.Now(),
+		tenantLat: make(map[string]*obs.QuantileSketch),
 	}
 	for _, b := range backends {
 		if b.Name() == "" {
@@ -192,6 +214,10 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		func() int64 { return int64(len(r.Ring())) },
 		func() int64 { return r.healthyCount() },
 	)
+	r.mx.bindTenantLatency(r)
+	if opts.Exemplars != nil {
+		r.mx.forward.AttachExemplars(opts.Exemplars)
+	}
 	r.mu.Lock()
 	r.rebuildRingLocked()
 	r.mu.Unlock()
@@ -211,6 +237,10 @@ func (r *Router) Handler() http.Handler { return r.mux }
 
 // Registry returns the router's metrics registry for debug exposition.
 func (r *Router) Registry() *obs.Registry { return r.mx.reg }
+
+// Tracer returns the router's request tracer (nil when tracing is off);
+// shutdown flushes its ring alongside the worker traces.
+func (r *Router) Tracer() *obs.Tracer { return r.tracer }
 
 // Close stops the background health loop, if any.
 func (r *Router) Close() {
@@ -361,10 +391,12 @@ func (r *Router) healthLoop() {
 }
 
 // shed rejects a request before it reaches a backend, recording the
-// reason and returning the typed error clients see (429 for quota, 503
-// otherwise — both satisfy errors.Is(err, serve.ErrShed)).
-func (r *Router) shed(reason, tenant string, code int, msg string) error {
+// reason, feeding the flight recorder's shed-storm trigger, and
+// returning the typed error clients see (429 for quota, 503 otherwise —
+// both satisfy errors.Is(err, serve.ErrShed)).
+func (r *Router) shed(reason, tenant string, trace obs.TraceID, code int, msg string) error {
 	r.mx.shed.With(reason, tenant).Inc()
+	r.opts.Flight.NoteShed(trace)
 	r.logger.Sample("shed_"+reason, time.Second).Warn("request shed",
 		"reason", reason, "tenant", tenant)
 	return &serve.StatusError{
@@ -372,6 +404,57 @@ func (r *Router) shed(reason, tenant string, code int, msg string) error {
 		Message:    msg,
 		RetryAfter: time.Duration(r.opts.RetryAfterSeconds) * time.Second,
 	}
+}
+
+// now reads the injected clock when one is configured (the same clock
+// quota refill uses), so tests can pin forward latencies exactly.
+func (r *Router) now() time.Time {
+	if r.opts.Clock != nil {
+		return r.opts.Clock()
+	}
+	return time.Now()
+}
+
+// observeForward feeds one routed-predict latency to the shared forward
+// histogram (with its trace, for exemplars) and to the tenant's own
+// quantile sketch behind the srdaroute_tenant_latency_* gauge families.
+func (r *Router) observeForward(tenant string, sec float64, trace obs.TraceID) {
+	r.mx.forward.ObserveTraced(sec, trace)
+	r.tenantMu.Lock()
+	sk := r.tenantLat[tenant]
+	if sk == nil {
+		sk = obs.NewQuantileSketch()
+		r.tenantLat[tenant] = sk
+	}
+	r.tenantMu.Unlock()
+	sk.Observe(sec)
+}
+
+// tenantLatencySamples snapshots every tenant sketch at quantile q,
+// sorted by tenant name — the exposition-time sampler behind the
+// per-tenant latency gauge families.
+func (r *Router) tenantLatencySamples(q float64) []obs.GaugeSample {
+	r.tenantMu.Lock()
+	names := make([]string, 0, len(r.tenantLat))
+	//srdalint:ignore maprange collect-then-sort: names are sorted below before sampling
+	for name := range r.tenantLat {
+		names = append(names, name)
+	}
+	sketches := make([]*obs.QuantileSketch, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		sketches = append(sketches, r.tenantLat[name])
+	}
+	r.tenantMu.Unlock()
+	out := make([]obs.GaugeSample, 0, len(names))
+	for i, name := range names {
+		v := sketches[i].Query(q)
+		if math.IsNaN(v) {
+			continue
+		}
+		out = append(out, obs.GaugeSample{Labels: []string{name}, Value: v})
+	}
+	return out
 }
 
 // overloaded reports whether the replica's last health snapshot trips an
@@ -399,32 +482,45 @@ func (r *Router) overloaded(name string) (string, bool) {
 // replica's reported health (503), then the backend call.  Typed errors
 // map to HTTP statuses with serve.StatusCode.
 func (r *Router) Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error) {
+	if obs.SpanFromContext(ctx) == nil && r.tracer != nil {
+		var root *obs.ReqSpan
+		ctx, root = r.tracer.StartRoot(ctx, "route")
+		defer root.End()
+	}
+	trace := obs.SpanFromContext(ctx).TraceID()
 	tenant := req.Model
 	if tenant == "" {
 		tenant = serve.DefaultModelName
 	}
 	if !r.quotas.allow(tenant) {
-		return nil, r.shed("quota", tenant, http.StatusTooManyRequests,
+		return nil, r.shed("quota", tenant, trace, http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %q over its request quota", tenant))
 	}
 	name := r.ring.Load().lookup(r.opts.Seed, tenant)
 	if name == "" {
-		return nil, r.shed("no_backend", tenant, http.StatusServiceUnavailable,
+		return nil, r.shed("no_backend", tenant, trace, http.StatusServiceUnavailable,
 			"no healthy replica on the ring")
 	}
 	if msg, over := r.overloaded(name); over {
-		return nil, r.shed("overload", tenant, http.StatusServiceUnavailable, msg)
+		return nil, r.shed("overload", tenant, trace, http.StatusServiceUnavailable, msg)
 	}
 	r.mu.RLock()
 	st := r.replicas[name]
 	r.mu.RUnlock()
 	if st == nil {
-		return nil, r.shed("no_backend", tenant, http.StatusServiceUnavailable,
+		return nil, r.shed("no_backend", tenant, trace, http.StatusServiceUnavailable,
 			"replica left the ring mid-route")
 	}
-	begin := time.Now()
-	resp, err := st.backend.Predict(ctx, req)
-	r.mx.forward.Observe(time.Since(begin).Seconds())
+	// The "forward" span rides the context into the backend call: the
+	// typed HTTP client stamps it onto the outgoing request as a
+	// traceparent header, and a co-located worker parents its "request"
+	// span under it — either way the worker continues this TraceID.
+	fctx, fsp := obs.StartSpan(ctx, "forward")
+	begin := r.now()
+	resp, err := st.backend.Predict(fctx, req)
+	sec := r.now().Sub(begin).Seconds()
+	fsp.End()
+	r.observeForward(tenant, sec, trace)
 	r.mx.requests.With(name, strconv.Itoa(serve.StatusCode(err))).Inc()
 	if err != nil {
 		r.mx.backendErrors.With(name).Inc()
@@ -443,7 +539,17 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
-	resp, err := r.Predict(req.Context(), &pr)
+	// Continue the caller's trace when the request carries a traceparent
+	// header; otherwise this router is where the trace is born.
+	ctx := req.Context()
+	var root *obs.ReqSpan
+	if trace, parent, ok := obs.ExtractTrace(req.Header); ok {
+		ctx, root = r.tracer.StartRemote(ctx, "route", trace, parent)
+	} else {
+		ctx, root = r.tracer.StartRoot(ctx, "route")
+	}
+	defer root.End()
+	resp, err := r.Predict(ctx, &pr)
 	if err != nil {
 		code := serve.StatusCode(err)
 		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {

@@ -314,6 +314,7 @@ func (s *Server) enqueue(p *pending, items []*item) {
 			s.metrics.queueRejects.Add(int64(len(items) - i))
 			s.logger.Sample("queue_full", time.Second).Warn("prediction queue full",
 				"rejected", len(items)-i, "queue_depth", s.opts.QueueDepth)
+			s.opts.Flight.NoteQueueFull(p.span.TraceID())
 			p.fail(ErrQueueFull)
 			p.settle(len(items) - i)
 			return

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"srda/internal/obs"
 )
 
 // ErrShed marks replies shed by quota or admission control (HTTP 429 and
@@ -224,6 +226,7 @@ func (c *Client) doOnce(ctx context.Context, req PredictRequest) (*PredictRespon
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	obs.InjectTrace(hreq.Header, obs.SpanFromContext(ctx))
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, err

@@ -77,5 +77,13 @@ func (mx *metrics) observeLatency(sec float64) {
 	mx.latencySketch.Observe(sec)
 }
 
+// observeLatencyTraced is observeLatency plus the trace link: when an
+// exemplar store is attached to the histogram, outliers keep the TraceID
+// that produced them.
+func (mx *metrics) observeLatencyTraced(sec float64, trace obs.TraceID) {
+	mx.latency.ObserveTraced(sec, trace)
+	mx.latencySketch.Observe(sec)
+}
+
 // writeProm renders the Prometheus text exposition format.
 func (mx *metrics) writeProm(w io.Writer) { mx.reg.WritePrometheus(w) }

@@ -27,6 +27,12 @@ type Trainer interface {
 	Observe(x []float64, label int) error
 	// ObserveSparse absorbs one CSR-form labeled sample.
 	ObserveSparse(cols []int, vals []float64, label int) error
+	// ObserveCtx is Observe with trace context: a synchronous refit the
+	// sample triggers runs under the request's span tree, so the trace
+	// that delivered the triggering sample shows the refit it paid for.
+	ObserveCtx(ctx context.Context, x []float64, label int) error
+	// ObserveSparseCtx is ObserveSparse with trace context.
+	ObserveSparseCtx(ctx context.Context, cols []int, vals []float64, label int) error
 	// Seen returns the number of samples observed so far.
 	Seen() int64
 	// Metrics exposes the trainer's instruments (srdaonline_*).
@@ -61,6 +67,8 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 	if s.stopped.Load() {
 		return writeTypedErr(w, ErrShuttingDown)
 	}
+	ctx, root := s.startRequestSpan(r.Context(), "observe", r.Header)
+	defer root.End()
 	var req ObserveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -81,7 +89,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 		}
 		var err error
 		if hasDense {
-			err = tr.Observe(ls.Dense, ls.Label)
+			err = tr.ObserveCtx(ctx, ls.Dense, ls.Label)
 		} else {
 			// Sort the columns before absorbing: the trainer's streaming
 			// statistics accumulate in index order, so a map-ordered row
@@ -96,7 +104,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 			for t, j := range cols {
 				vals[t] = ls.Sparse[j]
 			}
-			err = tr.ObserveSparse(cols, vals, ls.Label)
+			err = tr.ObserveSparseCtx(ctx, cols, vals, ls.Label)
 		}
 		if err != nil {
 			// Samples before i were absorbed; the caller sees how far the
@@ -122,6 +130,7 @@ func (c *Client) Observe(ctx context.Context, samples ...LabeledSample) (*Observ
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	obs.InjectTrace(hreq.Header, obs.SpanFromContext(ctx))
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, err

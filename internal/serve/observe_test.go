@@ -60,6 +60,14 @@ func (f *fakeTrainer) ObserveSparse(cols []int, vals []float64, label int) error
 	return nil
 }
 
+func (f *fakeTrainer) ObserveCtx(_ context.Context, x []float64, label int) error {
+	return f.Observe(x, label)
+}
+
+func (f *fakeTrainer) ObserveSparseCtx(_ context.Context, cols []int, vals []float64, label int) error {
+	return f.ObserveSparse(cols, vals, label)
+}
+
 func (f *fakeTrainer) Seen() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -95,6 +95,15 @@ type Options struct {
 	// the train-while-serving loop in one process.  Nil (the default)
 	// leaves the endpoint unregistered and the exposition unchanged.
 	Trainer Trainer
+	// Flight, when non-nil, is the process flight recorder: predict
+	// latencies feed its p99-breach trigger and queue overflow fires its
+	// queue_full trigger.  Nil disables both (no-op calls).
+	Flight *obs.FlightRecorder
+	// Exemplars, when non-nil, links the predict-latency histogram to an
+	// exemplar store so latency outliers carry the TraceID that produced
+	// them (served at /debug/exemplars by cmd/srdaserve).  Stays outside
+	// the metrics registry: the /metrics exposition is unchanged.
+	Exemplars *obs.ExemplarStore
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +190,9 @@ func New(m *core.Model, opts Options) (*Server, error) {
 		func() int64 { return int64(len(s.queue)) },
 		func() int64 { return int64(s.ModelSeq()) },
 	)
+	if opts.Exemplars != nil {
+		s.metrics.latency.AttachExemplars(opts.Exemplars)
+	}
 	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
@@ -289,20 +301,45 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 }
 
-// instrument wraps a handler with request/error counting and, for the
-// predict endpoint, latency observation.
+// instrument wraps a handler with request/error counting.  Predict
+// latency is observed inside handlePredict/Predict so every observation
+// carries the trace it belongs to (exemplars, flight-recorder p99
+// trigger).
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		begin := time.Now()
 		code := h(w, r)
 		s.metrics.requests.With(endpoint, strconv.Itoa(code)).Inc()
 		if code >= 400 {
 			s.metrics.errors.With(endpoint).Inc()
 		}
-		if endpoint == "/v1/predict" {
-			s.metrics.observeLatency(time.Since(begin).Seconds())
+	}
+}
+
+// startRequestSpan opens the worker-side root of a request's span tree,
+// continuing whatever trace context reaches the worker: a span already on
+// the context (the co-located router's in-process "forward" span) makes
+// this a child; otherwise a well-formed traceparent header (an HTTP hop
+// from the router or a typed client) makes it a remote continuation under
+// the caller's TraceID; otherwise it is a fresh root.
+func (s *Server) startRequestSpan(ctx context.Context, name string, h http.Header) (context.Context, *obs.ReqSpan) {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp := parent.StartChild(name)
+		return obs.ContextWithSpan(ctx, sp), sp
+	}
+	if h != nil {
+		if trace, parent, ok := obs.ExtractTrace(h); ok {
+			return s.tracer.StartRemote(ctx, name, trace, parent)
 		}
 	}
+	return s.tracer.StartRoot(ctx, name)
+}
+
+// observeLatencyTraced feeds one predict latency to the instruments with
+// the trace that produced it, then lets the flight recorder compare the
+// refreshed streaming p99 against its SLO.
+func (s *Server) observeLatencyTraced(sec float64, trace obs.TraceID) {
+	s.metrics.observeLatencyTraced(sec, trace)
+	s.opts.Flight.CheckP99(s.LatencyP99(), trace)
 }
 
 // Sample is one input vector: exactly one of Dense or Sparse must be set.
@@ -458,7 +495,7 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 		return nil, ErrShuttingDown
 	}
 	begin := time.Now()
-	ctx, root := s.tracer.StartRoot(ctx, "request")
+	ctx, root := s.startRequestSpan(ctx, "request", nil)
 	defer root.End()
 	_, sp := obs.StartSpan(ctx, "parse")
 	p, items, err := s.buildPending(req)
@@ -470,7 +507,7 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 	if err := s.submit(ctx, p, items); err != nil {
 		return nil, err
 	}
-	s.metrics.observeLatency(time.Since(begin).Seconds())
+	s.observeLatencyTraced(time.Since(begin).Seconds(), root.TraceID())
 	return &PredictResponse{
 		Classes:    p.classes,
 		Embeddings: p.embeddings,
@@ -480,14 +517,18 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	begin := time.Now()
+	var trace obs.TraceID
+	defer func() { s.observeLatencyTraced(time.Since(begin).Seconds(), trace) }()
 	if r.Method != http.MethodPost {
 		return writeErr(w, http.StatusMethodNotAllowed, "POST required")
 	}
 	if s.stopped.Load() {
 		return writeTypedErr(w, ErrShuttingDown)
 	}
-	ctx, root := s.tracer.StartRoot(r.Context(), "request")
+	ctx, root := s.startRequestSpan(r.Context(), "request", r.Header)
 	defer root.End()
+	trace = root.TraceID()
 	_, sp := obs.StartSpan(ctx, "parse")
 	var req PredictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
