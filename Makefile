@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint lint-budget bench-gate race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke online-smoke examples clean
+.PHONY: all check build test vet lint lint-budget bench-gate race cover bench fuzz repro repro-paper report-smoke bench-record trace-smoke shard-smoke online-smoke slo-smoke examples clean
 
 all: check
 
@@ -122,6 +122,19 @@ online-smoke:
 	$(GO) test -run 'TestOnlineSmoke' -count=1 -v ./cmd/srdaserve
 	$(GO) test -run 'TestStreamingMatchesBatch' -count=1 -v .
 	$(GO) test -run 'TestPublishWhilePredict' -count=1 -race -v ./internal/online
+
+# SLO burn-rate acceptance smoke (see doc/OBSERVABILITY.md): a real
+# router process in front of a real worker process, the worker killed
+# mid-traffic to induce a 5xx burst, and the availability alert driven
+# through pending → firing → resolved with a schema-valid slo_burn
+# flight bundle on disk.  Wall-clock burn windows make this a
+# multi-second test, so it is gated behind SRDA_SLO_SMOKE and runs
+# fresh (no cache).  The frozen-clock federation/SLO lifecycle tests
+# and the fleet-view golden run alongside it.
+slo-smoke:
+	SRDA_SLO_SMOKE=1 $(GO) test -run 'TestSLOSmoke' -count=1 -v ./cmd/srdaserve
+	$(GO) test -run 'TestSLOLifecycle|TestClusterMetricsGolden|TestClusterSnapshotGolden|TestFederatorSLOIntegration' -count=1 -v ./internal/telemetry
+	$(GO) test -run 'TestTopOnceGolden' -count=1 -v ./cmd/srdareport
 
 examples:
 	@for d in examples/*/ ; do echo "== $$d"; $(GO) run ./$$d || exit 1; done

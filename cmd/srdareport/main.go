@@ -6,16 +6,24 @@
 //	srdareport run.json [more.json ...]
 //	srdareport benchdiff [-tol 0.10] old.json new.json
 //	srdareport tracemerge [-out merged.json] router.json worker0.json ...
+//	srdareport top [-once | -watch] http://router:8080
 //
 // -q suppresses the summary and only validates.  The benchdiff subcommand
 // compares two bench reports written by srdabench -json-out and exits
 // non-zero when any benchmark slowed down by more than -tol, which is how
 // CI (and `make bench-record` reviewers) catch performance regressions.
 // The tracemerge subcommand stitches the per-process Chrome trace files
-// flushed by srdaserve -trace-out into one Perfetto timeline.
+// flushed by srdaserve -trace-out into one Perfetto timeline.  The top
+// subcommand renders a router's /cluster/snapshot as a fleet view —
+// replica status and rates, merged cluster quantiles, SLO alerts — once
+// (-once, the default) or as a live refreshing screen (-watch).
+//
+// Every subcommand documents its flags and exit-code contract in -h:
+// 0 clean, 1 on validation/processing failures, 2 on usage errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +40,23 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "tracemerge" {
 		os.Exit(tracemergeMain(os.Stdout, os.Stderr, os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		os.Exit(topMain(os.Stdout, os.Stderr, os.Args[2:]))
+	}
 	quiet := flag.Bool("q", false, "validate only; print nothing on success")
+	flag.Usage = func() {
+		ew := flag.CommandLine.Output()
+		fmt.Fprintln(ew, "usage: srdareport [-q] report.json [more.json ...]")
+		fmt.Fprintln(ew, "       srdareport benchdiff [-tol 0.10] old.json new.json")
+		fmt.Fprintln(ew, "       srdareport tracemerge [-out merged.json] a.json b.json ...")
+		fmt.Fprintln(ew, "       srdareport top [-once | -watch [-every 2s]] <router-url | snapshot.json>")
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "flags:")
+		flag.PrintDefaults()
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "exit codes: 0 clean, 1 on validation failures, 2 on usage errors")
+		fmt.Fprintln(ew, "each subcommand documents its own flags and exit codes in -h")
+	}
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "srdareport: need at least one report file; see -h")
@@ -57,7 +81,21 @@ func benchdiffMain(w, ew io.Writer, args []string) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(ew)
 	tol := fs.Float64("tol", 0.10, "fractional slowdown tolerated before a benchmark counts as regressed")
+	fs.Usage = func() {
+		fmt.Fprintln(ew, "usage: srdareport benchdiff [-tol 0.10] old.json new.json")
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "diffs two bench reports written by srdabench -json-out, one line per")
+		fmt.Fprintln(ew, "benchmark, and fails when any slowed down beyond the tolerance.")
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "flags:")
+		fs.PrintDefaults()
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "exit codes: 0 clean, 1 on regressions or broken report files, 2 on usage errors")
+	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 	if fs.NArg() != 2 {

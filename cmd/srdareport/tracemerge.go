@@ -7,6 +7,7 @@ package main
 // crossed router and worker reads as one aligned trace.
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,7 +24,21 @@ func tracemergeMain(w, ew io.Writer, args []string) int {
 	fs := flag.NewFlagSet("tracemerge", flag.ContinueOnError)
 	fs.SetOutput(ew)
 	out := fs.String("out", "", "write the merged trace here instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(ew, "usage: srdareport tracemerge [-out merged.json] a.json b.json ...")
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "stitches per-process Chrome trace files (srdaserve -trace-out) into one")
+		fmt.Fprintln(ew, "Perfetto timeline: one pid per input, timestamps rebased, trace ids kept.")
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "flags:")
+		fs.PrintDefaults()
+		fmt.Fprintln(ew)
+		fmt.Fprintln(ew, "exit codes: 0 clean, 1 on unreadable or malformed inputs, 2 on usage errors")
+	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 	if fs.NArg() == 0 {

@@ -55,6 +55,18 @@
 // fit health) on triggers such as a p99 SLO breach (-flight-p99), a
 // full queue, a shed storm, or a refit rollback.  See
 // doc/OBSERVABILITY.md.
+//
+// The router and all roles additionally run the cluster telemetry
+// plane: every -telemetry-every the process scrapes each replica's
+// /metrics (and CKMS latency-sketch snapshots) into a bounded in-memory
+// time-series store, tags the samples with a replica label, and
+// re-exposes the merged view on GET /cluster/metrics (deterministic
+// Prometheus text) and GET /cluster/snapshot (the JSON fleet document
+// `srdareport top` renders).  -slo-config loads a srda-slo/v1 JSON
+// document of availability and latency-p99 objectives evaluated against
+// that store with multi-window burn-rate alerting; alert states are
+// served at GET /debug/alerts, exported as srdaslo_* metrics, and a
+// transition to firing dumps a slo_burn flight bundle.
 package main
 
 import (
@@ -79,6 +91,7 @@ import (
 	"srda/internal/registry"
 	"srda/internal/router"
 	"srda/internal/serve"
+	"srda/internal/telemetry"
 )
 
 type config struct {
@@ -115,6 +128,10 @@ type config struct {
 	refitSamples   int
 	driftThreshold float64
 	holdoutFrac    float64
+
+	sloConfigPath   string
+	telemetryEvery  time.Duration
+	telemetryPoints int
 }
 
 func main() {
@@ -151,6 +168,9 @@ func main() {
 	flag.IntVar(&cfg.refitSamples, "refit-samples", 0, "online: refit every N observed samples (0 = off)")
 	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "online: refit when the windowed class-mean drift score exceeds this (0 = off)")
 	flag.Float64Var(&cfg.holdoutFrac, "holdout-frac", 0, "online: divert this fraction of observed samples to a validation holdout; refits that regress on it roll back (0 = no validation)")
+	flag.StringVar(&cfg.sloConfigPath, "slo-config", "", "router/all: srda-slo/v1 JSON config; objectives are evaluated against the federated store with multi-window burn-rate alerts at /debug/alerts")
+	flag.DurationVar(&cfg.telemetryEvery, "telemetry-every", 10*time.Second, "router/all: federation scrape interval feeding /cluster/metrics and /cluster/snapshot")
+	flag.IntVar(&cfg.telemetryPoints, "telemetry-points", 0, "router/all: points retained per federated series (0 = 2880, ~8h at the default interval)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(cfg.logLevel)
@@ -247,6 +267,11 @@ type obsKit struct {
 // every record (including ones below the sink's level) into the flight
 // ring, so bundles carry debug context a quiet production sink dropped.
 func newObsKit(cfg config, role string, logger *obs.Logger) (*obsKit, *obs.Logger) {
+	if cfg.flightDir != "" {
+		if err := os.MkdirAll(cfg.flightDir, 0o755); err != nil {
+			logger.Error("creating -flight-dir", "dir", cfg.flightDir, "err", err)
+		}
+	}
 	kit := &obsKit{
 		tracer: obs.NewTracer(cfg.traceCap),
 		flight: obs.NewFlightRecorder(obs.FlightOptions{
@@ -464,16 +489,93 @@ func routerOptions(cfg config, kit *obsKit, logger *obs.Logger) router.Options {
 	}
 }
 
+// telemetryPlane assembles the router-side cluster telemetry: a
+// federator scraping every replica (plus the router's own registry)
+// into the time-series store, an optional SLO burn-rate engine from
+// -slo-config, and the poll loop.  This command owns the ticker —
+// internal/telemetry is under the noclock contract and only ever sees
+// explicit times, so the goroutine here forwards ticker fires into the
+// caller-owned channel StartPoller drains.  The returned stop function
+// halts the loop and waits for the poller to exit.
+func telemetryPlane(cfg config, targets []telemetry.Target, sloReg *obs.Registry, kit *obsKit, logger *obs.Logger) (*telemetry.Federator, *telemetry.SLOEngine, func(), error) {
+	fed := telemetry.NewFederator(targets, telemetry.FederatorOptions{
+		PointsPerSeries: cfg.telemetryPoints,
+		Logger:          logger,
+	})
+	var engine *telemetry.SLOEngine
+	if cfg.sloConfigPath != "" {
+		data, err := os.ReadFile(cfg.sloConfigPath)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("reading -slo-config: %w", err)
+		}
+		sloCfg, err := telemetry.ValidateSLOConfig(data)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		engine = telemetry.NewSLOEngine(sloCfg, fed.Store(), telemetry.SLOEngineOptions{
+			Registry: sloReg,
+			Flight:   kit.flight,
+			Logger:   logger,
+		})
+		fed.AttachSLO(engine)
+		logger.Info("SLO engine up", "objectives", len(sloCfg.Objectives), "windows", len(sloCfg.Windows))
+	}
+	every := cfg.telemetryEvery
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	// Seed the store before the listener opens so /cluster/* answers
+	// from the first request instead of waiting out one interval.
+	fed.Scrape(context.Background(), time.Now())
+	ticker := time.NewTicker(every)
+	stop := make(chan struct{})
+	ticks := make(chan time.Time, 1)
+	go func() {
+		defer close(ticks)
+		for {
+			select {
+			case t := <-ticker.C:
+				ticks <- t
+			case <-stop:
+				return
+			}
+		}
+	}()
+	done := telemetry.StartPoller(ticks, func(now time.Time) {
+		fed.Scrape(context.Background(), now)
+	})
+	logger.Info("telemetry plane up", "targets", len(targets), "every", every.String(), "slo", cfg.sloConfigPath != "")
+	return fed, engine, func() {
+		ticker.Stop()
+		close(stop)
+		<-done
+	}, nil
+}
+
+// mountClusterEndpoints adds the federation surface to a listener mux:
+// the deterministic cluster exposition, the JSON snapshot srdareport
+// top renders, and (when -slo-config armed an engine) the alert table.
+func mountClusterEndpoints(mux *http.ServeMux, fed *telemetry.Federator, engine *telemetry.SLOEngine) {
+	mux.HandleFunc("/cluster/metrics", fed.MetricsHandler())
+	mux.HandleFunc("/cluster/snapshot", fed.SnapshotHandler())
+	if engine != nil {
+		mux.HandleFunc("/debug/alerts", engine.Handler())
+	}
+}
+
 // runRouter fronts remote workers listed in -replicas over HTTP.
 func runRouter(cfg config, logger *obs.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
 	kit, logger := newObsKit(cfg, "router", logger)
 	var backends []router.Backend
+	var targets []telemetry.Target
 	for _, u := range strings.Split(cfg.replicas, ",") {
 		u = strings.TrimSpace(u)
 		if u == "" {
 			continue
 		}
-		backends = append(backends, &router.HTTPBackend{ReplicaName: u, Client: serve.NewClient(u)})
+		client := serve.NewClient(u)
+		backends = append(backends, &router.HTTPBackend{ReplicaName: u, Client: client})
+		targets = append(targets, telemetry.ClientTarget(u, client, client))
 	}
 	if len(backends) == 0 {
 		return fmt.Errorf("-role=router needs -replicas with at least one worker URL")
@@ -483,14 +585,28 @@ func runRouter(cfg config, logger *obs.Logger, ready chan<- net.Addr, shutdown <
 		return err
 	}
 	kit.flight.AttachRegistry("router", r.Registry())
-	r.CheckHealth(context.Background()) // seed overload snapshots before traffic
-	logger.Info("router up", "replicas", len(backends), "ring", strings.Join(r.Ring(), ","))
-	_, cancel, err := serveUntilShutdown(cfg, r.Handler(), logger, ready, shutdown)
+	// The router federates itself too, so srdaroute_* series (request
+	// codes per replica, sheds, quota denials) land in the cluster store
+	// where availability SLOs can read them.
+	targets = append(targets, telemetry.RegistryTarget("router", nil, r.Registry()))
+	fed, engine, stopTelemetry, err := telemetryPlane(cfg, targets, r.Registry(), kit, logger)
 	if err != nil {
 		r.Close()
 		return err
 	}
+	r.CheckHealth(context.Background()) // seed overload snapshots before traffic
+	logger.Info("router up", "replicas", len(backends), "ring", strings.Join(r.Ring(), ","))
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	mountClusterEndpoints(mux, fed, engine)
+	_, cancel, err := serveUntilShutdown(cfg, mux, logger, ready, shutdown)
+	if err != nil {
+		stopTelemetry()
+		r.Close()
+		return err
+	}
 	defer cancel()
+	stopTelemetry()
 	r.Close()
 	flushArtifacts(cfg, kit.tracer, logger, r.Registry())
 	logger.Info("drained, bye")
@@ -551,6 +667,20 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 	if err != nil {
 		return err
 	}
+	// Federation targets for the co-located tier: every worker's registry
+	// and latency sketches in-process (no HTTP round trip), plus the
+	// router's own series for availability SLOs.
+	targets := make([]telemetry.Target, 0, n+1)
+	for i, s := range workers {
+		targets = append(targets, telemetry.RegistryTarget(
+			fmt.Sprintf("worker-%d", i), s.LatencySketches, s.Registry()))
+	}
+	targets = append(targets, telemetry.RegistryTarget("router", nil, r.Registry()))
+	fed, engine, stopTelemetry, err := telemetryPlane(cfg, targets, r.Registry(), kit, logger)
+	if err != nil {
+		r.Close()
+		return err
+	}
 	kit.flight.AttachRegistry("router", r.Registry())
 	kit.flight.AttachRegistry("serve", workers[0].Registry())
 	kit.flight.AttachRegistry("registry", reg.Metrics())
@@ -582,6 +712,7 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 
 	mux := http.NewServeMux()
 	mux.Handle("/", r.Handler())
+	mountClusterEndpoints(mux, fed, engine)
 	// The registry listing comes from the workers' shared store; expose it
 	// on the router listener too so operators see the tier's tenants.
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, req *http.Request) {
@@ -613,11 +744,13 @@ func runAll(cfg config, logger *obs.Logger, ready, debugReady chan<- net.Addr, s
 	})
 	ctx, cancel, err := serveUntilShutdown(cfg, mux, logger, ready, shutdown)
 	if err != nil {
+		stopTelemetry()
 		r.Close()
 		return err
 	}
 	defer cancel()
 	stopReload()
+	stopTelemetry()
 	r.Close()
 	if debugSrv != nil {
 		if err := debugSrv.Shutdown(ctx); err != nil {

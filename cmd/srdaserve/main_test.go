@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"srda"
+	"srda/internal/obs"
 	"srda/internal/serve"
+	"srda/internal/telemetry"
 )
 
 // trainAndSave trains a small sparse model end to end through the public
@@ -253,5 +255,321 @@ func TestServeDebugListener(t *testing.T) {
 	// The prediction listener must not grow debug surface area.
 	if code, _ := get(base + "/debug/pprof/"); code == http.StatusOK {
 		t.Fatal("prediction listener serves /debug/pprof/")
+	}
+}
+
+// httpGet fetches a URL and returns status, Content-Type, and body.
+func httpGet(t *testing.T, ctx context.Context, url string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }() // test helper; status is the signal
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// writeSLO writes an SLO config document and returns its path.
+func writeSLO(t *testing.T, dir, doc string) string {
+	t.Helper()
+	path := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAllRoleClusterTelemetry is the co-located tier's telemetry
+// acceptance path: -role=all with -slo-config must serve the federated
+// cluster exposition, the JSON fleet snapshot, and the alert table on
+// the router listener, with the replica-tagged worker series and the
+// merged CKMS cluster quantiles present after traffic — and every JSON
+// debug surface must say application/json while Prometheus surfaces say
+// the 0.0.4 text type.
+func TestAllRoleClusterTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	_, ds := trainAndSave(t, modelPath, 35)
+	sloPath := writeSLO(t, dir, `{
+  "schema": "srda-slo/v1",
+  "objectives": [
+    {"name": "predict-availability", "kind": "availability",
+     "metric": "srdaroute_requests_total", "target": 0.99}
+  ]
+}`)
+
+	base, debugBase, stop := startServer(t, config{
+		role:           "all",
+		replicas:       "2",
+		modelPath:      modelPath,
+		debugAddr:      "127.0.0.1:0",
+		sloConfigPath:  sloPath,
+		telemetryEvery: 25 * time.Millisecond,
+	})
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	client := serve.NewClient(base)
+	for i := 0; i < 8; i++ {
+		if _, err := client.Predict(ctx, sparseSampleOf(ds, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Poll until a scrape after the predicts has landed: the router's
+	// routed-request counters (workers are called in-process in the all
+	// role, so request counts live in srdaroute_*) and the merged
+	// latency sketch both show up.
+	deadline := time.Now().Add(10 * time.Second)
+	var metricsBody string
+	for {
+		_, ctype, body := httpGet(t, ctx, base+"/cluster/metrics")
+		if strings.Contains(body, "srdaroute_requests_total") && strings.Contains(body, "srdacluster_quantile") {
+			if ctype != obs.PromContentType {
+				t.Fatalf("/cluster/metrics Content-Type = %q, want %q", ctype, obs.PromContentType)
+			}
+			metricsBody = body
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker series never federated; last body:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"srdafed_replicas 3", // two workers plus the router's own registry
+		`srdaserve_queue_depth{replica="worker-0"}`,
+		`srdaserve_queue_depth{replica="worker-1"}`,
+		// The router's own replica label survives federation renamed, so
+		// the tag never collides into a duplicate label name.
+		`srdaroute_requests_total{code="200",exported_replica="worker-`,
+		`srdacluster_quantile{metric="srdaserve_request_latency",quantile="0.99"}`,
+		`srdaslo_alerts_firing{replica="router"} 0`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/cluster/metrics missing %q", want)
+		}
+	}
+
+	code, ctype, body := httpGet(t, ctx, base+"/cluster/snapshot")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/cluster/snapshot = %d %q", code, ctype)
+	}
+	snap, err := telemetry.ValidateClusterSnapshot([]byte(body))
+	if err != nil {
+		t.Fatalf("snapshot does not validate: %v\n%s", err, body)
+	}
+	if len(snap.Replicas) != 3 {
+		t.Fatalf("snapshot replicas = %+v", snap.Replicas)
+	}
+	for _, r := range snap.Replicas {
+		if !r.Up {
+			t.Errorf("replica %s down in a healthy tier: %+v", r.Replica, r)
+		}
+	}
+	// One availability objective across the default two windows.
+	if len(snap.Alerts) != 2 {
+		t.Fatalf("snapshot alerts = %+v", snap.Alerts)
+	}
+
+	code, ctype, body = httpGet(t, ctx, base+"/debug/alerts")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/debug/alerts = %d %q", code, ctype)
+	}
+	for _, want := range []string{"predict-availability", `"fast"`, `"slow"`, `"inactive"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/alerts missing %q in %s", want, body)
+		}
+	}
+	resp, err := http.Post(base+"/debug/alerts", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /debug/alerts = %d, want 405", resp.StatusCode)
+	}
+
+	// Content-Type contract on the rest of the surface: JSON debug
+	// endpoints are application/json, Prometheus expositions are the
+	// versioned text type.
+	if _, ctype, _ := httpGet(t, ctx, debugBase+"/debug/traces"); ctype != "application/json" {
+		t.Errorf("/debug/traces Content-Type = %q", ctype)
+	}
+	if _, ctype, _ := httpGet(t, ctx, debugBase+"/debug/exemplars"); ctype != "application/json" {
+		t.Errorf("/debug/exemplars Content-Type = %q", ctype)
+	}
+	if _, ctype, _ := httpGet(t, ctx, base+"/metrics"); ctype != obs.PromContentType {
+		t.Errorf("tier /metrics Content-Type = %q", ctype)
+	}
+	if _, ctype, _ := httpGet(t, ctx, debugBase+"/metrics"); ctype != obs.PromContentType {
+		t.Errorf("debug /metrics Content-Type = %q", ctype)
+	}
+}
+
+// TestRouterFederationEndToEnd runs a real worker process and a real
+// router process and checks the router's federation plane scrapes the
+// worker over HTTP: replica-tagged srdaserve_* series and the worker's
+// CKMS sketch (fetched from /v1/sketches) both reach /cluster/metrics,
+// and the snapshot's replica table marks the worker up.
+func TestRouterFederationEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	_, ds := trainAndSave(t, modelPath, 36)
+
+	workerBase, _, stopWorker := startServer(t, config{modelPath: modelPath})
+	defer stopWorker()
+	routerBase, _, stopRouter := startServer(t, config{
+		role:           "router",
+		replicas:       workerBase,
+		telemetryEvery: 25 * time.Millisecond,
+	})
+	defer stopRouter()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	client := serve.NewClient(routerBase)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Predict(ctx, sparseSampleOf(ds, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, _, body := httpGet(t, ctx, routerBase+"/cluster/metrics")
+		if strings.Contains(body, `srdaserve_requests_total{code="200",endpoint="/v1/predict",replica="`+workerBase+`"}`) &&
+			strings.Contains(body, "srdacluster_quantile") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker series never federated over HTTP; last body:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, _, body := httpGet(t, ctx, routerBase+"/cluster/snapshot")
+	snap, err := telemetry.ValidateClusterSnapshot([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worker *telemetry.ReplicaStatus
+	for i := range snap.Replicas {
+		if snap.Replicas[i].Replica == workerBase {
+			worker = &snap.Replicas[i]
+		}
+	}
+	if worker == nil || !worker.Up {
+		t.Fatalf("worker replica missing or down in snapshot: %+v", snap.Replicas)
+	}
+}
+
+// waitAlertState polls /debug/alerts until the objective reaches the
+// wanted state.
+func waitAlertState(t *testing.T, ctx context.Context, base, state string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		_, _, body := httpGet(t, ctx, base+"/debug/alerts")
+		if strings.Contains(body, `"state": "`+state+`"`) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alert never reached %q; last table:\n%s", state, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSLOSmoke is the `make slo-smoke` end-to-end: a real router in
+// front of a real worker, an induced 5xx burst (the worker process is
+// stopped while the router keeps forwarding), and the availability
+// alert driven through pending → firing → resolved with a validated
+// slo_burn flight bundle on disk.  Wall-clock windows make it a
+// multi-second test, so it only runs when SRDA_SLO_SMOKE is set.
+func TestSLOSmoke(t *testing.T) {
+	if os.Getenv("SRDA_SLO_SMOKE") == "" {
+		t.Skip("set SRDA_SLO_SMOKE=1 to run the SLO smoke (see `make slo-smoke`)")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	_, ds := trainAndSave(t, modelPath, 37)
+	flightDir := filepath.Join(dir, "flight")
+	if err := os.MkdirAll(flightDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Tight windows so the whole lifecycle fits in seconds: both windows
+	// see the burst immediately, pending holds 300ms, and the alert
+	// resolves once the burst slides out of the 6s long window.
+	sloPath := writeSLO(t, dir, `{
+  "schema": "srda-slo/v1",
+  "objectives": [
+    {"name": "availability", "kind": "availability",
+     "metric": "srdaroute_requests_total", "target": 0.9,
+     "pending_for_seconds": 0.3}
+  ],
+  "windows": [{"name": "fast", "short_seconds": 2, "long_seconds": 6, "burn": 1.5}]
+}`)
+
+	workerBase, _, stopWorker := startServer(t, config{modelPath: modelPath})
+	routerBase, _, stopRouter := startServer(t, config{
+		role:           "router",
+		replicas:       workerBase,
+		sloConfigPath:  sloPath,
+		telemetryEvery: 100 * time.Millisecond,
+		flightDir:      flightDir,
+		// Keep the dead worker nominally healthy so forwards still run
+		// and count their 5xx codes instead of being shed pre-forward.
+		healthEvery: time.Hour,
+	})
+	defer stopRouter()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	client := serve.NewClient(routerBase)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Predict(ctx, sparseSampleOf(ds, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Induced error burst: stop the worker and keep sending; every
+	// forward fails and srdaroute_requests_total{code="500"} burns the
+	// availability budget at 10x (all-bad vs a 10% budget).
+	stopWorker()
+	burstEnd := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(burstEnd) {
+		_, _ = client.Predict(ctx, sparseSampleOf(ds, 0))
+		time.Sleep(25 * time.Millisecond)
+	}
+	waitAlertState(t, ctx, routerBase, "firing", 15*time.Second)
+
+	// Recovery: traffic stops, the burst ages out of both windows, and
+	// the alert resolves.
+	waitAlertState(t, ctx, routerBase, "resolved", 20*time.Second)
+
+	bundles, err := filepath.Glob(filepath.Join(flightDir, "flight-slo_burn-*.json"))
+	if err != nil || len(bundles) == 0 {
+		t.Fatalf("no slo_burn flight bundle in %s (err=%v)", flightDir, err)
+	}
+	data, err := os.ReadFile(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := obs.ValidateFlightBundle(data)
+	if err != nil {
+		t.Fatalf("slo_burn bundle does not validate: %v", err)
+	}
+	if bundle.Trigger != "slo_burn" {
+		t.Errorf("bundle trigger = %q", bundle.Trigger)
 	}
 }

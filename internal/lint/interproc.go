@@ -235,7 +235,7 @@ func clockReads(info *types.Info, n *graph.Node) []allocSite {
 			return true
 		}
 		fn, ok := info.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+		if !ok || !isClockRead(fn) {
 			return true
 		}
 		out = append(out, allocSite{sel.Pos(), "time." + fn.Name()})

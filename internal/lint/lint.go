@@ -208,13 +208,14 @@ var numericDirs = []string{
 // goroutines directly: the worker pool itself and the serving tier —
 // workers (internal/serve, dispatch lifecycle), the router
 // (internal/router, health sweeps and the background check loop), the
-// registry they share (internal/registry), and the streaming trainer
+// registry they share (internal/registry), the streaming trainer
 // (internal/online, whose Async mode hands refits to a background
-// goroutine).
+// goroutine), and the telemetry plane (internal/telemetry, whose
+// StartPoller drains a caller-owned tick channel).
 var goroutineOwners = []string{
 	"internal/pool", "internal/serve",
 	"internal/router", "internal/registry",
-	"internal/online",
+	"internal/online", "internal/telemetry",
 }
 
 // underAny reports whether rel equals one of dirs or lies beneath one.

@@ -205,11 +205,14 @@ func TestLoadCorpusShape(t *testing.T) {
 	}
 	for _, owner := range []string{
 		"internal/pool", "internal/serve", "internal/router", "internal/registry",
-		"internal/online",
+		"internal/online", "internal/telemetry",
 	} {
 		if !underAny(owner, goroutineOwners) {
 			t.Errorf("%s not recognized as a goroutine owner", owner)
 		}
+	}
+	if !underAny("internal/telemetry", noClockExtraDirs) {
+		t.Error("internal/telemetry not under the noclock ban")
 	}
 	if underAny("internal/mat", goroutineOwners) {
 		t.Error("internal/mat recognized as a goroutine owner")

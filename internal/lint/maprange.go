@@ -35,6 +35,7 @@ var deterministicDirs = []string{
 	"",
 	"internal/obs", "internal/serve", "internal/registry",
 	"internal/router", "internal/online", "internal/core",
+	"internal/telemetry",
 }
 
 func runMapRange(pass *Pass) {

@@ -40,8 +40,12 @@ var clockOwners = []string{"internal/obs"}
 // through internal/obs instead of reading the clock itself.  The
 // streaming trainer (internal/online) is here because its interval
 // trigger must fire off an injected obs.Clock — a direct time.Now would
-// make refit timing untestable and nondeterministic.
-var noClockExtraDirs = []string{"internal/pool", "internal/obs", "internal/online"}
+// make refit timing untestable and nondeterministic.  The telemetry
+// plane (internal/telemetry) is here because its whole contract is
+// byte-deterministic replay: ingest, federation, and SLO evaluation
+// take explicit times or an injected obs.Clock, and the sampler
+// consumes a tick channel its caller owns.
+var noClockExtraDirs = []string{"internal/pool", "internal/obs", "internal/online", "internal/telemetry"}
 
 // inNoClockScope reports whether pkg is subject to the wall-clock ban.
 func inNoClockScope(pkg *Package) bool {
@@ -65,6 +69,20 @@ var clockFuncs = map[string]bool{
 	"Sleep":     true,
 }
 
+// isClockRead reports whether fn is a banned package-level clock entry
+// point.  Methods are excluded on purpose: t.After(u), t.Sub(u) and
+// friends on a time.Time value are pure timestamp arithmetic — only
+// the package functions (time.After, time.Now, ...) touch the wall
+// clock or scheduler, and sharing a name with a method must not drag
+// the method into the ban.
+func isClockRead(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
 func runNoClock(pass *Pass) {
 	info := pass.Pkg.Info
 	if inNoClockScope(pass.Pkg) {
@@ -74,7 +92,7 @@ func runNoClock(pass *Pass) {
 				return true
 			}
 			fn, ok := info.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+			if !ok || !isClockRead(fn) {
 				return true
 			}
 			pass.Reportf(sel.Pos(), "time.%s in package %s makes results depend on wall-clock timing; internal/obs owns the clock — record through obs.Trace/obs.Stamp, or measure in cmd/srdabench or the experiment layer", fn.Name(), pass.Pkg.Path)

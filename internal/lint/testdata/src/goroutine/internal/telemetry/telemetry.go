@@ -1,0 +1,17 @@
+package telemetry
+
+import "time"
+
+// StartPoller is the corpus stand-in for the telemetry sampler:
+// internal/telemetry is on the goroutine-owner allowlist, so draining
+// a caller-owned tick channel from a background goroutine is allowed.
+func StartPoller(ticks <-chan time.Time, fn func(time.Time)) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for t := range ticks {
+			fn(t)
+		}
+	}()
+	return done
+}

@@ -37,6 +37,7 @@ var flightTriggers = map[string]bool{
 	"shed_storm":        true,
 	"registry_rollback": true,
 	"refit_validation":  true,
+	"slo_burn":          true,
 }
 
 // FlightOptions configures a recorder; zero values get defaults.
@@ -286,6 +287,18 @@ func (f *FlightRecorder) NoteRollback(trace TraceID) {
 		return
 	}
 	f.trigger("registry_rollback", trace, 0, 0)
+}
+
+// NoteSLOBurn fires the slo_burn trigger when an SLO burn-rate alert
+// transitions to firing; value is the observed burn rate and threshold
+// the window's firing threshold.  SLO evaluations are interval-driven,
+// not request-driven, so there is no breaching trace — bundles fall
+// back to the trailing span window.
+func (f *FlightRecorder) NoteSLOBurn(burn, threshold float64) {
+	if f == nil {
+		return
+	}
+	f.trigger("slo_burn", 0, burn, threshold)
 }
 
 // NoteRefitFailure fires the refit_validation trigger when a refit could

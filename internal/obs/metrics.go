@@ -80,6 +80,17 @@ func promHeader(w io.Writer, name, help, kind string) {
 // trimFloat renders a bucket bound the way Prometheus clients do.
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
+// writeLabelPair renders one name="value" pair with text-format label
+// escaping (backslash, quote, newline — and only those; %q would escape
+// tabs and non-ASCII runes into Go syntax the Prometheus grammar does
+// not define, breaking round-trips for such tenant or model names).
+func writeLabelPair(sb *strings.Builder, name, value string) {
+	sb.WriteString(name)
+	sb.WriteString(`="`)
+	sb.WriteString(EscapeLabelValue(value))
+	sb.WriteByte('"')
+}
+
 // Counter is a monotonically increasing integer metric.
 type Counter struct {
 	name, help string
@@ -222,7 +233,7 @@ func (g *gaugeVecFunc) writeProm(w io.Writer) {
 			if k > 0 {
 				sb.WriteByte(',')
 			}
-			fmt.Fprintf(&sb, "%s=%q", lname, s.Labels[k])
+			writeLabelPair(&sb, lname, s.Labels[k])
 		}
 		fmt.Fprintf(w, "%s{%s} %g\n", g.name, sb.String(), s.Value)
 	}
@@ -317,7 +328,7 @@ func (v *CounterVec) writeProm(w io.Writer) {
 			if k > 0 {
 				sb.WriteByte(',')
 			}
-			fmt.Fprintf(&sb, "%s=%q", lname, e.values[k])
+			writeLabelPair(&sb, lname, e.values[k])
 		}
 		fmt.Fprintf(w, "%s{%s} %d\n", v.name, sb.String(), e.c.Value())
 	}

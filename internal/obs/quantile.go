@@ -27,8 +27,8 @@ import (
 
 // QuantileTarget is one tracked quantile with its rank-error tolerance.
 type QuantileTarget struct {
-	Q   float64 // quantile in (0, 1)
-	Eps float64 // rank error as a fraction of the stream length
+	Q   float64 `json:"q"`   // quantile in (0, 1)
+	Eps float64 `json:"eps"` // rank error as a fraction of the stream length
 }
 
 // DefaultLatencyTargets are the serving-latency targets: tight tails,
@@ -130,6 +130,84 @@ func (s *QuantileSketch) Query(q float64) float64 {
 		cum += smp.g
 	}
 	return s.samples[len(s.samples)-1].v
+}
+
+// SketchSample is one summary tuple in wire form: V is an observed
+// value, G the gap in minimum rank to the previous tuple, Delta the
+// rank uncertainty.
+type SketchSample struct {
+	V     float64 `json:"v"`
+	G     int     `json:"g"`
+	Delta int     `json:"delta,omitempty"`
+}
+
+// SketchSnapshot is a point-in-time serializable copy of a sketch,
+// the unit replicas ship to the federation layer so the router can
+// merge actual rank summaries instead of pre-collapsed quantile
+// gauges (which cannot be combined without losing the error bound).
+type SketchSnapshot struct {
+	Targets []QuantileTarget `json:"targets"`
+	Samples []SketchSample   `json:"samples,omitempty"`
+	Count   int              `json:"count"`
+}
+
+// Snapshot returns a serializable copy of the summary, flushing any
+// buffered observations first.
+func (s *QuantileSketch) Snapshot() SketchSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flush()
+	snap := SketchSnapshot{
+		Targets: append([]QuantileTarget(nil), s.targets...),
+		Count:   s.n,
+	}
+	if len(s.samples) > 0 {
+		snap.Samples = make([]SketchSample, len(s.samples))
+		for i, smp := range s.samples {
+			snap.Samples[i] = SketchSample{V: smp.v, G: smp.g, Delta: smp.delta}
+		}
+	}
+	return snap
+}
+
+// MergeSketches combines per-replica snapshots into one cluster-level
+// sketch over the union stream.  Tuples are pooled and re-sorted with
+// their rank gaps intact: each source tuple's rank was accurate within
+// its own sketch's invariant, so after pooling the errors add and a
+// merged query is accurate within roughly twice the per-replica rank
+// error (2ε·n for the union length n) — the bound the merge test in
+// quantile_merge_test.go asserts.  Targets are taken from the first
+// snapshot that declares any.
+func MergeSketches(snaps ...SketchSnapshot) *QuantileSketch {
+	var targets []QuantileTarget
+	for _, sn := range snaps {
+		if len(sn.Targets) > 0 {
+			targets = sn.Targets
+			break
+		}
+	}
+	m := NewQuantileSketch(targets...)
+	var all []ckmsSample
+	n := 0
+	for _, sn := range snaps {
+		for _, t := range sn.Samples {
+			g := t.G
+			if g < 1 {
+				g = 1 // malformed input: a tuple always covers ≥1 rank
+			}
+			d := t.Delta
+			if d < 0 {
+				d = 0
+			}
+			all = append(all, ckmsSample{v: t.V, g: g, delta: d})
+			n += g
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].v < all[j].v })
+	m.samples = all
+	m.n = n
+	m.compress()
+	return m
 }
 
 // invariant is the CKMS f(r, n): the permitted rank slack at rank r,

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// rankOf returns the inclusive [lo, hi] 1-based rank range that value v
+// occupies in the sorted union stream (equal values share a range).
+func rankOf(sorted []float64, v float64) (int, int) {
+	lo := sort.SearchFloat64s(sorted, v) + 1
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	return lo, hi
+}
+
+// TestMergeSketchesRankError is the cross-replica accuracy contract:
+// K replicas each sketch a disjoint shard of one latency stream; the
+// merged cluster sketch must answer p50/p95/p99 within twice the
+// per-replica rank error of the exact quantile over the union — the
+// bound MergeSketches documents.
+func TestMergeSketchesRankError(t *testing.T) {
+	const (
+		replicas = 4
+		perRep   = 20000
+	)
+	rng := rand.New(rand.NewSource(42))
+	union := make([]float64, 0, replicas*perRep)
+	snaps := make([]SketchSnapshot, 0, replicas)
+	for r := 0; r < replicas; r++ {
+		sk := NewQuantileSketch()
+		for i := 0; i < perRep; i++ {
+			// Log-normal-ish latency shape with a heavy tail; each
+			// replica sees a slightly shifted distribution so the
+			// merge actually has to reconcile different ranges.
+			v := math.Exp(rng.NormFloat64()*0.6) * (1 + 0.1*float64(r))
+			sk.Observe(v)
+			union = append(union, v)
+		}
+		snaps = append(snaps, sk.Snapshot())
+	}
+	sort.Float64s(union)
+	n := len(union)
+
+	merged := MergeSketches(snaps...)
+	if got := merged.Count(); got != n {
+		t.Fatalf("merged Count() = %d, want %d", got, n)
+	}
+
+	for _, tgt := range DefaultLatencyTargets() {
+		got := merged.Query(tgt.Q)
+		lo, hi := rankOf(union, got)
+		want := tgt.Q * float64(n)
+		// 2ε·n for the merge, plus one rank of slack for the discrete
+		// rank granularity at stream boundaries.
+		bound := 2*tgt.Eps*float64(n) + 1
+		if float64(hi) < want-bound || float64(lo) > want+bound {
+			t.Errorf("q=%v: estimate %v has rank range [%d,%d], want within %.1f of %.1f",
+				tgt.Q, got, lo, hi, bound, want)
+		}
+	}
+}
+
+// TestMergeSketchesDegenerate covers empty and single-source merges.
+func TestMergeSketchesDegenerate(t *testing.T) {
+	empty := MergeSketches()
+	if empty.Count() != 0 || !math.IsNaN(empty.Query(0.5)) {
+		t.Errorf("empty merge: Count=%d Query=%v", empty.Count(), empty.Query(0.5))
+	}
+
+	sk := NewQuantileSketch()
+	for i := 1; i <= 1000; i++ {
+		sk.Observe(float64(i))
+	}
+	one := MergeSketches(sk.Snapshot())
+	if one.Count() != 1000 {
+		t.Fatalf("single-source merge Count = %d", one.Count())
+	}
+	if p50 := one.Query(0.5); p50 < 480 || p50 > 520 {
+		t.Errorf("single-source p50 = %v, want ~500", p50)
+	}
+
+	// A merge of an empty snapshot with a real one is just the real one.
+	both := MergeSketches(NewQuantileSketch().Snapshot(), sk.Snapshot())
+	if both.Count() != 1000 {
+		t.Errorf("empty+real merge Count = %d", both.Count())
+	}
+}
+
+// TestSketchSnapshotRoundTrip checks a snapshot re-queried after merge
+// preserves the stream's extremes (the min/max tuples are never merged
+// away).
+func TestSketchSnapshotRoundTrip(t *testing.T) {
+	sk := NewQuantileSketch()
+	for i := 0; i < 5000; i++ {
+		sk.Observe(float64(i % 97))
+	}
+	snap := sk.Snapshot()
+	if snap.Count != 5000 {
+		t.Fatalf("snapshot Count = %d", snap.Count)
+	}
+	sumG := 0
+	for _, s := range snap.Samples {
+		sumG += s.G
+	}
+	if sumG != snap.Count {
+		t.Errorf("sum of rank gaps %d != count %d (CKMS invariant broken)", sumG, snap.Count)
+	}
+	// Re-querying through a merge of the single snapshot must stay
+	// within the target rank errors (values are uniform over 0..96).
+	m := MergeSketches(snap)
+	if p50 := m.Query(0.5); p50 < 45 || p50 > 51 {
+		t.Errorf("p50 after round trip = %v, want ~48", p50)
+	}
+	if p99 := m.Query(0.99); p99 < 94 || p99 > 96 {
+		t.Errorf("p99 after round trip = %v, want ~95", p99)
+	}
+}

@@ -238,6 +238,22 @@ func (r *Router) Handler() http.Handler { return r.mux }
 // Registry returns the router's metrics registry for debug exposition.
 func (r *Router) Registry() *obs.Registry { return r.mx.reg }
 
+// Backends returns the router's backends sorted by replica name —
+// drained and unhealthy replicas included, since the telemetry plane
+// wants to scrape exactly the replicas the router knows about, not just
+// the ones currently taking traffic.
+func (r *Router) Backends() []Backend {
+	r.mu.RLock()
+	out := make([]Backend, 0, len(r.replicas))
+	//srdalint:ignore maprange collect-then-sort: the slice is sorted by name below
+	for _, st := range r.replicas {
+		out = append(out, st.backend)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
 // Tracer returns the router's request tracer (nil when tracing is off);
 // shutdown flushes its ring alongside the worker traces.
 func (r *Router) Tracer() *obs.Tracer { return r.tracer }

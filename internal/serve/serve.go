@@ -197,6 +197,7 @@ func New(m *core.Model, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/sketches", s.instrument("/v1/sketches", s.handleSketches))
 	if opts.Trainer != nil {
 		s.mux.HandleFunc("/v1/observe", s.instrument("/v1/observe", s.handleObserve))
 	}
@@ -703,4 +704,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 		s.opts.Trainer.Metrics().WritePrometheus(w)
 	}
 	return http.StatusOK
+}
+
+// LatencySketchName keys the predict-latency sketch in LatencySketches
+// and the /v1/sketches reply; the federation layer merges snapshots
+// under this name into cluster-level quantiles.
+const LatencySketchName = "srdaserve_request_latency"
+
+// LatencySketches returns serializable snapshots of the server's CKMS
+// quantile sketches, keyed by metric base name.  The federation scraper
+// merges these — the p50/p95/p99 gauges on /metrics are pre-collapsed
+// estimates and cannot be combined across replicas without losing the
+// rank-error bound.
+func (s *Server) LatencySketches() map[string]obs.SketchSnapshot {
+	return map[string]obs.SketchSnapshot{
+		LatencySketchName: s.metrics.latencySketch.Snapshot(),
+	}
+}
+
+func (s *Server) handleSketches(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "GET required")
+	}
+	return writeJSON(w, http.StatusOK, s.LatencySketches())
 }
